@@ -1,0 +1,175 @@
+// Package accals is the public API of the AccALS library, a Go
+// implementation of "AccALS: Accelerating Approximate Logic Synthesis
+// by Selection of Multiple Local Approximate Changes" (DAC 2023).
+//
+// The library synthesises approximate combinational circuits: given a
+// circuit and a statistical error bound (error rate, normalised mean
+// error distance, or mean relative error distance), it iteratively
+// applies local approximate changes (LACs) that shrink the circuit
+// while keeping the measured error within the bound. The AccALS flow
+// selects multiple mutually independent LACs per round, which is what
+// makes it fast; the SEALS-style single-selection flow and an
+// AMOSA-style evolutionary optimiser are provided as baselines.
+//
+// # Quick start
+//
+//	g, _ := accals.Benchmark("mtp8")            // an 8x8 multiplier
+//	res := accals.Synthesize(g, accals.NMED, 0.002, accals.Options{})
+//	fmt.Println(res.Final.NumAnds(), "AND nodes, error", res.Error)
+//
+// Circuits can also be built directly with the Graph API (see New) or
+// read from BLIF files (see ReadBLIF). Mapped area and delay against
+// an MCNC-style standard-cell library are available through
+// AreaDelay.
+package accals
+
+import (
+	"io"
+
+	"accals/internal/aig"
+	"accals/internal/aiger"
+	"accals/internal/amosa"
+	"accals/internal/blif"
+	"accals/internal/cec"
+	"accals/internal/circuits"
+	"accals/internal/core"
+	"accals/internal/errmetric"
+	"accals/internal/mapping"
+	"accals/internal/opt"
+	"accals/internal/seals"
+)
+
+// Graph is a combinational circuit represented as a structurally
+// hashed AND-inverter graph. Build one with New, Benchmark or
+// ReadBLIF.
+type Graph = aig.Graph
+
+// Lit is an AIG edge literal (node id plus complement flag).
+type Lit = aig.Lit
+
+// Constant literals.
+const (
+	ConstFalse = aig.ConstFalse
+	ConstTrue  = aig.ConstTrue
+)
+
+// New returns an empty circuit with the given name.
+func New(name string) *Graph { return aig.New(name) }
+
+// Metric is a statistical error metric.
+type Metric = errmetric.Kind
+
+// Supported metrics: error rate, normalised mean error distance, mean
+// relative error distance, and mean Hamming distance.
+const (
+	ER   = errmetric.ER
+	NMED = errmetric.NMED
+	MRED = errmetric.MRED
+	MHD  = errmetric.MHD
+)
+
+// Options configures a synthesis run. The zero value uses the paper's
+// parameters scaled by circuit size.
+type Options = core.Options
+
+// Params are the AccALS hyper-parameters (Section II of the paper).
+type Params = core.Params
+
+// Result is the outcome of a synthesis run.
+type Result = core.Result
+
+// RoundStats records one synthesis round.
+type RoundStats = core.RoundStats
+
+// Synthesize runs the AccALS multi-LAC flow: it returns an
+// approximate version of orig whose error under the metric does not
+// exceed bound (as measured on the evaluation pattern set).
+func Synthesize(orig *Graph, metric Metric, bound float64, opt Options) *Result {
+	return core.Run(orig, metric, bound, opt)
+}
+
+// SynthesizeSEALS runs the single-selection baseline flow (one LAC
+// per round, as in SEALS, DAC 2022). It produces comparable quality
+// to Synthesize but needs many more rounds.
+func SynthesizeSEALS(orig *Graph, metric Metric, bound float64, opt Options) *Result {
+	return seals.Run(orig, metric, bound, opt)
+}
+
+// AMOSAOptions configures the evolutionary baseline.
+type AMOSAOptions = amosa.Options
+
+// AMOSAResult is the archive returned by the evolutionary baseline.
+type AMOSAResult = amosa.Result
+
+// SynthesizeAMOSA runs the archived multi-objective simulated
+// annealing baseline, returning a Pareto archive of (error, area)
+// trade-offs rather than a single circuit.
+func SynthesizeAMOSA(orig *Graph, metric Metric, opt AMOSAOptions) *AMOSAResult {
+	return amosa.Run(orig, metric, opt)
+}
+
+// Benchmark builds one of the built-in benchmark circuits (adders,
+// multipliers, dividers, ALUs, ISCAS/LGSynt91 stand-ins, ...). See
+// BenchmarkNames for the list.
+func Benchmark(name string) (*Graph, error) { return circuits.ByName(name) }
+
+// BenchmarkNames lists the built-in benchmark circuits.
+func BenchmarkNames() []string { return circuits.Names() }
+
+// ReadBLIF parses a combinational BLIF model.
+func ReadBLIF(r io.Reader) (*Graph, error) { return blif.Read(r) }
+
+// WriteBLIF emits a circuit as a BLIF model.
+func WriteBLIF(w io.Writer, g *Graph) error { return blif.Write(w, g) }
+
+// AreaDelay maps the circuit onto the built-in MCNC-style cell
+// library and returns its area and critical-path delay, both
+// normalised to the inverter.
+func AreaDelay(g *Graph) (area, delay float64) { return mapping.AreaDelay(g) }
+
+// Netlist is a mapped gate-level netlist (see MapToCells).
+type Netlist = mapping.Netlist
+
+// MapToCells maps the circuit onto the built-in cell library and
+// returns the gate-level netlist, which can be written as structural
+// Verilog with its WriteVerilog method.
+func MapToCells(g *Graph) *Netlist {
+	_, nl := mapping.MapNetlist(g, mapping.MCNC())
+	return nl
+}
+
+// Balance rebuilds single-fanout AND chains as balanced trees,
+// reducing circuit depth without changing the function — a light
+// stand-in for ABC's preprocessing, useful before synthesis.
+func Balance(g *Graph) *Graph { return opt.Balance(g) }
+
+// ReadAIGER parses a combinational AIGER file (ASCII or binary).
+func ReadAIGER(r io.Reader) (*Graph, error) { return aiger.Read(r) }
+
+// WriteAIGER emits the circuit in binary AIGER format.
+func WriteAIGER(w io.Writer, g *Graph) error { return aiger.WriteBinary(w, g) }
+
+// WriteAIGERASCII emits the circuit in ASCII AIGER (aag) format.
+func WriteAIGERASCII(w io.Writer, g *Graph) error { return aiger.WriteASCII(w, g) }
+
+// EquivalenceResult reports a formal equivalence check.
+type EquivalenceResult = cec.Result
+
+// Equivalent proves or refutes functional equivalence of two circuits
+// with the built-in SAT-based combinational equivalence checker.
+// budget caps solver conflicts (0 = unlimited); when the budget runs
+// out the result's Proved field is false.
+func Equivalent(a, b *Graph, budget int64) (*EquivalenceResult, error) {
+	return cec.Check(a, b, budget)
+}
+
+// Error measures the error of an approximate circuit against a
+// reference under the given metric. The pattern set is exhaustive
+// when the full input space fits within numPatterns (and the circuit
+// has at most 16 inputs); otherwise numPatterns seeded Monte-Carlo
+// samples are used.
+func Error(reference, approx *Graph, metric Metric, numPatterns int, seed int64) float64 {
+	opt := Options{NumPatterns: numPatterns, PatternSeed: seed}
+	cmp := errmetric.NewComparator(metric, reference, opt.Patterns(reference))
+	return cmp.Error(approx)
+}

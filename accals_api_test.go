@@ -1,0 +1,175 @@
+package accals_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"accals"
+	"accals/internal/circuits"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g, err := accals.Benchmark("mtp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := accals.Synthesize(g, accals.NMED, 0.0019531, accals.Options{NumPatterns: 2048})
+	if res.Error > 0.0019531 {
+		t.Fatalf("error %g exceeds bound", res.Error)
+	}
+	if res.Final.NumAnds() >= g.NumAnds() {
+		t.Fatal("no reduction")
+	}
+	area, delay := accals.AreaDelay(res.Final)
+	oArea, oDelay := accals.AreaDelay(g)
+	if area >= oArea || delay <= 0 || oDelay <= 0 {
+		t.Fatalf("area %g (orig %g), delay %g", area, oArea, delay)
+	}
+}
+
+func TestPublicAPIGraphBuilding(t *testing.T) {
+	g := accals.New("maj")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	g.AddPO(g.Maj3(a, b, c), "m")
+
+	var buf bytes.Buffer
+	if err := accals.WriteBLIF(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := accals.ReadBLIF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := accals.Error(g, g2, accals.ER, 1024, 1); e != 0 {
+		t.Fatalf("round trip changed function: ER %g", e)
+	}
+}
+
+func TestPublicAPIBenchmarkNames(t *testing.T) {
+	names := accals.BenchmarkNames()
+	if len(names) == 0 {
+		t.Fatal("no benchmarks")
+	}
+	if _, err := accals.Benchmark("no-such-circuit"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSEALSBaselineAPI(t *testing.T) {
+	g, _ := accals.Benchmark("alu4")
+	res := accals.SynthesizeSEALS(g, accals.ER, 0.01, accals.Options{NumPatterns: 2048})
+	if res.Error > 0.01 {
+		t.Fatalf("SEALS error %g exceeds bound", res.Error)
+	}
+}
+
+func TestAMOSABaselineAPI(t *testing.T) {
+	g, _ := accals.Benchmark("term1")
+	res := accals.SynthesizeAMOSA(g, accals.ER, accals.AMOSAOptions{
+		ErrBound:    0.1,
+		Iterations:  150,
+		NumPatterns: 1024,
+	})
+	if len(res.Archive) == 0 {
+		t.Fatal("empty AMOSA archive")
+	}
+}
+
+// TestQuickSynthesisRespectsBound drives the full public pipeline on
+// random circuits: for every seed and bound, the synthesised circuit
+// must satisfy the bound (as measured on the evaluation pattern set)
+// and preserve the interface.
+func TestQuickSynthesisRespectsBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property synthesis sweep")
+	}
+	f := func(seed int64, boundSel uint8) bool {
+		bounds := []float64{0.001, 0.01, 0.05, 0.1}
+		bound := bounds[int(boundSel)%len(bounds)]
+		g := circuits.RandomLogic("r", 10, 4, 120, seed)
+		res := accals.Synthesize(g, accals.ER, bound, accals.Options{NumPatterns: 1024})
+		if res.Error > bound {
+			return false
+		}
+		if res.Final.NumPIs() != g.NumPIs() || res.Final.NumPOs() != g.NumPOs() {
+			return false
+		}
+		if res.Final.Check() != nil {
+			return false
+		}
+		// Independent evaluation on the same pattern space.
+		return accals.Error(g, res.Final, accals.ER, 1024, 12345) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIFormatsAndTools(t *testing.T) {
+	g, _ := accals.Benchmark("alu4")
+
+	// AIGER round trips through both formats.
+	var bin, asc bytes.Buffer
+	if err := accals.WriteAIGER(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := accals.WriteAIGERASCII(&asc, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := accals.ReadAIGER(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := accals.ReadAIGER(&asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := accals.Error(g, g2, accals.ER, 2048, 1); e != 0 {
+		t.Fatalf("binary AIGER round trip changed function: %g", e)
+	}
+	if e := accals.Error(g, g3, accals.ER, 2048, 1); e != 0 {
+		t.Fatalf("ASCII AIGER round trip changed function: %g", e)
+	}
+
+	// Balance preserves the function and the SAT checker proves it.
+	b := accals.Balance(g)
+	eq, err := accals.Equivalent(g, b, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Proved || !eq.Equivalent {
+		t.Fatalf("balance equivalence not proved: %+v", eq)
+	}
+
+	// Mapped netlist evaluates and exports as Verilog.
+	nl := accals.MapToCells(g)
+	if len(nl.Instances) == 0 {
+		t.Fatal("empty netlist")
+	}
+	var v bytes.Buffer
+	if err := nl.WriteVerilog(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() == 0 {
+		t.Fatal("empty Verilog")
+	}
+}
+
+func TestPublicAPIMHDAndBiased(t *testing.T) {
+	g, _ := accals.Benchmark("c1908")
+	res := accals.Synthesize(g, accals.MHD, 0.002, accals.Options{NumPatterns: 2048})
+	if res.Error > 0.002 {
+		t.Fatalf("MHD bound violated: %g", res.Error)
+	}
+	probs := make([]float64, g.NumPIs())
+	for i := range probs {
+		probs[i] = 0.3
+	}
+	res = accals.Synthesize(g, accals.ER, 0.01, accals.Options{NumPatterns: 2048, InputProbs: probs})
+	if res.Error > 0.01 {
+		t.Fatalf("biased ER bound violated: %g", res.Error)
+	}
+}

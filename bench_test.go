@@ -1,0 +1,131 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its experiment
+// in reduced ("quick") form so the whole suite completes in minutes;
+// run cmd/experiments for the full-size reproduction recorded in
+// EXPERIMENTS.md.
+package accals_test
+
+import (
+	"testing"
+
+	"accals/internal/errmetric"
+	"accals/internal/experiments"
+)
+
+// quickCfg returns the reduced configuration used by the benchmarks.
+func quickCfg() experiments.Config {
+	return experiments.Config{Quick: true, Seed: 1}
+}
+
+// BenchmarkTable1Inventory regenerates the benchmark inventory of
+// Table I: AIG sizes plus mapped area and delay for every circuit.
+func BenchmarkTable1Inventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(quickCfg())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig4IndpRatio regenerates Fig. 4: the fraction of rounds in
+// which the independent LAC set beats the random set, per circuit and
+// metric.
+func BenchmarkFig4IndpRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4(quickCfg())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig5ERSweep regenerates Fig. 5: average ADP ratio and
+// runtime of AccALS vs SEALS across ER thresholds.
+func BenchmarkFig5ERSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig5(quickCfg())
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig6aER regenerates Fig. 6(a): per-circuit ADP ratio and
+// normalised runtime under ER constraints.
+func BenchmarkFig6aER(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(quickCfg(), errmetric.ER)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig6bNMED regenerates Fig. 6(b): the same comparison under
+// NMED constraints on the arithmetic circuits.
+func BenchmarkFig6bNMED(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(quickCfg(), errmetric.NMED)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig6cMRED regenerates Fig. 6(c): the same comparison under
+// MRED constraints.
+func BenchmarkFig6cMRED(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(quickCfg(), errmetric.MRED)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable2EPFL regenerates Table II: AccALS vs SEALS on the
+// large arithmetic circuits under the 0.1% ER threshold.
+func BenchmarkTable2EPFL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(quickCfg())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig7AMOSACurves regenerates Fig. 7: area-ratio-vs-ER
+// trade-off curves of AccALS and the AMOSA baseline on the LGSynt91
+// circuits.
+func BenchmarkFig7AMOSACurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := experiments.Fig7(quickCfg())
+		if len(curves) == 0 {
+			b.Fatal("no curves")
+		}
+	}
+}
+
+// BenchmarkTable3AMOSARuntime regenerates Table III: single-run
+// synthesis times of AccALS vs AMOSA.
+func BenchmarkTable3AMOSARuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(quickCfg())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblation quantifies the flow's design choices (independent
+// set, random control set, improvement techniques) by disabling each
+// in turn — the ablation study called out in DESIGN.md.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Ablation(quickCfg())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command accals synthesises an approximate circuit from a benchmark
+// or a BLIF file under a statistical error bound, using the AccALS
+// multi-LAC flow (default) or the SEALS single-selection baseline.
+//
+// Examples:
+//
+//	accals -circuit mtp8 -metric er -bound 0.05
+//	accals -blif design.blif -metric nmed -bound 0.0019531 -out approx.blif
+//	accals -circuit rca32 -method seals -metric mred -bound 0.001 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accals/internal/aig"
+	"accals/internal/aiger"
+	"accals/internal/blif"
+	"accals/internal/circuits"
+	"accals/internal/core"
+	"accals/internal/errmetric"
+	"accals/internal/mapping"
+	"accals/internal/opt"
+	"accals/internal/seals"
+)
+
+func main() {
+	circuitName := flag.String("circuit", "", "built-in benchmark name (see -list)")
+	blifPath := flag.String("blif", "", "input BLIF file (alternative to -circuit)")
+	metricName := flag.String("metric", "er", "error metric: er, nmed, mred, mhd")
+	bound := flag.Float64("bound", 0.05, "error bound (fraction, e.g. 0.05 = 5%)")
+	method := flag.String("method", "accals", "synthesis method: accals, seals")
+	patterns := flag.Int("patterns", 8192, "Monte-Carlo pattern budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	outPath := flag.String("out", "", "write the approximate circuit as BLIF")
+	aigerPath := flag.String("aiger", "", "write the approximate circuit as binary AIGER")
+	verilogPath := flag.String("verilog", "", "write the mapped approximate circuit as structural Verilog")
+	balance := flag.Bool("balance", false, "balance the circuit before synthesis (depth reduction)")
+	verbose := flag.Bool("v", false, "print per-round progress")
+	list := flag.Bool("list", false, "list built-in benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range circuits.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	g, err := loadCircuit(*circuitName, *blifPath)
+	if err != nil {
+		fatal(err)
+	}
+	metric, err := parseMetric(*metricName)
+	if err != nil {
+		fatal(err)
+	}
+	if *balance {
+		g = opt.Balance(g)
+	}
+	if metric.IsWordLevel() && g.NumPOs() > 63 {
+		fatal(fmt.Errorf("%v requires at most 63 outputs; %s has %d", metric, g.Name, g.NumPOs()))
+	}
+
+	opt := core.Options{
+		NumPatterns: *patterns,
+		PatternSeed: *seed,
+		Params:      core.Params{Seed: *seed},
+	}
+	if *verbose {
+		opt.Progress = func(rs core.RoundStats) {
+			kind := "multi "
+			if !rs.MultiRound {
+				kind = "single"
+			}
+			fmt.Printf("round %4d [%s] lacs=%3d err=%.6f ands=%d\n",
+				rs.Round, kind, rs.AppliedLACs, rs.Error, rs.NumAnds)
+		}
+	}
+
+	var res *core.Result
+	switch strings.ToLower(*method) {
+	case "accals":
+		res = core.Run(g, metric, *bound, opt)
+	case "seals":
+		res = seals.Run(g, metric, *bound, opt)
+	default:
+		fatal(fmt.Errorf("unknown method %q (want accals or seals)", *method))
+	}
+
+	oa, od := mapping.AreaDelay(g)
+	aa, ad := mapping.AreaDelay(res.Final)
+	fmt.Printf("circuit:   %s (%d PIs, %d POs)\n", g.Name, g.NumPIs(), g.NumPOs())
+	fmt.Printf("method:    %s, metric %v, bound %g\n", *method, metric, *bound)
+	fmt.Printf("error:     %.6f\n", res.Error)
+	fmt.Printf("AIG nodes: %d -> %d (%.2f%%)\n", g.NumAnds(), res.Final.NumAnds(),
+		pct(res.Final.NumAnds(), g.NumAnds()))
+	fmt.Printf("area:      %.1f -> %.1f (%.2f%%)\n", oa, aa, 100*aa/oa)
+	fmt.Printf("delay:     %.1f -> %.1f (%.2f%%)\n", od, ad, 100*ad/od)
+	fmt.Printf("rounds:    %d (%d LACs applied)\n", len(res.Rounds), res.LACsApplied)
+	fmt.Printf("runtime:   %v\n", res.Runtime.Round(res.Runtime/1000+1))
+
+	if *outPath != "" {
+		writeFile(*outPath, func(f *os.File) error { return blif.Write(f, res.Final) })
+	}
+	if *aigerPath != "" {
+		writeFile(*aigerPath, func(f *os.File) error { return aiger.WriteBinary(f, res.Final) })
+	}
+	if *verilogPath != "" {
+		_, nl := mapping.MapNetlist(res.Final, mapping.MCNC())
+		writeFile(*verilogPath, func(f *os.File) error { return nl.WriteVerilog(f) })
+	}
+}
+
+// writeFile creates path and runs the writer, exiting on error.
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func loadCircuit(name, path string) (*aig.Graph, error) {
+	switch {
+	case name != "" && path != "":
+		return nil, fmt.Errorf("use either -circuit or -blif, not both")
+	case name != "":
+		return circuits.ByName(name)
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return blif.Read(f)
+	default:
+		return nil, fmt.Errorf("no input: use -circuit <name> or -blif <file> (-list shows benchmarks)")
+	}
+}
+
+func parseMetric(s string) (errmetric.Kind, error) {
+	switch strings.ToLower(s) {
+	case "er":
+		return errmetric.ER, nil
+	case "nmed":
+		return errmetric.NMED, nil
+	case "mred":
+		return errmetric.MRED, nil
+	case "mhd":
+		return errmetric.MHD, nil
+	}
+	return 0, fmt.Errorf("unknown metric %q (want er, nmed, mred or mhd)", s)
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 100
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accals:", err)
+	os.Exit(1)
+}

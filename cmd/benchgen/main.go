@@ -1,0 +1,55 @@
+// Command benchgen writes the built-in benchmark circuits as BLIF
+// files, so they can be inspected or fed to external tools.
+//
+// Usage:
+//
+//	benchgen -out dir            # write every benchmark
+//	benchgen -out dir mtp8 cla32 # write selected benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"accals/internal/blif"
+	"accals/internal/circuits"
+)
+
+func main() {
+	outDir := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = circuits.Names()
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		g, err := circuits.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, name+".blif")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := blif.Write(f, g); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s -> %s (%d AND nodes)\n", name, path, g.NumAnds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command cktinfo prints circuit statistics — AIG size, depth, mapped
+// area and delay — for built-in benchmarks or BLIF files (one Table I
+// row per circuit).
+//
+// Usage:
+//
+//	cktinfo mtp8 rca32
+//	cktinfo -blif design.blif
+//	cktinfo -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accals/internal/aig"
+	"accals/internal/blif"
+	"accals/internal/circuits"
+	"accals/internal/mapping"
+)
+
+func main() {
+	blifPath := flag.String("blif", "", "read a BLIF file instead of built-in benchmarks")
+	all := flag.Bool("all", false, "print every built-in benchmark")
+	flag.Parse()
+
+	fmt.Printf("%-12s %7s %5s %5s %6s %10s %8s %10s\n",
+		"circuit", "#Nd", "PIs", "POs", "depth", "area", "delay", "ADP")
+
+	show := func(g *aig.Graph) {
+		area, delay := mapping.AreaDelay(g)
+		fmt.Printf("%-12s %7d %5d %5d %6d %10.1f %8.1f %10.0f\n",
+			g.Name, g.NumAnds(), g.NumPIs(), g.NumPOs(), g.Depth(), area, delay, area*delay)
+	}
+
+	if *blifPath != "" {
+		f, err := os.Open(*blifPath)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := blif.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		show(g)
+		return
+	}
+
+	names := flag.Args()
+	if *all || len(names) == 0 {
+		names = circuits.Names()
+	}
+	for _, name := range names {
+		g, err := circuits.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		show(g)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cktinfo:", err)
+	os.Exit(1)
+}

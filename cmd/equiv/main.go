@@ -1,0 +1,117 @@
+// Command equiv compares two combinational circuits: it proves or
+// refutes functional equivalence with the SAT-based checker and
+// reports the statistical error metrics and mapped cost of the second
+// circuit relative to the first.
+//
+// Circuits are named benchmarks or files (.blif, .aag, .aig):
+//
+//	equiv rca32 cla32
+//	equiv golden.blif approx.blif
+//	equiv -budget 100000 mtp8 approx.aig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"accals/internal/aig"
+	"accals/internal/aiger"
+	"accals/internal/blif"
+	"accals/internal/cec"
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+	"accals/internal/mapping"
+	"accals/internal/simulate"
+)
+
+func main() {
+	budget := flag.Int64("budget", 1_000_000, "SAT conflict budget (0 = unlimited)")
+	patterns := flag.Int("patterns", 8192, "Monte-Carlo patterns for the error metrics")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: equiv [flags] <circuitA> <circuitB>")
+		os.Exit(2)
+	}
+
+	a, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		fatal(fmt.Errorf("interface mismatch: %s is %d/%d, %s is %d/%d",
+			a.Name, a.NumPIs(), a.NumPOs(), b.Name, b.NumPIs(), b.NumPOs()))
+	}
+
+	fmt.Printf("A: %s (%d ANDs)   B: %s (%d ANDs)\n", a.Name, a.NumAnds(), b.Name, b.NumAnds())
+
+	res, err := cec.Check(a, b, *budget)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case !res.Proved:
+		fmt.Printf("equivalence: UNDECIDED (budget of %d conflicts exhausted)\n", *budget)
+	case res.Equivalent:
+		fmt.Printf("equivalence: PROVED (%d conflicts)\n", res.Conflicts)
+	default:
+		fmt.Printf("equivalence: DIFFERENT (%d conflicts); counterexample:\n  ", res.Conflicts)
+		for i, v := range res.Counterexample {
+			bit := 0
+			if v {
+				bit = 1
+			}
+			fmt.Printf("%s=%d ", a.PIName(i), bit)
+		}
+		fmt.Println()
+	}
+
+	// Statistical metrics of B against A.
+	p := simulate.NewPatterns(a.NumPIs(), *patterns, 1)
+	kinds := []errmetric.Kind{errmetric.ER, errmetric.MHD}
+	if a.NumPOs() <= 63 {
+		kinds = append(kinds, errmetric.NMED, errmetric.MRED)
+	}
+	fmt.Printf("metrics (B vs A, %d patterns):\n", p.NumPatterns())
+	for _, k := range kinds {
+		cmp := errmetric.NewComparator(k, a, p)
+		fmt.Printf("  %-5v %.6g\n", k, cmp.Error(b))
+	}
+
+	aa, ad := mapping.AreaDelay(a)
+	ba, bd := mapping.AreaDelay(b)
+	fmt.Printf("cost: area %.1f -> %.1f (%.2f%%), delay %.1f -> %.1f (%.2f%%)\n",
+		aa, ba, 100*ba/aa, ad, bd, 100*bd/ad)
+}
+
+// load resolves a benchmark name or circuit file.
+func load(arg string) (*aig.Graph, error) {
+	switch filepath.Ext(arg) {
+	case ".blif":
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return blif.Read(f)
+	case ".aag", ".aig":
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return aiger.Read(f)
+	default:
+		return circuits.ByName(arg)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "equiv:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp table1|fig4|fig5|fig6a|fig6b|fig6c|table2|fig7|table3|all
+//	            [-patterns N] [-runs N] [-seed N] [-quick]
+//
+// Each experiment prints the corresponding table; see EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"accals/internal/errmetric"
+	"accals/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig4, fig5, fig6a, fig6b, fig6c, table2, fig7, table3, ablation, all")
+	patterns := flag.Int("patterns", 8192, "Monte-Carlo pattern budget")
+	runs := flag.Int("runs", 3, "seeded runs to average over")
+	seed := flag.Int64("seed", 1, "base random seed")
+	quick := flag.Bool("quick", false, "reduced thresholds and circuits (smoke test)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Patterns: *patterns,
+		Runs:     *runs,
+		Seed:     *seed,
+		Quick:    *quick,
+		Out:      os.Stdout,
+	}
+
+	run := func(name string, fn func()) {
+		fmt.Printf("== %s ==\n", name)
+		start := time.Now()
+		fn()
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	all := map[string]func(){
+		"table1":   func() { experiments.Table1(cfg) },
+		"fig4":     func() { experiments.Fig4(cfg) },
+		"fig5":     func() { experiments.Fig5(cfg) },
+		"fig6a":    func() { experiments.Fig6(cfg, errmetric.ER) },
+		"fig6b":    func() { experiments.Fig6(cfg, errmetric.NMED) },
+		"fig6c":    func() { experiments.Fig6(cfg, errmetric.MRED) },
+		"table2":   func() { experiments.Table2(cfg) },
+		"fig7":     func() { experiments.Fig7(cfg) },
+		"table3":   func() { experiments.Table3(cfg) },
+		"ablation": func() { experiments.Ablation(cfg) },
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "table2", "fig7", "table3", "ablation"} {
+			run(name, all[name])
+		}
+		return
+	}
+	fn, ok := all[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	run(*exp, fn)
+}

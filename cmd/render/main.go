@@ -1,0 +1,48 @@
+// Command render emits a circuit as Graphviz DOT for visual
+// inspection (pipe through `dot -Tsvg` to draw it).
+//
+// Usage:
+//
+//	render mtp8 > mtp8.dot
+//	render -blif design.blif -ranked > design.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accals/internal/aig"
+	"accals/internal/blif"
+	"accals/internal/circuits"
+	"accals/internal/dot"
+)
+
+func main() {
+	blifPath := flag.String("blif", "", "read a BLIF file instead of a named benchmark")
+	ranked := flag.Bool("ranked", false, "place nodes of equal logic level on one rank")
+	flag.Parse()
+
+	var g *aig.Graph
+	var err error
+	switch {
+	case *blifPath != "":
+		var f *os.File
+		if f, err = os.Open(*blifPath); err == nil {
+			g, err = blif.Read(f)
+			f.Close()
+		}
+	case flag.NArg() == 1:
+		g, err = circuits.ByName(flag.Arg(0))
+	default:
+		err = fmt.Errorf("usage: render [-blif file | <benchmark>]")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+		os.Exit(1)
+	}
+	if err := dot.Write(os.Stdout, g, dot.Options{RankByLevel: *ranked}); err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package accals_test
+
+import (
+	"fmt"
+
+	"accals"
+)
+
+// Example shows the core workflow: build (or load) a circuit,
+// synthesise an approximate version under an error bound, and compare
+// hardware cost.
+func Example() {
+	// A 4-bit ripple-carry adder built through the Graph API.
+	g := accals.New("adder4")
+	var a, b [4]accals.Lit
+	for i := 0; i < 4; i++ {
+		a[i] = g.AddPI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		b[i] = g.AddPI(fmt.Sprintf("b%d", i))
+	}
+	carry := accals.ConstFalse
+	for i := 0; i < 4; i++ {
+		sum := g.Xor(g.Xor(a[i], b[i]), carry)
+		carry = g.Maj3(a[i], b[i], carry)
+		g.AddPO(sum, fmt.Sprintf("s%d", i))
+	}
+	g.AddPO(carry, "cout")
+
+	// Approximate it: allow a mean error distance of 1% of the range.
+	res := accals.Synthesize(g, accals.NMED, 0.01, accals.Options{})
+
+	fmt.Println("within bound:", res.Error <= 0.01)
+	fmt.Println("shrank:", res.Final.NumAnds() < g.NumAnds())
+	// Output:
+	// within bound: true
+	// shrank: true
+}

@@ -1,0 +1,47 @@
+// Adder trade-off: sweep NMED budgets on a 32-bit carry-lookahead
+// adder and print the resulting quality/cost curve — the kind of
+// design-space exploration approximate computing is used for in
+// error-tolerant applications (image processing, ML inference).
+//
+// NMED (normalised mean error distance) is the right metric for
+// arithmetic blocks: it weighs errors by numeric significance, so the
+// flow aggressively simplifies low-order logic while protecting the
+// high-order carries. (Under plain error rate, any wrong bit counts
+// the same, and an adder offers almost no approximation headroom.)
+//
+// Run with:
+//
+//	go run ./examples/adder-tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accals"
+)
+
+func main() {
+	g, err := accals.Benchmark("cla32")
+	if err != nil {
+		log.Fatal(err)
+	}
+	origArea, origDelay := accals.AreaDelay(g)
+	fmt.Printf("cla32: %d AND nodes, area %.0f, delay %.1f\n\n", g.NumAnds(), origArea, origDelay)
+	fmt.Printf("%10s %10s %10s %10s %8s %8s\n", "NMED bound", "measured", "area", "ADP ratio", "rounds", "time")
+
+	// The paper's four NMED thresholds: 0.00153% .. 0.19531%.
+	for _, bound := range []float64{0.0000153, 0.0000610, 0.0002441, 0.0019531} {
+		res := accals.Synthesize(g, accals.NMED, bound, accals.Options{
+			NumPatterns: 8192,
+		})
+		area, delay := accals.AreaDelay(res.Final)
+		fmt.Printf("%9.5f%% %9.5f%% %10.0f %10.4f %8d %8v\n",
+			bound*100, res.Error*100, area,
+			(area*delay)/(origArea*origDelay), len(res.Rounds),
+			res.Runtime.Round(1000000))
+	}
+
+	fmt.Println("\nLarger error budgets buy smaller, faster adders; the flow")
+	fmt.Println("guarantees the measured error stays within each budget.")
+}

@@ -1,0 +1,114 @@
+// Custom circuit: build a datapath by hand with the Graph API — a
+// sum-of-absolute-differences (SAD) unit, the core of video motion
+// estimation, a classic error-tolerant workload — approximate it, and
+// write both versions as BLIF.
+//
+// Run with:
+//
+//	go run ./examples/custom-circuit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"accals"
+)
+
+// absDiff returns |a - b| for two n-bit words (little-endian).
+func absDiff(g *accals.Graph, a, b []accals.Lit) []accals.Lit {
+	n := len(a)
+	// diff = a - b (two's complement), borrow = sign.
+	diff := make([]accals.Lit, n+1)
+	carry := accals.ConstTrue
+	for i := 0; i <= n; i++ {
+		var ai, bi accals.Lit = accals.ConstFalse, accals.ConstTrue
+		if i < n {
+			ai, bi = a[i], b[i].Not()
+		}
+		diff[i] = g.Xor(g.Xor(ai, bi), carry)
+		carry = g.Maj3(ai, bi, carry)
+	}
+	neg := diff[n]
+	// Conditional negate: |d| = neg ? -d : d.
+	out := make([]accals.Lit, n)
+	c := neg
+	for i := 0; i < n; i++ {
+		x := g.Xor(diff[i], neg)
+		out[i] = g.Xor(x, c)
+		c = g.And(x, c) // carry of +1 propagates through zeros
+	}
+	return out
+}
+
+// addWords returns a + b with one extra output bit.
+func addWords(g *accals.Graph, a, b []accals.Lit) []accals.Lit {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	get := func(w []accals.Lit, i int) accals.Lit {
+		if i < len(w) {
+			return w[i]
+		}
+		return accals.ConstFalse
+	}
+	out := make([]accals.Lit, n+1)
+	carry := accals.ConstFalse
+	for i := 0; i < n; i++ {
+		ai, bi := get(a, i), get(b, i)
+		out[i] = g.Xor(g.Xor(ai, bi), carry)
+		carry = g.Maj3(ai, bi, carry)
+	}
+	out[n] = carry
+	return out
+}
+
+func main() {
+	const pixels = 4 // 4 pixel pairs of 4 bits each
+	const width = 4
+
+	g := accals.New("sad4x4")
+	var sum []accals.Lit
+	for p := 0; p < pixels; p++ {
+		a := make([]accals.Lit, width)
+		b := make([]accals.Lit, width)
+		for i := 0; i < width; i++ {
+			a[i] = g.AddPI(fmt.Sprintf("a%d_%d", p, i))
+		}
+		for i := 0; i < width; i++ {
+			b[i] = g.AddPI(fmt.Sprintf("b%d_%d", p, i))
+		}
+		ad := absDiff(g, a, b)
+		if sum == nil {
+			sum = ad
+		} else {
+			sum = addWords(g, sum, ad)
+		}
+	}
+	for i, l := range sum {
+		g.AddPO(l, fmt.Sprintf("sad%d", i))
+	}
+
+	fmt.Printf("SAD unit: %d AND nodes, %d PIs, %d POs\n", g.NumAnds(), g.NumPIs(), g.NumPOs())
+
+	// Motion estimation tolerates small SAD errors: allow 3% MRED.
+	res := accals.Synthesize(g, accals.MRED, 0.03, accals.Options{NumPatterns: 8192})
+	area0, _ := accals.AreaDelay(g)
+	area1, _ := accals.AreaDelay(res.Final)
+	fmt.Printf("approximated: %d AND nodes, MRED %.4f%%, area %.0f -> %.0f\n",
+		res.Final.NumAnds(), res.Error*100, area0, area1)
+
+	for name, ckt := range map[string]*accals.Graph{"sad_exact.blif": g, "sad_approx.blif": res.Final} {
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := accals.WriteBLIF(f, ckt); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", name)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: approximate an 8x8 multiplier under an NMED bound and
+// report the savings.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accals"
+)
+
+func main() {
+	// mtp8 is the paper's 8x8 array multiplier benchmark.
+	g, err := accals.Benchmark("mtp8")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Allow a normalised mean error distance of 0.19531% (the paper's
+	// loosest NMED threshold): the average numeric deviation of the
+	// product may be at most ~128 of the 16-bit output range.
+	const bound = 0.0019531
+	res := accals.Synthesize(g, accals.NMED, bound, accals.Options{})
+
+	origArea, origDelay := accals.AreaDelay(g)
+	area, delay := accals.AreaDelay(res.Final)
+
+	fmt.Printf("multiplier approximated in %d rounds (%d LACs, %v)\n",
+		len(res.Rounds), res.LACsApplied, res.Runtime.Round(1000000))
+	fmt.Printf("  NMED:  %.5f%% (bound %.5f%%)\n", res.Error*100, bound*100)
+	fmt.Printf("  nodes: %4d -> %4d\n", g.NumAnds(), res.Final.NumAnds())
+	fmt.Printf("  area:  %4.0f -> %4.0f  (%.1f%% saved)\n", origArea, area, 100*(1-area/origArea))
+	fmt.Printf("  delay: %4.1f -> %4.1f\n", origDelay, delay)
+
+	// Double-check the error with an independent evaluation.
+	check := accals.Error(g, res.Final, accals.NMED, 1<<16, 7)
+	fmt.Printf("  independent NMED check: %.5f%% (exhaustive)\n", check*100)
+	if check > bound {
+		log.Fatal("error bound violated!")
+	}
+}

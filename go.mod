@@ -1,0 +1,3 @@
+module accals
+
+go 1.22

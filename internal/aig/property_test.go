@@ -1,0 +1,173 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a seeded random AIG with nPI inputs and roughly
+// size AND nodes, returning it un-swept (tests cover dead logic too).
+func randomGraph(seed int64, nPI, size int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("rand")
+	lits := make([]Lit, 0, nPI+size)
+	for i := 0; i < nPI; i++ {
+		lits = append(lits, g.AddPI("x"))
+	}
+	for len(lits) < nPI+size {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		lits = append(lits, g.And(a, b))
+	}
+	nPO := 1 + rng.Intn(4)
+	for i := 0; i < nPO; i++ {
+		g.AddPO(lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1), "y")
+	}
+	return g
+}
+
+// evalAll evaluates every PO of g under one random assignment.
+func evalAllPOs(g *Graph, assign map[int]bool) []bool {
+	out := make([]bool, g.NumPOs())
+	for i, l := range g.POs() {
+		out[i] = evalLit(g, l, assign)
+	}
+	return out
+}
+
+func randomAssign(g *Graph, rng *rand.Rand) map[int]bool {
+	assign := map[int]bool{}
+	for _, pi := range g.PIs() {
+		assign[pi] = rng.Intn(2) == 1
+	}
+	return assign
+}
+
+func TestQuickRandomGraphsAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 4+int(uint(seed)%6), 30)
+		return g.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSweepPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 5, 40)
+		s := g.Sweep()
+		if s.Check() != nil || s.NumPIs() != g.NumPIs() || s.NumPOs() != g.NumPOs() {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		for trial := 0; trial < 8; trial++ {
+			assign := randomAssign(g, rng)
+			// Map the assignment onto the swept graph's PIs by position.
+			assign2 := map[int]bool{}
+			for i, pi := range s.PIs() {
+				assign2[pi] = assign[g.PIs()[i]]
+			}
+			a := evalAllPOs(g, assign)
+			b := evalAllPOs(s, assign2)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 5, 30)
+		c := g.Clone()
+		if c.Check() != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x1234))
+		for trial := 0; trial < 6; trial++ {
+			assign := randomAssign(g, rng)
+			assign2 := map[int]bool{}
+			for i, pi := range c.PIs() {
+				assign2[pi] = assign[g.PIs()[i]]
+			}
+			a := evalAllPOs(g, assign)
+			b := evalAllPOs(c, assign2)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLevelsMonotonic(t *testing.T) {
+	// Every AND node's level exceeds both fanin levels.
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 6, 50)
+		lv := g.Levels()
+		for id := 0; id < g.NumNodes(); id++ {
+			n := g.NodeAt(id)
+			if n.Kind != KindAnd {
+				continue
+			}
+			if lv[id] <= lv[n.Fanin0.Node()]-1 || lv[id] <= lv[n.Fanin1.Node()]-1 {
+				return false
+			}
+			if lv[id] != max(lv[n.Fanin0.Node()], lv[n.Fanin1.Node()])+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMFFCWithinReach(t *testing.T) {
+	// MFFC size is at least 1 and at most the number of AND nodes.
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 5, 40)
+		refs := g.RefCounts()
+		for id := 0; id < g.NumNodes(); id++ {
+			if !g.IsAnd(id) {
+				continue
+			}
+			m := g.MFFCSize(id, refs)
+			if m < 1 || m > g.NumAnds() {
+				return false
+			}
+		}
+		// Reference counts restored after all queries.
+		refs2 := g.RefCounts()
+		for i := range refs {
+			if refs[i] != refs2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,314 @@
+// Package aiger reads and writes combinational AIGER files, the
+// standard exchange format for AND-inverter graphs (Biere, FMV
+// reports 07/1 and 11/2). Both the ASCII ("aag") and the binary
+// ("aig") variants are supported for purely combinational models
+// (no latches). The binary writer emits the standard delta encoding
+// of AND-gate fanins.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"accals/internal/aig"
+)
+
+// WriteASCII emits g in the ASCII aag format.
+func WriteASCII(w io.Writer, g *aig.Graph) error {
+	bw := bufio.NewWriter(w)
+	m := g.NumNodes() - 1 // maximum variable index (node ids start at 1)
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", m, g.NumPIs(), g.NumPOs(), g.NumAnds())
+	for _, id := range g.PIs() {
+		fmt.Fprintf(bw, "%d\n", 2*id)
+	}
+	for _, l := range g.POs() {
+		fmt.Fprintf(bw, "%d\n", litOf(l))
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		n := g.NodeAt(id)
+		fmt.Fprintf(bw, "%d %d %d\n", 2*id, litOf(n.Fanin0), litOf(n.Fanin1))
+	}
+	writeSymbols(bw, g)
+	return bw.Flush()
+}
+
+// WriteBinary emits g in the binary aig format.
+func WriteBinary(w io.Writer, g *aig.Graph) error {
+	// Binary AIGER requires inputs then ANDs in contiguous variable
+	// order; our graphs interleave PIs only at the front (AddPI before
+	// ANDs) for generated circuits, but not in general, so remap.
+	order := make([]int, 0, g.NumNodes()-1) // old id per new variable-1
+	newVar := make([]int, g.NumNodes())     // old id -> new variable index
+	for _, id := range g.PIs() {
+		order = append(order, id)
+		newVar[id] = len(order)
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) {
+			order = append(order, id)
+			newVar[id] = len(order)
+		}
+	}
+	relit := func(l aig.Lit) int {
+		if l.Node() == 0 {
+			return litOf(l)
+		}
+		return 2*newVar[l.Node()] + int(l&1)
+	}
+
+	bw := bufio.NewWriter(w)
+	m := len(order)
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", m, g.NumPIs(), g.NumPOs(), g.NumAnds())
+	for _, l := range g.POs() {
+		fmt.Fprintf(bw, "%d\n", relit(l))
+	}
+	for i := g.NumPIs(); i < len(order); i++ {
+		id := order[i]
+		n := g.NodeAt(id)
+		lhs := 2 * (i + 1)
+		rhs0 := relit(n.Fanin0)
+		rhs1 := relit(n.Fanin1)
+		if rhs0 < rhs1 {
+			rhs0, rhs1 = rhs1, rhs0
+		}
+		if lhs <= rhs0 {
+			return fmt.Errorf("aiger: non-topological AND %d", id)
+		}
+		writeDelta(bw, uint(lhs-rhs0))
+		writeDelta(bw, uint(rhs0-rhs1))
+	}
+	writeSymbols(bw, g)
+	return bw.Flush()
+}
+
+// writeSymbols emits input/output symbol table entries.
+func writeSymbols(bw *bufio.Writer, g *aig.Graph) {
+	for i := 0; i < g.NumPIs(); i++ {
+		if n := g.PIName(i); n != "" {
+			fmt.Fprintf(bw, "i%d %s\n", i, n)
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		if n := g.POName(i); n != "" {
+			fmt.Fprintf(bw, "o%d %s\n", i, n)
+		}
+	}
+	fmt.Fprintf(bw, "c\n%s\n", g.Name)
+}
+
+// writeDelta emits one LEB128-style AIGER delta.
+func writeDelta(bw *bufio.Writer, x uint) {
+	for x >= 0x80 {
+		bw.WriteByte(byte(x&0x7f) | 0x80)
+		x >>= 7
+	}
+	bw.WriteByte(byte(x))
+}
+
+// Read parses an AIGER file in either format.
+func Read(r io.Reader) (*aig.Graph, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: reading header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 6 {
+		return nil, fmt.Errorf("aiger: short header %q", header)
+	}
+	kind := fields[0]
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("aiger: header field %d: %w", i, err)
+		}
+		nums[i] = v
+	}
+	m, ni, nl, no, na := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if nl != 0 {
+		return nil, fmt.Errorf("aiger: %d latches unsupported (combinational only)", nl)
+	}
+	switch kind {
+	case "aag":
+		return readASCII(br, m, ni, no, na)
+	case "aig":
+		return readBinary(br, m, ni, no, na)
+	}
+	return nil, fmt.Errorf("aiger: unknown format %q", kind)
+}
+
+func readASCII(br *bufio.Reader, m, ni, no, na int) (*aig.Graph, error) {
+	g := aig.New("aiger")
+	// Variable -> literal in our graph. defined tracks which
+	// variables have drivers (a literal value of 0 is a legitimate
+	// constant-false result of structural hashing, so it cannot be
+	// used as the sentinel).
+	lits := make([]aig.Lit, m+1)
+	defined := make([]bool, m+1)
+	lits[0] = aig.ConstFalse
+	defined[0] = true
+
+	readInts := func(n int) ([]int, error) {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, err
+		}
+		fs := strings.Fields(line)
+		if len(fs) != n {
+			return nil, fmt.Errorf("aiger: expected %d fields in %q", n, line)
+		}
+		out := make([]int, n)
+		for i, f := range fs {
+			out[i], err = strconv.Atoi(f)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	inVar := make([]int, ni)
+	for i := 0; i < ni; i++ {
+		v, err := readInts(1)
+		if err != nil {
+			return nil, err
+		}
+		if v[0]%2 != 0 || v[0] == 0 || v[0]/2 > m {
+			return nil, fmt.Errorf("aiger: bad input literal %d", v[0])
+		}
+		inVar[i] = v[0] / 2
+		lits[inVar[i]] = g.AddPI(fmt.Sprintf("i%d", i))
+		defined[inVar[i]] = true
+	}
+	outLits := make([]int, no)
+	for i := 0; i < no; i++ {
+		v, err := readInts(1)
+		if err != nil {
+			return nil, err
+		}
+		outLits[i] = v[0]
+	}
+	type andRow struct{ lhs, r0, r1 int }
+	rows := make([]andRow, na)
+	for i := 0; i < na; i++ {
+		v, err := readInts(3)
+		if err != nil {
+			return nil, err
+		}
+		if v[0]/2 > m || v[1]/2 > m || v[2]/2 > m || v[0]%2 != 0 || v[0] == 0 {
+			return nil, fmt.Errorf("aiger: AND row %d out of range: %v", i, v)
+		}
+		rows[i] = andRow{v[0], v[1], v[2]}
+	}
+	// ASCII AIGER does not require topological order; iterate until
+	// all gates resolve (single extra pass suffices for DAGs emitted
+	// in order; loop for generality).
+	resolved := make([]bool, na)
+	remaining := na
+	for remaining > 0 {
+		progress := false
+		for i, row := range rows {
+			if resolved[i] {
+				continue
+			}
+			v0, v1 := row.r0/2, row.r1/2
+			if !defined[v0] || !defined[v1] {
+				continue
+			}
+			a := lits[v0].NotIf(row.r0%2 == 1)
+			b := lits[v1].NotIf(row.r1%2 == 1)
+			lits[row.lhs/2] = g.And(a, b)
+			defined[row.lhs/2] = true
+			resolved[i] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("aiger: cyclic or undefined AND gates")
+		}
+	}
+	for i, ol := range outLits {
+		v := ol / 2
+		if v > m || !defined[v] {
+			return nil, fmt.Errorf("aiger: output %d references undefined variable %d", i, v)
+		}
+		g.AddPO(lits[v].NotIf(ol%2 == 1), fmt.Sprintf("o%d", i))
+	}
+	return g.Sweep(), nil
+}
+
+func readBinary(br *bufio.Reader, m, ni, no, na int) (*aig.Graph, error) {
+	g := aig.New("aiger")
+	lits := make([]aig.Lit, m+1)
+	lits[0] = aig.ConstFalse
+	for i := 1; i <= ni; i++ {
+		lits[i] = g.AddPI(fmt.Sprintf("i%d", i-1))
+	}
+	outLits := make([]int, no)
+	for i := 0; i < no; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(line))
+		if err != nil {
+			return nil, err
+		}
+		outLits[i] = v
+	}
+	for i := 0; i < na; i++ {
+		lhs := 2 * (ni + 1 + i)
+		d0, err := readDelta(br)
+		if err != nil {
+			return nil, err
+		}
+		d1, err := readDelta(br)
+		if err != nil {
+			return nil, err
+		}
+		rhs0 := lhs - int(d0)
+		rhs1 := rhs0 - int(d1)
+		if rhs0 < 0 || rhs1 < 0 {
+			return nil, fmt.Errorf("aiger: negative literal in AND %d", i)
+		}
+		a := lits[rhs0/2].NotIf(rhs0%2 == 1)
+		b := lits[rhs1/2].NotIf(rhs1%2 == 1)
+		lits[ni+1+i] = g.And(a, b)
+	}
+	for i, ol := range outLits {
+		if ol/2 > m {
+			return nil, fmt.Errorf("aiger: output %d out of range", i)
+		}
+		g.AddPO(lits[ol/2].NotIf(ol%2 == 1), fmt.Sprintf("o%d", i))
+	}
+	return g.Sweep(), nil
+}
+
+// readDelta reads one LEB128-style delta.
+func readDelta(br *bufio.Reader) (uint, error) {
+	var x uint
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		x |= uint(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return x, nil
+		}
+		shift += 7
+	}
+}
+
+// litOf converts an aig literal to an AIGER integer literal.
+func litOf(l aig.Lit) int {
+	return 2*l.Node() + int(l&1)
+}

@@ -1,0 +1,125 @@
+package aiger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/simulate"
+)
+
+func equivalent(t *testing.T, a, b *aig.Graph, seed int64) {
+	t.Helper()
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		t.Fatalf("interface mismatch: %d/%d vs %d/%d", a.NumPIs(), a.NumPOs(), b.NumPIs(), b.NumPOs())
+	}
+	p := simulate.NewPatterns(a.NumPIs(), 512, seed)
+	va := simulate.Run(a, p).POValues(a)
+	vb := simulate.Run(b, p).POValues(b)
+	for j := range va {
+		for w := range va[j] {
+			if va[j][w] != vb[j][w] {
+				t.Fatalf("PO %d differs", j)
+			}
+		}
+	}
+}
+
+func TestASCIIRoundTrip(t *testing.T) {
+	for _, name := range []string{"mtp8", "cla32", "alu4", "term1"} {
+		g, err := circuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteASCII(&buf, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(buf.String(), "aag ") {
+			t.Fatalf("%s: bad header", name)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		equivalent(t, g, g2, 77)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, name := range []string{"mtp8", "rca32", "c1908", "alu2"} {
+		g, err := circuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		equivalent(t, g, g2, 78)
+	}
+}
+
+func TestBinarySmallerThanASCII(t *testing.T) {
+	g, _ := circuits.ByName("mtp8")
+	var a, b bytes.Buffer
+	if err := WriteASCII(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() >= a.Len() {
+		t.Fatalf("binary (%d B) not smaller than ASCII (%d B)", b.Len(), a.Len())
+	}
+}
+
+func TestReadConstantOutputs(t *testing.T) {
+	src := "aag 1 1 0 2 0\n2\n0\n1\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PO(0) != aig.ConstFalse || g.PO(1) != aig.ConstTrue {
+		t.Fatalf("constants: %v %v", g.PO(0), g.PO(1))
+	}
+}
+
+func TestReadRejectsLatches(t *testing.T) {
+	if _, err := Read(strings.NewReader("aag 3 1 1 1 0\n2\n4 2\n4\n")); err == nil {
+		t.Fatal("latches should be rejected")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"xyz 1 1 0 1 0\n",
+		"aag 1 1 0\n",
+		"aag 2 1 0 1 1\n2\n4\n4 6 2\n", // references undefined var 3
+	} {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestHandBuiltExample(t *testing.T) {
+	// The canonical AND example from the AIGER report.
+	src := "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aig.New("ref")
+	a := want.AddPI("a")
+	b := want.AddPI("b")
+	want.AddPO(want.And(a, b), "y")
+	equivalent(t, want, g, 79)
+}

@@ -1,0 +1,127 @@
+package amosa
+
+import (
+	"testing"
+
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+func TestRunProducesValidArchive(t *testing.T) {
+	g := circuits.ArrayMult(4)
+	res := Run(g, errmetric.ER, Options{ErrBound: 0.1, Iterations: 300, Seed: 2})
+	if len(res.Archive) == 0 {
+		t.Fatal("empty archive")
+	}
+	p := simulate.Exhaustive(g.NumPIs())
+	cmp := errmetric.NewComparator(errmetric.ER, g, p)
+	for i, pt := range res.Archive {
+		if pt.Error > 0.1 {
+			t.Fatalf("archived point %d exceeds the bound: %g", i, pt.Error)
+		}
+		// Re-derive the point from its LAC set.
+		ng := lac.Apply(g, pt.LACs)
+		if got := ng.NumAnds(); got != pt.Ands {
+			t.Fatalf("point %d: stored ands %d, rebuilt %d", i, pt.Ands, got)
+		}
+		if e := cmp.Error(ng); e > 0.1+1e-9 {
+			t.Fatalf("point %d: rebuilt error %g exceeds bound", i, e)
+		}
+	}
+}
+
+func TestArchiveIsNonDominatedAndSorted(t *testing.T) {
+	g := circuits.CLA(8)
+	res := Run(g, errmetric.ER, Options{ErrBound: 0.05, Iterations: 400, Seed: 5})
+	a := res.Archive
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Error > a[i].Error {
+			t.Fatal("archive not sorted by error")
+		}
+	}
+	for i := 0; i < len(a); i++ {
+		for j := 0; j < len(a); j++ {
+			if i != j && dominates(a[i].Error, a[i].Ands, a[j].Error, a[j].Ands) {
+				t.Fatalf("archive point %d dominates point %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := circuits.ArrayMult(3)
+	a := Run(g, errmetric.ER, Options{ErrBound: 0.08, Iterations: 200, Seed: 9})
+	b := Run(g, errmetric.ER, Options{ErrBound: 0.08, Iterations: 200, Seed: 9})
+	if len(a.Archive) != len(b.Archive) {
+		t.Fatalf("archive sizes differ: %d vs %d", len(a.Archive), len(b.Archive))
+	}
+	for i := range a.Archive {
+		if a.Archive[i].Error != b.Archive[i].Error || a.Archive[i].Ands != b.Archive[i].Ands {
+			t.Fatal("archives differ for identical seeds")
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !dominates(0.1, 10, 0.2, 20) {
+		t.Error("strict domination missed")
+	}
+	if !dominates(0.1, 10, 0.1, 20) {
+		t.Error("tie-on-one-axis domination missed")
+	}
+	if dominates(0.1, 10, 0.1, 10) {
+		t.Error("equal points must not dominate")
+	}
+	if dominates(0.1, 30, 0.2, 20) {
+		t.Error("trade-off wrongly dominated")
+	}
+}
+
+func TestInsertArchive(t *testing.T) {
+	arch := []Point{{Error: 0.1, Ands: 10}}
+	// Dominated insert is a no-op.
+	arch = insertArchive(arch, Point{Error: 0.2, Ands: 20}, 10)
+	if len(arch) != 1 {
+		t.Fatalf("dominated point inserted: %v", arch)
+	}
+	// Dominating insert evicts.
+	arch = insertArchive(arch, Point{Error: 0.05, Ands: 5}, 10)
+	if len(arch) != 1 || arch[0].Ands != 5 {
+		t.Fatalf("dominating insert failed: %v", arch)
+	}
+	// Trade-off insert grows the archive.
+	arch = insertArchive(arch, Point{Error: 0.01, Ands: 50}, 10)
+	if len(arch) != 2 {
+		t.Fatalf("trade-off insert failed: %v", arch)
+	}
+	// Limit enforcement.
+	for i := 0; i < 20; i++ {
+		arch = insertArchive(arch, Point{Error: 0.001 * float64(i+2), Ands: 100 - i}, 5)
+	}
+	if len(arch) > 5 {
+		t.Fatalf("archive exceeded limit: %d", len(arch))
+	}
+}
+
+func TestPerturbKeepsConflictFreedom(t *testing.T) {
+	g := circuits.ArrayMult(4)
+	res := Run(g, errmetric.ER, Options{ErrBound: 0.2, Iterations: 150, Seed: 11})
+	for _, pt := range res.Archive {
+		seen := map[int]bool{}
+		for _, l := range pt.LACs {
+			if seen[l.Target] {
+				t.Fatal("archived solution has a Type-1 conflict")
+			}
+			seen[l.Target] = true
+		}
+		for _, l := range pt.LACs {
+			for _, sn := range l.SNs {
+				if seen[sn] {
+					t.Fatal("archived solution has a Type-2 conflict")
+				}
+			}
+		}
+	}
+}

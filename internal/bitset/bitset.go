@@ -1,0 +1,103 @@
+// Package bitset provides a dense fixed-capacity bit set used for
+// transitive-fanin/fanout computations, reachability sweeps, and the
+// independent-set solvers.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity set of small non-negative integers.
+// The zero value is an empty set of capacity 0; use New to size one.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set able to hold elements in [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity n the set was created with.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts i into the set. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// UnionWith adds every element of t to s. The sets must have equal capacity.
+func (s *Set) UnionWith(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectCount returns |s ∩ t| without materialising the intersection.
+func (s *Set) IntersectCount(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// Intersects reports whether s and t share any element.
+func (s *Set) Intersects(t *Set) bool {
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elements returns the members of the set in ascending order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}

@@ -1,0 +1,127 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Cap() != 130 || s.Count() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) false after Add", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 3 {
+		t.Fatal("Remove failed")
+	}
+	got := s.Elements()
+	want := []int{0, 63, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	c := s.Clone()
+	c.Add(7)
+	if s.Has(7) {
+		t.Fatal("clone shares storage")
+	}
+	if !c.Has(3) {
+		t.Fatal("clone lost element")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	for i := 0; i < 200; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 200; i += 5 {
+		b.Add(i)
+	}
+	// Multiples of 15 in [0,200): 0,15,...,195 -> 14 values.
+	if got := a.IntersectCount(b); got != 14 {
+		t.Fatalf("IntersectCount = %d, want 14", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects false")
+	}
+	u := a.Clone()
+	u.UnionWith(b)
+	if u.Count() != a.Count()+b.Count()-14 {
+		t.Fatalf("union size %d", u.Count())
+	}
+	empty := New(200)
+	if a.Intersects(empty) {
+		t.Fatal("Intersects with empty set")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(300)
+	ins := []int{250, 3, 77, 64, 128}
+	for _, i := range ins {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("ForEach not ascending: %v", got)
+		}
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("ForEach visited %d elements, want %d", len(got), len(ins))
+	}
+}
+
+func TestQuickAddHasRemove(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := New(1 << 16)
+		ref := map[int]bool{}
+		for _, x := range xs {
+			i := int(x)
+			if ref[i] {
+				s.Remove(i)
+				delete(ref, i)
+			} else {
+				s.Add(i)
+				ref[i] = true
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if !s.Has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

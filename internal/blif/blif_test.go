@@ -1,0 +1,176 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/simulate"
+)
+
+func TestReadSimpleModel(t *testing.T) {
+	src := `
+# a full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+	g, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "fa" || g.NumPIs() != 3 || g.NumPOs() != 2 {
+		t.Fatalf("interface: %s %d/%d", g.Name, g.NumPIs(), g.NumPOs())
+	}
+	p := simulate.Exhaustive(3)
+	r := simulate.Run(g, p)
+	pos := r.POValues(g)
+	for pat := 0; pat < 8; pat++ {
+		n := pat&1 + pat>>1&1 + pat>>2&1
+		if got := simulate.Bit(pos[0], pat); got != (n%2 == 1) {
+			t.Errorf("sum(%d) = %v", pat, got)
+		}
+		if got := simulate.Bit(pos[1], pat); got != (n >= 2) {
+			t.Errorf("cout(%d) = %v", pat, got)
+		}
+	}
+}
+
+func TestReadOutOfOrderAndOffSet(t *testing.T) {
+	src := `
+.model t
+.inputs a b
+.outputs y
+.names mid y
+0 1
+.names a b mid
+11 0
+.end
+`
+	// y = !mid, mid = !(a&b) -> y = a&b.
+	g, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := simulate.Exhaustive(2)
+	pos := simulate.Run(g, p).POValues(g)
+	for pat := 0; pat < 4; pat++ {
+		want := pat == 3
+		if got := simulate.Bit(pos[0], pat); got != want {
+			t.Errorf("y(%d) = %v, want %v", pat, got, want)
+		}
+	}
+}
+
+func TestReadConstants(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs zero one
+.names zero
+.names one
+1
+.end
+`
+	g, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PO(0) != aig.ConstFalse || g.PO(1) != aig.ConstTrue {
+		t.Fatalf("constants wrong: %v %v", g.PO(0), g.PO(1))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"undriven":  ".model m\n.inputs a\n.outputs y\n.end\n",
+		"cycle":     ".model m\n.inputs a\n.outputs y\n.names y x\n1 1\n.names x y\n1 1\n.end\n",
+		"latch":     ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n",
+		"badCube":   ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n",
+		"arity":     ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n",
+		"redefine":  ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n",
+		"mixedSets": ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadString(src); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestRoundTripPreservesFunction(t *testing.T) {
+	for _, name := range []string{"rca32", "mtp8", "alu4", "c1908", "alu2"} {
+		g, err := circuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: read back: %v", name, err)
+		}
+		if g2.NumPIs() != g.NumPIs() || g2.NumPOs() != g.NumPOs() {
+			t.Fatalf("%s: interface changed", name)
+		}
+		p := simulate.NewPatterns(g.NumPIs(), 512, 99)
+		v1 := simulate.Run(g, p).POValues(g)
+		v2 := simulate.Run(g2, p).POValues(g2)
+		for j := range v1 {
+			for w := range v1[j] {
+				if v1[j][w] != v2[j][w] {
+					t.Fatalf("%s: PO %d differs after round trip", name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteNamesPreserved(t *testing.T) {
+	g := aig.New("named")
+	a := g.AddPI("alpha")
+	b := g.AddPI("beta")
+	g.AddPO(g.And(a, b), "gamma")
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{".model named", "alpha", "beta", "gamma"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	g2, err := ReadString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.PIName(0) != "alpha" || g2.POName(0) != "gamma" {
+		t.Error("names lost in round trip")
+	}
+}
+
+func TestReadLineContinuation(t *testing.T) {
+	src := ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+	g, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPIs() != 2 {
+		t.Fatalf("continuation lost an input: %d PIs", g.NumPIs())
+	}
+}

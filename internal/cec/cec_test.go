@@ -1,0 +1,134 @@
+package cec
+
+import (
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/lac"
+	"accals/internal/opt"
+	"accals/internal/simulate"
+)
+
+func mustCheck(t *testing.T, a, b *aig.Graph, budget int64) *Result {
+	t.Helper()
+	r, err := Check(a, b, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Proved {
+		t.Fatalf("budget exhausted after %d conflicts", r.Conflicts)
+	}
+	return r
+}
+
+func TestSelfEquivalence(t *testing.T) {
+	g, _ := circuits.ByName("alu4")
+	r := mustCheck(t, g, g.Clone(), 0)
+	if !r.Equivalent {
+		t.Fatal("circuit not equivalent to its clone")
+	}
+}
+
+func TestAdderArchitecturesEquivalent(t *testing.T) {
+	// The three adder generators implement the same function; the
+	// checker must PROVE it (not just sample it).
+	for _, w := range []int{4, 8, 12, 16} {
+		rca := circuits.RCA(w)
+		cla := circuits.CLA(w)
+		ksa := circuits.KSA(w)
+		if r := mustCheck(t, rca, cla, 2_000_000); !r.Equivalent {
+			t.Fatalf("RCA%d != CLA%d, cex %v", w, w, r.Counterexample)
+		}
+		if r := mustCheck(t, rca, ksa, 2_000_000); !r.Equivalent {
+			t.Fatalf("RCA%d != KSA%d, cex %v", w, w, r.Counterexample)
+		}
+	}
+}
+
+func TestMultiplierArchitecturesEquivalent(t *testing.T) {
+	arr := circuits.ArrayMult(5)
+	wal := circuits.WallaceMult(5)
+	if r := mustCheck(t, arr, wal, 2_000_000); !r.Equivalent {
+		t.Fatalf("array != wallace multiplier, cex %v", r.Counterexample)
+	}
+}
+
+func TestBalancePreservesEquivalence(t *testing.T) {
+	g, _ := circuits.ByName("c3540")
+	b := opt.Balance(g)
+	if r := mustCheck(t, g, b, 2_000_000); !r.Equivalent {
+		t.Fatalf("balance changed the function, cex %v", r.Counterexample)
+	}
+}
+
+func TestDetectsDifferenceWithCounterexample(t *testing.T) {
+	g, _ := circuits.ByName("mtp8")
+	// Apply a deliberately erroneous LAC: force some internal node to
+	// constant zero.
+	var target int
+	for id := g.NumNodes() - 1; id > 0; id-- {
+		if g.IsAnd(id) {
+			target = id
+			break
+		}
+	}
+	approx := lac.Apply(g, []*lac.LAC{{Target: target, Fn: lac.Fn{Kind: lac.FnConst0}}})
+	r := mustCheck(t, g, approx, 2_000_000)
+	if r.Equivalent {
+		t.Fatal("distinct circuits declared equivalent")
+	}
+	// The counterexample must actually expose a difference.
+	vec := [][]bool{r.Counterexample}
+	p := simulate.Explicit(g.NumPIs(), vec)
+	va := simulate.Run(g, p).POValues(g)
+	vb := simulate.Run(approx, p).POValues(approx)
+	differs := false
+	for j := range va {
+		if simulate.Bit(va[j], 0) != simulate.Bit(vb[j], 0) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatalf("counterexample %v does not distinguish the circuits", r.Counterexample)
+	}
+}
+
+func TestInterfaceMismatchRejected(t *testing.T) {
+	a := circuits.RCA(4)
+	b := circuits.RCA(5)
+	if _, err := Check(a, b, 0); err == nil {
+		t.Fatal("expected interface error")
+	}
+	if _, err := Miter(a, b); err == nil {
+		t.Fatal("expected miter interface error")
+	}
+}
+
+func TestMiterSimulation(t *testing.T) {
+	// The miter of two equivalent circuits simulates to constant 0;
+	// with a corrupted copy it fires on some patterns.
+	a := circuits.CLA(6)
+	b := circuits.KSA(6)
+	m, err := Miter(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := simulate.NewPatterns(m.NumPIs(), 4096, 5)
+	res := simulate.Run(m, p)
+	if got := simulate.PopCount(res.POValues(m)[0]); got != 0 {
+		t.Fatalf("miter of equivalent adders fired on %d patterns", got)
+	}
+}
+
+func TestBudgetUnknown(t *testing.T) {
+	a := circuits.ArrayMult(6)
+	b := circuits.WallaceMult(6)
+	r, err := Check(a, b, 5) // absurdly small budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Proved {
+		t.Skip("instance solved within 5 conflicts; nothing to assert")
+	}
+}

@@ -1,0 +1,312 @@
+package circuits
+
+import (
+	"fmt"
+
+	"accals/internal/aig"
+)
+
+// muxWord returns sel ? t : e bitwise.
+func muxWord(g *aig.Graph, sel aig.Lit, t, e word) word {
+	out := make(word, len(t))
+	for i := range t {
+		out[i] = g.Mux(sel, t[i], e[i])
+	}
+	return out
+}
+
+// andWord / orWord / xorWord apply the operation bitwise.
+func andWord(g *aig.Graph, a, b word) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = g.And(a[i], b[i])
+	}
+	return out
+}
+
+func orWord(g *aig.Graph, a, b word) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = g.Or(a[i], b[i])
+	}
+	return out
+}
+
+func xorWord(g *aig.Graph, a, b word) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = g.Xor(a[i], b[i])
+	}
+	return out
+}
+
+// notWord complements every bit.
+func notWord(a word) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = a[i].Not()
+	}
+	return out
+}
+
+// shlWord shifts left by one, inserting in.
+func shlWord(a word, in aig.Lit) word {
+	out := make(word, len(a))
+	out[0] = in
+	copy(out[1:], a[:len(a)-1])
+	return out
+}
+
+// reduceOr returns the OR of all bits.
+func reduceOr(g *aig.Graph, a word) aig.Lit {
+	out := aig.ConstFalse
+	for _, l := range a {
+		out = g.Or(out, l)
+	}
+	return out
+}
+
+// reduceXor returns the XOR (parity) of all bits.
+func reduceXor(g *aig.Graph, a word) aig.Lit {
+	out := aig.ConstFalse
+	for _, l := range a {
+		out = g.Xor(out, l)
+	}
+	return out
+}
+
+// aluCore builds an 8-function ALU over width-bit operands selected by
+// op[2:0]: add, sub, inc, shl, and, or, xor, not. It returns the
+// result and the carry-out of the arithmetic group.
+func aluCore(g *aig.Graph, a, b word, op word, cin aig.Lit) (word, aig.Lit) {
+	width := len(a)
+	one := make(word, width)
+	one[0] = aig.ConstTrue
+	for i := 1; i < width; i++ {
+		one[i] = aig.ConstFalse
+	}
+
+	addR, addC := rippleAdd(g, a, b, cin)
+	subR, subC := rippleSub(g, a, b)
+	incR, incC := rippleAdd(g, a, one, aig.ConstFalse)
+	shlR := shlWord(a, cin)
+
+	arith0 := muxWord(g, op[0], subR, addR) // op00x
+	arith1 := muxWord(g, op[0], shlR, incR) // op01x
+	arith := muxWord(g, op[1], arith1, arith0)
+
+	logic0 := muxWord(g, op[0], orWord(g, a, b), andWord(g, a, b))
+	logic1 := muxWord(g, op[0], notWord(a), xorWord(g, a, b))
+	logic := muxWord(g, op[1], logic1, logic0)
+
+	f := muxWord(g, op[2], logic, arith)
+	c01 := g.Mux(op[0], subC, addC)
+	c23 := g.Mux(op[0], a[width-1], incC) // shl carry = MSB out
+	cout := g.And(op[2].Not(), g.Mux(op[1], c23, c01))
+	return f, cout
+}
+
+// ALU4 returns a 4-bit ALU with 14 inputs and 8 outputs, the stand-in
+// for the LGSynt91 "alu4" benchmark (14 PI / 8 PO random-logic ALU).
+func ALU4() *aig.Graph {
+	g := aig.New("alu4")
+	a := inputWord(g, "a", 4)
+	b := inputWord(g, "b", 4)
+	op := inputWord(g, "op", 3)
+	cin := g.AddPI("cin")
+	mode := g.AddPI("mode")
+	swap := g.AddPI("swap")
+
+	// Optional operand swap and mode-conditioned B inversion.
+	a2 := muxWord(g, swap, b, a)
+	b2 := muxWord(g, swap, a, b)
+	for i := range b2 {
+		b2[i] = g.Xor(b2[i], mode)
+	}
+	f, cout := aluCore(g, a2, b2, op, cin)
+
+	outputWord(g, "f", f)
+	g.AddPO(cout, "cout")
+	g.AddPO(reduceOr(g, f).Not(), "zero")
+	g.AddPO(f[3], "neg")
+	g.AddPO(reduceXor(g, f), "parity")
+	return g
+}
+
+// C880 returns the stand-in for ISCAS-85 c880 (an 8-bit ALU): an
+// 8-bit ALU core plus a magnitude comparator and an output selection
+// network.
+func C880() *aig.Graph {
+	g := aig.New("c880")
+	a := inputWord(g, "a", 8)
+	b := inputWord(g, "b", 8)
+	c := inputWord(g, "c", 8)
+	op := inputWord(g, "op", 3)
+	cin := g.AddPI("cin")
+	sel := inputWord(g, "sel", 2)
+
+	f, cout := aluCore(g, a, b, op, cin)
+
+	// Magnitude comparison of f against c.
+	diff, geq := rippleSub(g, f, c)
+	eq := reduceOr(g, xorWord(g, f, c)).Not()
+	lt := geq.Not()
+	gt := g.And(geq, eq.Not())
+
+	// Output mux network: sel chooses among f, c, diff, f^c.
+	m0 := muxWord(g, sel[0], c, f)
+	m1 := muxWord(g, sel[0], xorWord(g, f, c), diff)
+	m := muxWord(g, sel[1], m1, m0)
+
+	outputWord(g, "f", f)
+	g.AddPO(cout, "cout")
+	g.AddPO(reduceOr(g, f).Not(), "zero")
+	g.AddPO(reduceXor(g, f), "parity")
+	g.AddPO(eq, "eq")
+	g.AddPO(lt, "lt")
+	g.AddPO(gt, "gt")
+	outputWord(g, "m", m)
+	return g
+}
+
+// C1908 returns the stand-in for ISCAS-85 c1908 (an error-correcting
+// circuit): a Hamming SEC-DED decoder over 16 data bits with 6 check
+// bits, producing corrected data, the syndrome, and error flags.
+func C1908() *aig.Graph {
+	g := aig.New("c1908")
+	data := inputWord(g, "d", 16)
+	chk := inputWord(g, "p", 6)
+
+	// Codeword positions 1..21: positions that are powers of two hold
+	// check bits; the rest hold data bits in order.
+	pos := make([]aig.Lit, 22) // index 1..21
+	dataPos := make([]int, 0, 16)
+	di := 0
+	ci := 0
+	for p := 1; p <= 21; p++ {
+		if p&(p-1) == 0 {
+			pos[p] = chk[ci]
+			ci++
+		} else {
+			pos[p] = data[di]
+			dataPos = append(dataPos, p)
+			di++
+		}
+	}
+
+	// Syndrome bits: XOR over positions with the corresponding bit of
+	// their index set (check bit included, so syndrome is zero for a
+	// valid codeword).
+	synd := make(word, 5)
+	for s := 0; s < 5; s++ {
+		x := aig.ConstFalse
+		for p := 1; p <= 21; p++ {
+			if p&(1<<s) != 0 {
+				x = g.Xor(x, pos[p])
+			}
+		}
+		synd[s] = x
+	}
+	// Overall parity (uses the 6th check bit).
+	overall := chk[5]
+	for p := 1; p <= 21; p++ {
+		overall = g.Xor(overall, pos[p])
+	}
+
+	// Correct single-bit errors in the data positions: data bit i is
+	// flipped when the syndrome equals its position.
+	corrected := make(word, 16)
+	for i, p := range dataPos {
+		match := aig.ConstTrue
+		for s := 0; s < 5; s++ {
+			bit := synd[s]
+			if p&(1<<s) == 0 {
+				bit = bit.Not()
+			}
+			match = g.And(match, bit)
+		}
+		corrected[i] = g.Xor(data[i], g.And(match, overall))
+	}
+
+	singleErr := g.And(reduceOr(g, synd), overall)
+	doubleErr := g.And(reduceOr(g, synd), overall.Not())
+
+	outputWord(g, "c", corrected)
+	outputWord(g, "s", synd)
+	g.AddPO(overall, "perr")
+	g.AddPO(singleErr, "serr")
+	g.AddPO(doubleErr, "derr")
+	return g
+}
+
+// C3540 returns the stand-in for ISCAS-85 c3540 (an 8-bit ALU with
+// BCD support): an 8-bit ALU core with a BCD adjust stage, a barrel
+// rotator, a result mask and status outputs.
+func C3540() *aig.Graph {
+	g := aig.New("c3540")
+	a := inputWord(g, "a", 8)
+	b := inputWord(g, "b", 8)
+	mask := inputWord(g, "k", 8)
+	op := inputWord(g, "op", 3)
+	rot := inputWord(g, "rot", 3)
+	cin := g.AddPI("cin")
+	bcd := g.AddPI("bcd")
+
+	f, cout := aluCore(g, a, b, op, cin)
+
+	// BCD adjust: add 6 to a nibble when it exceeds 9.
+	low := f[:4]
+	high := f[4:]
+	adjLow := nibbleAdjust(g, low)
+	adjHigh := nibbleAdjust(g, high)
+	fAdj := append(append(word{}, adjLow...), adjHigh...)
+	f2 := muxWord(g, bcd, fAdj, f)
+
+	// Barrel rotate left by rot.
+	cur := f2
+	for s := 0; s < 3; s++ {
+		sh := 1 << s
+		rotated := make(word, 8)
+		for i := 0; i < 8; i++ {
+			rotated[(i+sh)%8] = cur[i]
+		}
+		cur = muxWord(g, rot[s], rotated, cur)
+	}
+	res := andWord(g, cur, mask)
+
+	// Priority encoder of the result.
+	pri := make(word, 3)
+	for i := range pri {
+		pri[i] = aig.ConstFalse
+	}
+	found := aig.ConstFalse
+	for i := 7; i >= 0; i-- {
+		isTop := g.And(res[i], found.Not())
+		for bit := 0; bit < 3; bit++ {
+			if i&(1<<bit) != 0 {
+				pri[bit] = g.Or(pri[bit], isTop)
+			}
+		}
+		found = g.Or(found, res[i])
+	}
+
+	outputWord(g, "f", res)
+	g.AddPO(cout, "cout")
+	g.AddPO(found.Not(), "zero")
+	g.AddPO(reduceXor(g, res), "parity")
+	g.AddPO(res[7], "neg")
+	outputWord(g, "pri", pri)
+	return g
+}
+
+// nibbleAdjust adds 6 to a 4-bit value when it exceeds 9 (BCD digit
+// correction), discarding the nibble carry.
+func nibbleAdjust(g *aig.Graph, n word) word {
+	if len(n) != 4 {
+		panic(fmt.Sprintf("circuits: nibbleAdjust needs 4 bits, got %d", len(n)))
+	}
+	gt9 := g.And(n[3], g.Or(n[2], n[1]))
+	six := word{aig.ConstFalse, gt9, gt9, aig.ConstFalse}
+	adj, _ := rippleAdd(g, n, six, aig.ConstFalse)
+	return adj
+}

@@ -1,0 +1,245 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/simulate"
+)
+
+func TestALU4Interface(t *testing.T) {
+	g := ALU4()
+	if g.NumPIs() != 14 || g.NumPOs() != 8 {
+		t.Fatalf("alu4 interface: %d/%d, want 14/8", g.NumPIs(), g.NumPOs())
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumAnds() < 100 {
+		t.Fatalf("alu4 suspiciously small: %d ANDs", g.NumAnds())
+	}
+}
+
+// aluInputs builds an input vector for ALU4: a, b (4 bits each), op
+// (3 bits), cin, mode, swap — in PI declaration order.
+func alu4Inputs(a, b, op uint, cin, mode, swap bool) []bool {
+	var in []bool
+	for i := 0; i < 4; i++ {
+		in = append(in, a&(1<<i) != 0)
+	}
+	for i := 0; i < 4; i++ {
+		in = append(in, b&(1<<i) != 0)
+	}
+	for i := 0; i < 3; i++ {
+		in = append(in, op&(1<<i) != 0)
+	}
+	return append(in, cin, mode, swap)
+}
+
+func TestALU4Addition(t *testing.T) {
+	g := ALU4()
+	var vecs [][]bool
+	type exp struct{ f uint }
+	var want []exp
+	for a := uint(0); a < 16; a += 3 {
+		for b := uint(0); b < 16; b += 5 {
+			// op 000, no mode/swap/cin: f = a + b (mod 16).
+			vecs = append(vecs, alu4Inputs(a, b, 0, false, false, false))
+			want = append(want, exp{f: (a + b) & 15})
+			// op 100: f = a & b.
+			vecs = append(vecs, alu4Inputs(a, b, 4, false, false, false))
+			want = append(want, exp{f: a & b})
+			// op 110: f = a ^ b.
+			vecs = append(vecs, alu4Inputs(a, b, 6, false, false, false))
+			want = append(want, exp{f: a ^ b})
+		}
+	}
+	p := simulate.Explicit(g.NumPIs(), vecs)
+	res := simulate.Run(g, p)
+	pos := res.POValues(g)
+	for k := range vecs {
+		var f uint
+		for i := 0; i < 4; i++ {
+			if simulate.Bit(pos[i], k) {
+				f |= 1 << i
+			}
+		}
+		if f != want[k].f {
+			t.Fatalf("vector %d: f = %d, want %d", k, f, want[k].f)
+		}
+		// zero flag (PO 5) consistent with f.
+		if z := simulate.Bit(pos[5], k); z != (f == 0) {
+			t.Fatalf("vector %d: zero flag %v for f=%d", k, z, f)
+		}
+	}
+}
+
+// c1908Inputs builds the PI vector (d[16] then p[6]) for data and
+// check bits.
+func c1908Inputs(data uint, chk [6]bool) []bool {
+	var in []bool
+	for i := 0; i < 16; i++ {
+		in = append(in, data&(1<<i) != 0)
+	}
+	return append(in, chk[:]...)
+}
+
+// hammingParity computes the five Hamming check bits plus overall
+// parity for 16 data bits, mirroring the generator's position layout.
+func hammingParity(data uint) [6]bool {
+	// Reconstruct positions 1..21: powers of two are check positions.
+	var dataPos []int
+	for p := 1; p <= 21; p++ {
+		if p&(p-1) != 0 {
+			dataPos = append(dataPos, p)
+		}
+	}
+	var chk [6]bool
+	for s := 0; s < 5; s++ {
+		x := false
+		for i, p := range dataPos {
+			if p&(1<<s) != 0 && data&(1<<i) != 0 {
+				x = !x
+			}
+		}
+		chk[s] = x
+	}
+	// Overall parity over all 21 positions (data + the 5 check bits).
+	all := false
+	for i := range dataPos {
+		if data&(1<<i) != 0 {
+			all = !all
+		}
+	}
+	for s := 0; s < 5; s++ {
+		if chk[s] {
+			all = !all
+		}
+	}
+	chk[5] = all
+	return chk
+}
+
+func TestC1908CorrectsSingleBitErrors(t *testing.T) {
+	g := C1908()
+	if g.NumPIs() != 22 || g.NumPOs() != 24 {
+		t.Fatalf("c1908 interface: %d/%d", g.NumPIs(), g.NumPOs())
+	}
+	rng := rand.New(rand.NewSource(5))
+	var vecs [][]bool
+	type caseInfo struct {
+		orig    uint
+		flipped int // data bit index flipped, -1 for clean
+	}
+	var cases []caseInfo
+	for k := 0; k < 40; k++ {
+		data := uint(rng.Intn(1 << 16))
+		chk := hammingParity(data)
+		// Clean codeword.
+		vecs = append(vecs, c1908Inputs(data, chk))
+		cases = append(cases, caseInfo{orig: data, flipped: -1})
+		// Single data-bit error.
+		bit := rng.Intn(16)
+		vecs = append(vecs, c1908Inputs(data^(1<<bit), chk))
+		cases = append(cases, caseInfo{orig: data, flipped: bit})
+	}
+	p := simulate.Explicit(g.NumPIs(), vecs)
+	res := simulate.Run(g, p)
+	pos := res.POValues(g)
+	for k, c := range cases {
+		var corrected uint
+		for i := 0; i < 16; i++ {
+			if simulate.Bit(pos[i], k) {
+				corrected |= 1 << i
+			}
+		}
+		if corrected != c.orig {
+			t.Fatalf("case %d (flip %d): corrected %04x, want %04x", k, c.flipped, corrected, c.orig)
+		}
+		// serr flag (PO 22) set exactly for the error cases.
+		if serr := simulate.Bit(pos[22], k); serr != (c.flipped >= 0) {
+			t.Fatalf("case %d: serr = %v", k, serr)
+		}
+	}
+}
+
+func TestC880AndC3540Sanity(t *testing.T) {
+	for _, build := range []func() *aig.Graph{C880, C3540} {
+		g := build()
+		if err := g.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if g.NumAnds() < 300 {
+			t.Fatalf("%s too small: %d", g.Name, g.NumAnds())
+		}
+		// No constant outputs under random stimulus.
+		p := simulate.Random(g.NumPIs(), 4096, 3)
+		res := simulate.Run(g, p)
+		constant := 0
+		for _, v := range res.POValues(g) {
+			c := simulate.PopCount(v)
+			if c == 0 || c == p.NumPatterns() {
+				constant++
+			}
+		}
+		if constant > g.NumPOs()/3 {
+			t.Fatalf("%s: %d of %d outputs constant", g.Name, constant, g.NumPOs())
+		}
+	}
+}
+
+func TestRandomLogicProperties(t *testing.T) {
+	g1 := RandomLogic("r", 20, 8, 300, 42)
+	g2 := RandomLogic("r", 20, 8, 300, 42)
+	g3 := RandomLogic("r", 20, 8, 300, 43)
+	if g1.NumAnds() != g2.NumAnds() {
+		t.Fatal("RandomLogic not deterministic")
+	}
+	if g1.NumAnds() == g3.NumAnds() && g1.NumNodes() == g3.NumNodes() {
+		t.Log("warning: different seeds gave same size (possible but unlikely)")
+	}
+	if g1.NumPIs() != 20 || g1.NumPOs() != 8 {
+		t.Fatalf("interface %d/%d", g1.NumPIs(), g1.NumPOs())
+	}
+	if err := g1.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Size near the target (trees add some overhead).
+	if g1.NumAnds() < 300 || g1.NumAnds() > 600 {
+		t.Fatalf("size %d far from target 300", g1.NumAnds())
+	}
+	// All logic is live by construction.
+	if g1.NumLiveAnds() != g1.NumAnds() {
+		t.Fatalf("dead logic: %d live of %d", g1.NumLiveAnds(), g1.NumAnds())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 15 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, n := range names {
+		g, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name != n {
+			t.Fatalf("name mismatch: %q vs %q", g.Name, n)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	if len(Suite(SuiteArith)) != 5 {
+		t.Fatalf("arith suite: %d", len(Suite(SuiteArith)))
+	}
+	b, err := Lookup("mtp8")
+	if err != nil || !b.Arithmetic {
+		t.Fatal("mtp8 should be arithmetic")
+	}
+	if len(All()) != len(names) {
+		t.Fatal("All inconsistent with Names")
+	}
+}

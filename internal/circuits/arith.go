@@ -1,0 +1,283 @@
+// Package circuits generates the benchmark circuits for the
+// experiments. The paper evaluates on ISCAS-85, small arithmetic, EPFL
+// arithmetic and LGSynt91 circuits distributed as BLIF files; since
+// those files are not redistributable here, this package provides
+// functional generators for the arithmetic circuits (adders,
+// multipliers, divider, square root, squarer, log2, sine) and seeded
+// structural stand-ins for the random-logic benchmarks, with
+// comparable interfaces and sizes. See DESIGN.md for the substitution
+// rationale.
+package circuits
+
+import (
+	"fmt"
+
+	"accals/internal/aig"
+)
+
+// word is a little-endian vector of literals (index 0 = LSB).
+type word []aig.Lit
+
+// inputWord declares w named primary inputs prefix0..prefix{w-1}.
+func inputWord(g *aig.Graph, prefix string, w int) word {
+	out := make(word, w)
+	for i := range out {
+		out[i] = g.AddPI(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+// outputWord declares the bits of v as primary outputs.
+func outputWord(g *aig.Graph, prefix string, v word) {
+	for i, l := range v {
+		g.AddPO(l, fmt.Sprintf("%s%d", prefix, i))
+	}
+}
+
+// fullAdder returns (sum, carry) of three bits.
+func fullAdder(g *aig.Graph, a, b, c aig.Lit) (aig.Lit, aig.Lit) {
+	return g.Xor(g.Xor(a, b), c), g.Maj3(a, b, c)
+}
+
+// rippleAdd returns the w-bit sum and the carry-out of a + b + cin.
+func rippleAdd(g *aig.Graph, a, b word, cin aig.Lit) (word, aig.Lit) {
+	if len(a) != len(b) {
+		panic("circuits: operand width mismatch")
+	}
+	sum := make(word, len(a))
+	c := cin
+	for i := range a {
+		sum[i], c = fullAdder(g, a[i], b[i], c)
+	}
+	return sum, c
+}
+
+// rippleSub returns a - b (two's complement) and the borrow-free flag
+// (carry-out; 1 when a >= b).
+func rippleSub(g *aig.Graph, a, b word) (word, aig.Lit) {
+	nb := make(word, len(b))
+	for i := range b {
+		nb[i] = b[i].Not()
+	}
+	return rippleAdd(g, a, nb, aig.ConstTrue)
+}
+
+// RCA returns a width-bit ripple-carry adder: a + b + cin -> sum,
+// cout. For width 32 this is the paper's rca32 benchmark.
+func RCA(width int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("rca%d", width))
+	a := inputWord(g, "a", width)
+	b := inputWord(g, "b", width)
+	cin := g.AddPI("cin")
+	sum, cout := rippleAdd(g, a, b, cin)
+	outputWord(g, "s", sum)
+	g.AddPO(cout, "cout")
+	return g
+}
+
+// CLA returns a width-bit carry-lookahead adder built from 4-bit
+// lookahead groups with inter-group ripple. For width 32 this is the
+// paper's cla32 benchmark.
+func CLA(width int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("cla%d", width))
+	a := inputWord(g, "a", width)
+	b := inputWord(g, "b", width)
+	cin := g.AddPI("cin")
+	sum := make(word, width)
+	c := cin
+	for base := 0; base < width; base += 4 {
+		end := base + 4
+		if end > width {
+			end = width
+		}
+		// Generate/propagate for the group.
+		n := end - base
+		gen := make([]aig.Lit, n)
+		prop := make([]aig.Lit, n)
+		for i := 0; i < n; i++ {
+			gen[i] = g.And(a[base+i], b[base+i])
+			prop[i] = g.Xor(a[base+i], b[base+i])
+		}
+		// Lookahead carries within the group:
+		// c_{i+1} = g_i | p_i & c_i, fully flattened.
+		carries := make([]aig.Lit, n+1)
+		carries[0] = c
+		for i := 0; i < n; i++ {
+			carries[i+1] = g.Or(gen[i], g.And(prop[i], carries[i]))
+		}
+		for i := 0; i < n; i++ {
+			sum[base+i] = g.Xor(prop[i], carries[i])
+		}
+		c = carries[n]
+	}
+	outputWord(g, "s", sum)
+	g.AddPO(c, "cout")
+	return g
+}
+
+// KSA returns a width-bit Kogge-Stone parallel-prefix adder. For
+// width 32 this is the paper's ksa32 benchmark.
+func KSA(width int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("ksa%d", width))
+	a := inputWord(g, "a", width)
+	b := inputWord(g, "b", width)
+	cin := g.AddPI("cin")
+
+	gen := make([]aig.Lit, width)
+	prop := make([]aig.Lit, width)
+	for i := 0; i < width; i++ {
+		gen[i] = g.And(a[i], b[i])
+		prop[i] = g.Xor(a[i], b[i])
+	}
+	// Treat cin as generate at position -1 by folding it into bit 0.
+	gen[0] = g.Or(gen[0], g.And(prop[0], cin))
+
+	// Kogge-Stone prefix tree over (g, p) with the operator
+	// (g2,p2)∘(g1,p1) = (g2 | p2&g1, p2&p1).
+	gk := append([]aig.Lit(nil), gen...)
+	pk := append([]aig.Lit(nil), prop...)
+	for d := 1; d < width; d <<= 1 {
+		ng := append([]aig.Lit(nil), gk...)
+		np := append([]aig.Lit(nil), pk...)
+		for i := d; i < width; i++ {
+			ng[i] = g.Or(gk[i], g.And(pk[i], gk[i-d]))
+			np[i] = g.And(pk[i], pk[i-d])
+		}
+		gk, pk = ng, np
+	}
+
+	sum := make(word, width)
+	sum[0] = g.Xor(prop[0], cin)
+	for i := 1; i < width; i++ {
+		sum[i] = g.Xor(prop[i], gk[i-1])
+	}
+	outputWord(g, "s", sum)
+	g.AddPO(gk[width-1], "cout")
+	return g
+}
+
+// ArrayMult returns a width x width unsigned array multiplier. For
+// width 8 this is the paper's mtp8 benchmark.
+func ArrayMult(width int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("mtp%d", width))
+	a := inputWord(g, "a", width)
+	b := inputWord(g, "b", width)
+	prod := make(word, 2*width)
+	for i := range prod {
+		prod[i] = aig.ConstFalse
+	}
+	// Accumulate partial products row by row with ripple adders.
+	acc := make(word, width) // running upper half
+	for i := range acc {
+		acc[i] = aig.ConstFalse
+	}
+	for j := 0; j < width; j++ {
+		row := make(word, width)
+		for i := 0; i < width; i++ {
+			row[i] = g.And(a[i], b[j])
+		}
+		sum, cout := rippleAdd(g, acc, row, aig.ConstFalse)
+		prod[j] = sum[0]
+		copy(acc, sum[1:])
+		acc[width-1] = cout
+	}
+	copy(prod[width:], acc)
+	outputWord(g, "p", prod)
+	return g
+}
+
+// WallaceMult returns a width x width unsigned Wallace-tree
+// multiplier: 3:2 compression of partial-product columns followed by a
+// final carry-propagate adder. For width 8 this is the paper's wal8
+// benchmark.
+func WallaceMult(width int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("wal%d", width))
+	a := inputWord(g, "a", width)
+	b := inputWord(g, "b", width)
+
+	cols := make([][]aig.Lit, 2*width)
+	for i := 0; i < width; i++ {
+		for j := 0; j < width; j++ {
+			cols[i+j] = append(cols[i+j], g.And(a[i], b[j]))
+		}
+	}
+	// 3:2 compression followed by a final carry-propagate adder.
+	reduceColumnsToOutput(g, cols, 2*width, "p")
+	return g
+}
+
+// Squarer returns a width-bit squarer (x*x). This stands in for the
+// EPFL "square" benchmark at a configurable width.
+func Squarer(width int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("square%d", width))
+	a := inputWord(g, "x", width)
+	cols := make([][]aig.Lit, 2*width)
+	for i := 0; i < width; i++ {
+		for j := 0; j < width; j++ {
+			var pp aig.Lit
+			switch {
+			case i == j:
+				pp = a[i]
+			case i < j:
+				continue // folded into the i > j case below
+			default:
+				// a_i*a_j appears twice: shift left by one.
+				pp = g.And(a[i], a[j])
+				cols[i+j+1] = append(cols[i+j+1], pp)
+				continue
+			}
+			cols[i+j] = append(cols[i+j], pp)
+		}
+	}
+	reduceColumnsToOutput(g, cols, 2*width, "p")
+	return g
+}
+
+// reduceColumnsToOutput compresses partial-product columns and emits
+// the final sum as outputs named prefix0..prefix{outW-1}.
+func reduceColumnsToOutput(g *aig.Graph, cols [][]aig.Lit, outW int, prefix string) {
+	for {
+		max := 0
+		for _, c := range cols {
+			if len(c) > max {
+				max = len(c)
+			}
+		}
+		if max <= 2 {
+			break
+		}
+		next := make([][]aig.Lit, len(cols)+1)
+		for ci, c := range cols {
+			i := 0
+			for ; i+2 < len(c); i += 3 {
+				s, cy := fullAdder(g, c[i], c[i+1], c[i+2])
+				next[ci] = append(next[ci], s)
+				next[ci+1] = append(next[ci+1], cy)
+			}
+			if i+1 < len(c) {
+				s := g.Xor(c[i], c[i+1])
+				cy := g.And(c[i], c[i+1])
+				next[ci] = append(next[ci], s)
+				next[ci+1] = append(next[ci+1], cy)
+			} else if i < len(c) {
+				next[ci] = append(next[ci], c[i])
+			}
+		}
+		cols = next[:len(cols)]
+		// Drop any carries beyond the output width (they are zero for
+		// well-formed column sets).
+	}
+	x := make(word, outW)
+	y := make(word, outW)
+	for i := 0; i < outW; i++ {
+		x[i], y[i] = aig.ConstFalse, aig.ConstFalse
+		if i < len(cols) && len(cols[i]) > 0 {
+			x[i] = cols[i][0]
+		}
+		if i < len(cols) && len(cols[i]) > 1 {
+			y[i] = cols[i][1]
+		}
+	}
+	sum, _ := rippleAdd(g, x, y, aig.ConstFalse)
+	outputWord(g, prefix, sum)
+}

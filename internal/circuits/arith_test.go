@@ -1,0 +1,273 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/simulate"
+)
+
+// outVals exhaustively simulates g and returns the unsigned output
+// value (PO 0 = LSB) for every input pattern, where pattern index bit
+// i is the value of PI i.
+func outVals(t *testing.T, g *aig.Graph) []uint64 {
+	t.Helper()
+	if err := g.Check(); err != nil {
+		t.Fatalf("%s: invalid graph: %v", g.Name, err)
+	}
+	if g.NumPIs() > 20 {
+		t.Fatalf("%s: too many PIs for exhaustive check", g.Name)
+	}
+	p := simulate.Exhaustive(g.NumPIs())
+	r := simulate.Run(g, p)
+	pos := r.POValues(g)
+	vals := make([]uint64, p.NumPatterns())
+	for j, v := range pos {
+		for pat := 0; pat < p.NumPatterns(); pat++ {
+			if simulate.Bit(v, pat) {
+				vals[pat] |= 1 << uint(j)
+			}
+		}
+	}
+	return vals
+}
+
+func TestAddersMatchAddition(t *testing.T) {
+	for _, build := range []func(int) *aig.Graph{RCA, CLA, KSA} {
+		for _, w := range []int{1, 2, 4, 6, 8} {
+			g := build(w)
+			if g.NumPIs() != 2*w+1 || g.NumPOs() != w+1 {
+				t.Fatalf("%s: interface %d/%d", g.Name, g.NumPIs(), g.NumPOs())
+			}
+			if 2*w+1 > 17 {
+				continue
+			}
+			vals := outVals(t, g)
+			mask := uint64(1)<<uint(w) - 1
+			for pat, got := range vals {
+				a := uint64(pat) & mask
+				b := (uint64(pat) >> uint(w)) & mask
+				cin := uint64(pat) >> uint(2*w) & 1
+				want := a + b + cin // sum plus carry naturally in w+1 bits
+				if got != want {
+					t.Fatalf("%s: %d+%d+%d = %d, want %d", g.Name, a, b, cin, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMultipliersMatchProduct(t *testing.T) {
+	for _, build := range []func(int) *aig.Graph{ArrayMult, WallaceMult} {
+		for _, w := range []int{2, 3, 4, 6} {
+			g := build(w)
+			if g.NumPIs() != 2*w || g.NumPOs() != 2*w {
+				t.Fatalf("%s: interface %d/%d", g.Name, g.NumPIs(), g.NumPOs())
+			}
+			vals := outVals(t, g)
+			mask := uint64(1)<<uint(w) - 1
+			for pat, got := range vals {
+				a := uint64(pat) & mask
+				b := (uint64(pat) >> uint(w)) & mask
+				if got != a*b {
+					t.Fatalf("%s: %d*%d = %d, want %d", g.Name, a, b, got, a*b)
+				}
+			}
+		}
+	}
+}
+
+func TestSquarerMatchesSquare(t *testing.T) {
+	for _, w := range []int{2, 4, 8} {
+		g := Squarer(w)
+		vals := outVals(t, g)
+		for pat, got := range vals {
+			x := uint64(pat)
+			if got != x*x {
+				t.Fatalf("square%d: %d^2 = %d, want %d", w, x, got, x*x)
+			}
+		}
+	}
+}
+
+func TestDividerMatchesDivision(t *testing.T) {
+	for _, w := range []int{3, 4, 5} {
+		g := Divider(w)
+		if g.NumPIs() != 2*w || g.NumPOs() != 2*w {
+			t.Fatalf("%s: interface %d/%d", g.Name, g.NumPIs(), g.NumPOs())
+		}
+		vals := outVals(t, g)
+		mask := uint64(1)<<uint(w) - 1
+		for pat, got := range vals {
+			n := uint64(pat) & mask
+			d := (uint64(pat) >> uint(w)) & mask
+			var q, r uint64
+			if d == 0 {
+				// Division by zero is defined by the restoring
+				// recurrence itself (all-ones quotient).
+				q, r = divModel(n, 0, w)
+			} else {
+				q, r = n/d, n%d
+			}
+			gq := got & mask
+			gr := got >> uint(w) & mask
+			if gq != q || gr != r {
+				t.Fatalf("div%d: %d/%d = q%d r%d, want q%d r%d", w, n, d, gq, gr, q, r)
+			}
+		}
+	}
+}
+
+// divModel replays the restoring-division recurrence in software,
+// defining the circuit's behaviour for d == 0.
+func divModel(n, d uint64, w int) (q, r uint64) {
+	var rem uint64
+	for i := w - 1; i >= 0; i-- {
+		rem = rem<<1 | (n >> uint(i) & 1)
+		if rem >= d {
+			rem -= d
+			q |= 1 << uint(i)
+		}
+	}
+	return q, rem
+}
+
+func TestSqrtMatchesIntegerRoot(t *testing.T) {
+	for _, w := range []int{4, 8, 12, 16} {
+		g := Sqrt(w)
+		if g.NumPIs() != w || g.NumPOs() != w/2+w/2+1 {
+			t.Fatalf("sqrt%d: interface %d/%d", w, g.NumPIs(), g.NumPOs())
+		}
+		if w > 16 {
+			continue
+		}
+		vals := outVals(t, g)
+		half := uint(w / 2)
+		for pat, got := range vals {
+			x := uint64(pat)
+			root := uint64(math.Sqrt(float64(x)))
+			// Guard against float rounding at perfect squares.
+			for root*root > x {
+				root--
+			}
+			for (root+1)*(root+1) <= x {
+				root++
+			}
+			gs := got & (1<<half - 1)
+			gr := got >> half
+			if gs != root || gr != x-root*root {
+				t.Fatalf("sqrt%d(%d): got s=%d r=%d, want s=%d r=%d", w, x, gs, gr, root, x-root*root)
+			}
+		}
+	}
+}
+
+// log2Model replays the circuit's repeated-squaring algorithm.
+func log2Model(x uint64, width, fracBits int) uint64 {
+	if x == 0 {
+		return 0
+	}
+	ilog := 0
+	for b := width - 1; b >= 0; b-- {
+		if x>>uint(b)&1 == 1 {
+			ilog = b
+			break
+		}
+	}
+	mant := x << uint(width-1-ilog) & (1<<uint(width) - 1)
+	var frac uint64
+	for k := fracBits - 1; k >= 0; k-- {
+		sq := mant * mant
+		if sq>>(2*uint(width)-1)&1 == 1 {
+			frac |= 1 << uint(k)
+			mant = sq >> uint(width)
+		} else {
+			mant = sq >> uint(width-1)
+		}
+		mant &= 1<<uint(width) - 1
+	}
+	return frac | uint64(ilog)<<uint(fracBits)
+}
+
+func TestLog2MatchesModel(t *testing.T) {
+	const width, fracBits = 8, 5
+	g := Log2(width, fracBits)
+	vals := outVals(t, g)
+	for pat, got := range vals {
+		want := log2Model(uint64(pat), width, fracBits)
+		if got != want {
+			t.Fatalf("log2(%d) = %#x, want %#x", pat, got, want)
+		}
+	}
+}
+
+func TestLog2ApproximatesRealLog(t *testing.T) {
+	const width, fracBits = 8, 5
+	for _, x := range []uint64{1, 2, 3, 5, 100, 200, 255} {
+		got := log2Model(x, width, fracBits)
+		gotF := float64(got) / float64(int(1)<<fracBits)
+		want := math.Log2(float64(x))
+		if math.Abs(gotF-want) > 0.05 {
+			t.Errorf("log2(%d): %.4f vs %.4f", x, gotF, want)
+		}
+	}
+}
+
+// sinModel replays the unrolled CORDIC datapath in software.
+func sinModel(theta uint64, width, iters int) uint64 {
+	w := width + 3
+	modMask := int64(1)<<uint(w) - 1
+	scale := math.Ldexp(1, width) / (math.Pi / 2)
+	k := 1.0
+	for i := 0; i < iters; i++ {
+		k *= 1 / math.Sqrt(1+math.Ldexp(1, -2*i))
+	}
+	x := int64(math.Round(k * math.Ldexp(1, width)))
+	y := int64(0)
+	z := int64(theta)
+	sext := func(v int64) int64 {
+		v &= modMask
+		if v>>(uint(w)-1)&1 == 1 {
+			v -= 1 << uint(w)
+		}
+		return v
+	}
+	for i := 0; i < iters; i++ {
+		atan := int64(math.Round(math.Atan(math.Ldexp(1, -i)) * scale))
+		xs := sext(x) >> uint(i)
+		ys := sext(y) >> uint(i)
+		if sext(z) >= 0 {
+			x, y, z = x-ys, y+xs, z-atan
+		} else {
+			x, y, z = x+ys, y-xs, z+atan
+		}
+		x &= modMask
+		y &= modMask
+		z &= modMask
+	}
+	return uint64(y) & (1<<uint(width) - 1)
+}
+
+func TestSinCordicMatchesModel(t *testing.T) {
+	const width = 8
+	g := SinCordic(width, width)
+	vals := outVals(t, g)
+	for pat, got := range vals {
+		want := sinModel(uint64(pat), width, width)
+		if got != want {
+			t.Fatalf("sin(%d) = %#x, want %#x", pat, got, want)
+		}
+	}
+}
+
+func TestSinCordicApproximatesSine(t *testing.T) {
+	const width = 8
+	for _, a := range []uint64{0, 32, 64, 128, 200, 255} {
+		got := float64(sinModel(a, width, width)) / math.Ldexp(1, width)
+		angle := float64(a) / math.Ldexp(1, width) * math.Pi / 2
+		if math.Abs(got-math.Sin(angle)) > 0.05 {
+			t.Errorf("sin(%d units): %.4f vs %.4f", a, got, math.Sin(angle))
+		}
+	}
+}

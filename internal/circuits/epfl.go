@@ -1,0 +1,327 @@
+package circuits
+
+import (
+	"fmt"
+	"math"
+
+	"accals/internal/aig"
+)
+
+// Divider returns a width-bit restoring array divider: dividend n and
+// divisor d produce quotient q and remainder r (q = all-ones when
+// d == 0, matching the restoring recurrence). This stands in for the
+// EPFL "div" benchmark at a configurable width.
+func Divider(width int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("div%d", width))
+	n := inputWord(g, "n", width)
+	d := inputWord(g, "d", width)
+
+	// Remainder register, width+1 bits to absorb the shift.
+	rem := make(word, width+1)
+	for i := range rem {
+		rem[i] = aig.ConstFalse
+	}
+	dext := make(word, width+1)
+	copy(dext, d)
+	dext[width] = aig.ConstFalse
+
+	q := make(word, width)
+	for i := width - 1; i >= 0; i-- {
+		// rem = (rem << 1) | n[i]
+		shifted := make(word, width+1)
+		shifted[0] = n[i]
+		copy(shifted[1:], rem[:width])
+		diff, geq := rippleSub(g, shifted, dext)
+		q[i] = geq
+		for j := range rem {
+			rem[j] = g.Mux(geq, diff[j], shifted[j])
+		}
+	}
+	outputWord(g, "q", q)
+	outputWord(g, "r", rem[:width])
+	return g
+}
+
+// Sqrt returns a digit-by-digit restoring square root circuit: the
+// width-bit radicand x (width must be even) produces the width/2-bit
+// root s and a remainder. This stands in for the EPFL "sqrt"
+// benchmark.
+func Sqrt(width int) *aig.Graph {
+	if width%2 != 0 {
+		panic("circuits: Sqrt width must be even")
+	}
+	g := aig.New(fmt.Sprintf("sqrt%d", width))
+	x := inputWord(g, "x", width)
+	half := width / 2
+
+	// Working remainder, wide enough for (rem << 2) + 2 bits vs trial.
+	w := half + 2
+	rem := make(word, w)
+	root := make(word, half)
+	for i := range rem {
+		rem[i] = aig.ConstFalse
+	}
+	for i := range root {
+		root[i] = aig.ConstFalse
+	}
+
+	for step := half - 1; step >= 0; step-- {
+		// rem = (rem << 2) | next two radicand bits.
+		shifted := make(word, w)
+		shifted[0] = x[2*step]
+		shifted[1] = x[2*step+1]
+		for j := 2; j < w; j++ {
+			shifted[j] = rem[j-2]
+		}
+		// trial = (root << 2) | 01.
+		trial := make(word, w)
+		trial[0] = aig.ConstTrue
+		trial[1] = aig.ConstFalse
+		for j := 0; j < half && j+2 < w; j++ {
+			trial[j+2] = root[j]
+		}
+		diff, geq := rippleSub(g, shifted, trial)
+		for j := range rem {
+			rem[j] = g.Mux(geq, diff[j], shifted[j])
+		}
+		// root = (root << 1) | geq.
+		for j := half - 1; j > 0; j-- {
+			root[j] = root[j-1]
+		}
+		root[0] = geq
+	}
+	outputWord(g, "s", root)
+	outputWord(g, "r", rem[:half+1])
+	return g
+}
+
+// Log2 returns a fixed-point base-2 logarithm circuit: for a width-bit
+// input x it outputs the integer part floor(log2 x) and fracBits
+// fraction bits computed by the repeated-squaring method on a
+// width-bit mantissa. The output for x == 0 is all zeros. This stands
+// in for the EPFL "log2" benchmark.
+func Log2(width, fracBits int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("log2_%dx%d", width, fracBits))
+	x := inputWord(g, "x", width)
+
+	// Priority encoder: position of the most significant set bit.
+	intBits := 1
+	for 1<<intBits < width {
+		intBits++
+	}
+	ilog := make(word, intBits)
+	for i := range ilog {
+		ilog[i] = aig.ConstFalse
+	}
+	// found = OR of higher bits processed so far, scanning from MSB.
+	found := aig.ConstFalse
+	for i := width - 1; i >= 0; i-- {
+		isTop := g.And(x[i], found.Not())
+		for b := 0; b < intBits; b++ {
+			if i&(1<<b) != 0 {
+				ilog[b] = g.Or(ilog[b], isTop)
+			}
+		}
+		found = g.Or(found, x[i])
+	}
+
+	// Normalise: mantissa = x << (width-1 - ilog), so the MSB of the
+	// mantissa is the leading one. A subtractor computes the shift
+	// amount and a barrel shifter applies it one power of two at a
+	// time.
+	wm1 := make(word, intBits)
+	for b := 0; b < intBits; b++ {
+		if (width-1)&(1<<b) != 0 {
+			wm1[b] = aig.ConstTrue
+		} else {
+			wm1[b] = aig.ConstFalse
+		}
+	}
+	shamt, _ := rippleSub(g, wm1, ilog)
+	mant := make(word, width)
+	copy(mant, x)
+	for b := 0; b < intBits; b++ {
+		sh := 1 << b
+		// In-place conditional left shift by sh; descending j reads
+		// each source bit before it is overwritten.
+		for j := width - 1; j >= 0; j-- {
+			lo := aig.ConstFalse
+			if j-sh >= 0 {
+				lo = mant[j-sh]
+			}
+			mant[j] = g.Mux(shamt[b], lo, mant[j])
+		}
+	}
+
+	// Fraction bits by repeated squaring of the mantissa in [1, 2).
+	frac := make(word, fracBits)
+	for k := fracBits - 1; k >= 0; k-- {
+		sq := squareWord(g, mant)
+		// sq has 2*width bits; mantissa MSB at width-1 means the
+		// square's integer part occupies the top two bits.
+		ge2 := sq[2*width-1]
+		frac[k] = ge2
+		next := make(word, width)
+		for j := 0; j < width; j++ {
+			hi := sq[width+j]   // value in [2, 4): take top width bits
+			lo := sq[width-1+j] // value in [1, 2)
+			next[j] = g.Mux(ge2, hi, lo)
+		}
+		mant = next
+	}
+
+	out := make(word, 0, fracBits+intBits)
+	out = append(out, frac...)
+	out = append(out, ilog...)
+	// Zero the output when the input is zero.
+	for i := range out {
+		out[i] = g.And(out[i], found)
+	}
+	outputWord(g, "f", out)
+	return g
+}
+
+// squareWord builds a column-compressed squarer and returns the
+// 2*len(a)-bit product without declaring outputs.
+func squareWord(g *aig.Graph, a word) word {
+	width := len(a)
+	cols := make([][]aig.Lit, 2*width+1)
+	for i := 0; i < width; i++ {
+		cols[2*i] = append(cols[2*i], a[i])
+		for j := 0; j < i; j++ {
+			cols[i+j+1] = append(cols[i+j+1], g.And(a[i], a[j]))
+		}
+	}
+	return sumColumns(g, cols, 2*width)
+}
+
+// sumColumns compresses columns to two rows and returns the outW-bit
+// carry-propagate sum.
+func sumColumns(g *aig.Graph, cols [][]aig.Lit, outW int) word {
+	for {
+		max := 0
+		for _, c := range cols {
+			if len(c) > max {
+				max = len(c)
+			}
+		}
+		if max <= 2 {
+			break
+		}
+		next := make([][]aig.Lit, len(cols)+1)
+		for ci, c := range cols {
+			i := 0
+			for ; i+2 < len(c); i += 3 {
+				s, cy := fullAdder(g, c[i], c[i+1], c[i+2])
+				next[ci] = append(next[ci], s)
+				next[ci+1] = append(next[ci+1], cy)
+			}
+			if i+1 < len(c) {
+				s := g.Xor(c[i], c[i+1])
+				cy := g.And(c[i], c[i+1])
+				next[ci] = append(next[ci], s)
+				next[ci+1] = append(next[ci+1], cy)
+			} else if i < len(c) {
+				next[ci] = append(next[ci], c[i])
+			}
+		}
+		cols = next[:len(cols)]
+	}
+	x := make(word, outW)
+	y := make(word, outW)
+	for i := 0; i < outW; i++ {
+		x[i], y[i] = aig.ConstFalse, aig.ConstFalse
+		if i < len(cols) && len(cols[i]) > 0 {
+			x[i] = cols[i][0]
+		}
+		if i < len(cols) && len(cols[i]) > 1 {
+			y[i] = cols[i][1]
+		}
+	}
+	sum, _ := rippleAdd(g, x, y, aig.ConstFalse)
+	return sum
+}
+
+// SinCordic returns an unrolled CORDIC sine circuit: the width-bit
+// input is an angle in [0, pi/2) scaled to the full input range, and
+// the output is sin(angle) as a width-bit fraction in [0, 1). iters
+// CORDIC rotations are unrolled; iters = width is typical. This
+// stands in for the EPFL "sin" benchmark.
+func SinCordic(width, iters int) *aig.Graph {
+	g := aig.New(fmt.Sprintf("sin%d", width))
+	theta := inputWord(g, "a", width)
+
+	// Internal fixed point: width+2 bits, two guard bits, two's
+	// complement. Angles scaled so that pi/2 = 2^width (input range).
+	w := width + 3
+	scale := math.Ldexp(1, width) / (math.Pi / 2) // angle units per radian
+
+	constWord := func(v int64) word {
+		out := make(word, w)
+		for i := range out {
+			if v&(1<<uint(i)) != 0 {
+				out[i] = aig.ConstTrue
+			} else {
+				out[i] = aig.ConstFalse
+			}
+		}
+		return out
+	}
+
+	// CORDIC gain-compensated initial vector: x = K * 2^width.
+	k := 1.0
+	for i := 0; i < iters; i++ {
+		k *= 1 / math.Sqrt(1+math.Ldexp(1, -2*i))
+	}
+	xv := constWord(int64(math.Round(k * math.Ldexp(1, width))))
+	yv := constWord(0)
+
+	// z starts at theta (zero-extended into w bits).
+	zv := make(word, w)
+	copy(zv, theta)
+	for i := width; i < w; i++ {
+		zv[i] = aig.ConstFalse
+	}
+
+	for i := 0; i < iters; i++ {
+		atan := int64(math.Round(math.Atan(math.Ldexp(1, -i)) * scale))
+		neg := zv[w-1] // z < 0: rotate the other way
+		xs := arithShiftRight(xv, i)
+		ys := arithShiftRight(yv, i)
+		// d = +1 when z >= 0: x -= y>>i, y += x>>i, z -= atan.
+		// d = -1 when z < 0:  x += y>>i, y -= x>>i, z += atan.
+		xv2 := condAddSub(g, xv, ys, neg)            // subtract when neg==0
+		yv2 := condAddSub(g, yv, xs, neg.Not())      // add when neg==0
+		zv = condAddSub(g, zv, constWord(atan), neg) // subtract when neg==0
+		xv, yv = xv2, yv2
+	}
+
+	outputWord(g, "s", yv[:width])
+	return g
+}
+
+// arithShiftRight shifts a two's-complement word right by s bits,
+// replicating the sign bit.
+func arithShiftRight(v word, s int) word {
+	w := len(v)
+	out := make(word, w)
+	for i := 0; i < w; i++ {
+		if i+s < w {
+			out[i] = v[i+s]
+		} else {
+			out[i] = v[w-1]
+		}
+	}
+	return out
+}
+
+// condAddSub returns a + b when add is true, a - b otherwise, on
+// two's-complement words of equal width (conditional-invert adder).
+func condAddSub(g *aig.Graph, a, b word, add aig.Lit) word {
+	xb := make(word, len(b))
+	for i := range b {
+		xb[i] = g.Xor(b[i], add.Not())
+	}
+	sum, _ := rippleAdd(g, a, xb, add.Not())
+	return sum
+}

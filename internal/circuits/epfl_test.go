@@ -1,0 +1,72 @@
+package circuits
+
+import (
+	"testing"
+
+	"accals/internal/simulate"
+)
+
+// The full-size EPFL stand-ins are too large for exhaustive checking
+// (their functions are verified at small widths in arith_test.go);
+// here we validate interfaces, structural health, and that outputs
+// respond to inputs.
+func TestEPFLStandInsSane(t *testing.T) {
+	cases := []struct {
+		name           string
+		minAnds        int
+		wantPI, wantPO int
+	}{
+		{"div", 2000, 32, 32},
+		{"log2", 3000, 12, 10},
+		{"sin", 3000, 12, 12},
+		{"sqrt", 1500, 32, 33},
+		{"square", 1000, 16, 32},
+	}
+	for _, c := range cases {
+		g, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Check(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if g.NumAnds() < c.minAnds {
+			t.Errorf("%s: only %d ANDs", c.name, g.NumAnds())
+		}
+		if g.NumPIs() != c.wantPI || g.NumPOs() != c.wantPO {
+			t.Errorf("%s: interface %d/%d, want %d/%d", c.name, g.NumPIs(), g.NumPOs(), c.wantPI, c.wantPO)
+		}
+		// Under random stimulus most outputs must toggle.
+		p := simulate.Random(g.NumPIs(), 1024, 7)
+		res := simulate.Run(g, p)
+		constant := 0
+		for _, v := range res.POValues(g) {
+			n := simulate.PopCount(v)
+			if n == 0 || n == p.NumPatterns() {
+				constant++
+			}
+		}
+		if constant > g.NumPOs()/2 {
+			t.Errorf("%s: %d of %d outputs constant", c.name, constant, g.NumPOs())
+		}
+	}
+}
+
+func TestSqrtRejectsOddWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd width")
+		}
+	}()
+	Sqrt(7)
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	for _, name := range []string{"div", "sin", "apex6"} {
+		a, _ := ByName(name)
+		b, _ := ByName(name)
+		if a.NumAnds() != b.NumAnds() || a.Depth() != b.Depth() {
+			t.Fatalf("%s: generator not deterministic", name)
+		}
+	}
+}

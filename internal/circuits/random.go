@@ -1,0 +1,97 @@
+package circuits
+
+import (
+	"math/rand"
+	"strconv"
+
+	"accals/internal/aig"
+)
+
+// RandomLogic generates a seeded pseudo-random combinational circuit
+// with the given interface and approximately targetAnds AND nodes.
+// Construction is layered: every new node consumes a not-yet-used
+// node with high probability, which keeps nearly all generated logic
+// reachable from the outputs; any remaining unconsumed nodes are
+// folded into the outputs through balanced OR/XOR trees. The result
+// is deterministic for a fixed seed. These circuits stand in for the
+// LGSynt91 random-logic benchmarks.
+func RandomLogic(name string, nPI, nPO, targetAnds int, seed int64) *aig.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New(name)
+
+	lits := make([]aig.Lit, 0, nPI+targetAnds)
+	for i := 0; i < nPI; i++ {
+		lits = append(lits, g.AddPI(piName(i)))
+	}
+
+	// unused tracks literal indices not yet consumed as fanins.
+	unused := make([]int, len(lits))
+	for i := range unused {
+		unused[i] = i
+	}
+	pickUnused := func() int {
+		k := rng.Intn(len(unused))
+		idx := unused[k]
+		unused[k] = unused[len(unused)-1]
+		unused = unused[:len(unused)-1]
+		return idx
+	}
+
+	// The attempt bound guards against pathological structural-hash
+	// folding on tiny interfaces.
+	for attempts := 0; g.NumAnds() < targetAnds && attempts < 64*targetAnds; attempts++ {
+		var i0 int
+		if len(unused) > 0 && rng.Float64() < 0.85 {
+			i0 = pickUnused()
+		} else {
+			i0 = rng.Intn(len(lits))
+		}
+		i1 := rng.Intn(len(lits))
+		for i1 == i0 {
+			i1 = rng.Intn(len(lits))
+		}
+		a := lits[i0].NotIf(rng.Intn(2) == 1)
+		b := lits[i1].NotIf(rng.Intn(2) == 1)
+		var l aig.Lit
+		if rng.Float64() < 0.2 {
+			l = g.Xor(a, b)
+		} else {
+			l = g.And(a, b)
+		}
+		// Structural hashing may fold l onto an existing literal or a
+		// constant; re-adding it to the pools is harmless and keeps
+		// the generator simple.
+		lits = append(lits, l)
+		unused = append(unused, len(lits)-1)
+	}
+
+	// Partition the unconsumed literals across the outputs and reduce
+	// each group with a balanced XOR tree, guaranteeing nPO outputs
+	// that depend on all residual logic.
+	groups := make([][]aig.Lit, nPO)
+	for k, idx := range unused {
+		groups[k%nPO] = append(groups[k%nPO], lits[idx])
+	}
+	for i := 0; i < nPO; i++ {
+		grp := groups[i]
+		if len(grp) == 0 {
+			// Degenerate fallback: tap a random literal.
+			grp = []aig.Lit{lits[rng.Intn(len(lits))]}
+		}
+		for len(grp) > 1 {
+			var next []aig.Lit
+			for j := 0; j+1 < len(grp); j += 2 {
+				next = append(next, g.Xor(grp[j], grp[j+1]))
+			}
+			if len(grp)%2 == 1 {
+				next = append(next, grp[len(grp)-1])
+			}
+			grp = next
+		}
+		g.AddPO(grp[0].NotIf(rng.Intn(2) == 1), poName(i))
+	}
+	return g.Sweep()
+}
+
+func piName(i int) string { return "x" + strconv.Itoa(i) }
+func poName(i int) string { return "y" + strconv.Itoa(i) }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"accals/internal/aig"
+	"accals/internal/errmetric"
+	"accals/internal/estimator"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+// Options configures a synthesis run (shared by AccALS and the
+// baseline flows).
+type Options struct {
+	// Params are the AccALS hyper-parameters; zero fields default to
+	// the paper's values scaled by circuit size.
+	Params Params
+	// GenCfg configures candidate LAC generation; zero fields default
+	// by circuit size.
+	GenCfg lac.Config
+	// NumPatterns is the Monte-Carlo sample size used when the
+	// circuit has too many inputs for exhaustive simulation.
+	// Defaults to DefaultPatterns.
+	NumPatterns int
+	// PatternSeed seeds the Monte-Carlo pattern generator.
+	PatternSeed int64
+	// InputProbs, when non-nil, gives the probability of each primary
+	// input being 1, realising a non-uniform input distribution (the
+	// paper's flows assume uniform inputs but the framework supports
+	// any distribution). Length must match the circuit's input count.
+	InputProbs []float64
+	// ExactEstimates replaces the fast change-propagation estimator
+	// with exact per-candidate cone resimulation (much slower; used
+	// by the estimator ablation).
+	ExactEstimates bool
+	// Progress, when non-nil, receives each round's statistics as the
+	// run proceeds.
+	Progress func(RoundStats)
+}
+
+// estimate dispatches to the configured estimator.
+func (o Options) estimate(g *aig.Graph, simRes *simulate.Result, cmp *errmetric.Comparator, cands []*lac.LAC) float64 {
+	if o.ExactEstimates {
+		return estimator.EstimateAllExact(g, simRes, cmp, cands)
+	}
+	return estimator.EstimateAll(g, simRes, cmp, cands)
+}
+
+// DefaultPatterns is the default Monte-Carlo sample size.
+const DefaultPatterns = 2048
+
+// Patterns builds the evaluation pattern set for g under the options:
+// exhaustive for small input counts, seeded Monte-Carlo otherwise.
+func (o Options) Patterns(g *aig.Graph) *simulate.Patterns {
+	n := o.NumPatterns
+	if n == 0 {
+		n = DefaultPatterns
+	}
+	seed := o.PatternSeed
+	if seed == 0 {
+		seed = 12345
+	}
+	if o.InputProbs != nil {
+		return simulate.Biased(g.NumPIs(), o.InputProbs, n, seed)
+	}
+	return simulate.NewPatterns(g.NumPIs(), n, seed)
+}
+
+// Run synthesises an approximate version of orig whose error under the
+// given metric does not exceed errBound, using the AccALS multi-LAC
+// selection framework (Algorithm 1).
+func Run(orig *aig.Graph, metric errmetric.Kind, errBound float64, opt Options) *Result {
+	start := time.Now()
+	pats := opt.Patterns(orig)
+	cmp := errmetric.NewComparator(metric, orig, pats)
+	return RunWithComparator(orig, cmp, errBound, opt, start)
+}
+
+// RunWithComparator is Run with a caller-supplied comparator, allowing
+// experiments to share the reference simulation across flows.
+func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound float64, opt Options, start time.Time) *Result {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	params := opt.Params.fillDefaults(orig.NumAnds())
+	genCfg := opt.GenCfg
+	rng := rand.New(rand.NewSource(params.Seed))
+
+	gNew := orig.Clone()
+	e := 0.0
+	g := gNew
+	eG := 0.0
+	result := &Result{}
+	noProgress := 0
+
+	for round := 0; e <= errBound && round < params.MaxRounds; round++ {
+		g, eG = gNew, e
+		roundStart := time.Now()
+		rs := RoundStats{Round: round, NumAnds: g.NumAnds()}
+
+		simRes := simulate.Run(g, cmp.Patterns())
+		cands := lac.Generate(g, simRes, genCfg)
+		rs.Candidates = len(cands)
+		if len(cands) == 0 {
+			break
+		}
+		opt.estimate(g, simRes, cmp, cands)
+		sortByDeltaE(cands)
+
+		if e > params.LE*errBound && !params.DisableImprovements {
+			// Improvement technique 1: single-LAC selection close to
+			// the error bound.
+			applied := cands[:1]
+			gNew = lac.Apply(g, applied)
+			e = cmp.Error(gNew)
+			rs.AppliedLACs = 1
+			rs.Error = e
+			rs.EstimatedErr = estimatedError(eG, applied)
+			rs.RoundDuration = time.Since(roundStart)
+			result.Rounds = append(result.Rounds, rs)
+			result.LACsApplied++
+			if opt.Progress != nil {
+				snap := rs
+				snap.Graph = gNew
+				opt.Progress(snap)
+			}
+			continue
+		}
+
+		rs.MultiRound = true
+		lTop := obtainTopSet(cands, e, errBound, params.RRef)
+		rs.TopSize = len(lTop)
+		lSol, _ := findSolveLACConf(lTop)
+		rs.SolSize = len(lSol)
+		var lIndp, lRand []*lac.LAC
+		if !params.DisableIndp {
+			lIndp = selectIndpLACs(lSol, g, e, errBound, params)
+		}
+		if !params.DisableRandom {
+			lRand = selectRandomLACs(lSol, e, errBound, params, rng)
+		}
+		if lIndp == nil && lRand == nil {
+			// Both sets ablated away: degenerate to single selection.
+			lRand = lSol[:1]
+		}
+		rs.IndpSize = len(lIndp)
+		rs.RandSize = len(lRand)
+
+		var applied []*lac.LAC
+		switch {
+		case lIndp == nil:
+			applied = lRand
+			gNew = lac.Apply(g, applied)
+			e = cmp.Error(gNew)
+		case lRand == nil:
+			applied = lIndp
+			gNew = lac.Apply(g, applied)
+			e = cmp.Error(gNew)
+			rs.PickedIndp = true
+		default:
+			g1 := lac.Apply(g, lIndp)
+			e1 := cmp.Error(g1)
+			g2 := lac.Apply(g, lRand)
+			e2 := cmp.Error(g2)
+			if e1 < e2 || (e1 == e2 && len(lIndp) >= len(lRand)) {
+				gNew, e, applied = g1, e1, lIndp
+				rs.PickedIndp = true
+			} else {
+				gNew, e, applied = g2, e2, lRand
+			}
+		}
+		rs.EstimatedErr = estimatedError(eG, applied)
+
+		// Improvement technique 2: detect a negative LAC set by the
+		// relative gap between actual and estimated error; if
+		// triggered, redo the round with the single best LAC. The
+		// same fallback fires when a multi-LAC set overshoots the
+		// error bound outright — terminating there would strand the
+		// remaining error budget on coarse-grained candidates.
+		if e > 0 && !params.DisableImprovements {
+			beta := (e - rs.EstimatedErr) / e
+			if beta > params.LD || (e > errBound && len(applied) > 1) {
+				rs.Reverted = true
+				applied = cands[:1]
+				gNew = lac.Apply(g, applied)
+				e = cmp.Error(gNew)
+			}
+		}
+
+		rs.AppliedLACs = len(applied)
+		rs.Error = e
+		rs.RoundDuration = time.Since(roundStart)
+		result.Rounds = append(result.Rounds, rs)
+		result.LACsApplied += len(applied)
+		if opt.Progress != nil {
+			snap := rs
+			snap.Graph = gNew
+			opt.Progress(snap)
+		}
+		// Stagnation guard: optimistic gain estimates can produce
+		// rounds that neither shrink the circuit nor move the error;
+		// a few such rounds in a row means convergence.
+		if gNew.NumAnds() >= g.NumAnds() && e <= eG {
+			noProgress++
+			if noProgress >= 4 {
+				gNew, e = g, eG
+				break
+			}
+		} else {
+			noProgress = 0
+		}
+	}
+
+	result.Final = g
+	result.Error = eG
+	result.Runtime = time.Since(start)
+	return result
+}

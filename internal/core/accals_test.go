@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+	"accals/internal/simulate"
+)
+
+func TestRunMultiplierER(t *testing.T) {
+	g := circuits.ArrayMult(4)
+	orig := g.NumAnds()
+	res := Run(g, errmetric.ER, 0.05, Options{})
+	if res.Final == nil {
+		t.Fatal("no result")
+	}
+	if err := res.Final.Check(); err != nil {
+		t.Fatalf("final circuit invalid: %v", err)
+	}
+	if res.Error > 0.05 {
+		t.Fatalf("final error %g exceeds the bound", res.Error)
+	}
+	if res.Final.NumAnds() >= orig {
+		t.Fatalf("no area reduction: %d -> %d", orig, res.Final.NumAnds())
+	}
+	if res.Final.NumPIs() != g.NumPIs() || res.Final.NumPOs() != g.NumPOs() {
+		t.Fatal("interface changed")
+	}
+	if len(res.Rounds) == 0 || res.LACsApplied == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	// The recorded error must match an independent evaluation.
+	p := simulate.Exhaustive(g.NumPIs())
+	cmp := errmetric.NewComparator(errmetric.ER, g, p)
+	if e := cmp.Error(res.Final); e > 0.05 {
+		t.Fatalf("independently measured error %g exceeds bound", e)
+	}
+}
+
+func TestRunWordLevelMetrics(t *testing.T) {
+	for _, kind := range []errmetric.Kind{errmetric.NMED, errmetric.MRED} {
+		g := circuits.ArrayMult(4)
+		bound := 0.002
+		res := Run(g, kind, bound, Options{})
+		if res.Error > bound {
+			t.Fatalf("%v: final error %g exceeds bound %g", kind, res.Error, bound)
+		}
+		if res.Final.NumAnds() >= g.NumAnds() {
+			t.Fatalf("%v: no area reduction", kind)
+		}
+		p := simulate.Exhaustive(g.NumPIs())
+		cmp := errmetric.NewComparator(kind, g, p)
+		if e := cmp.Error(res.Final); e > bound {
+			t.Fatalf("%v: independently measured error %g exceeds bound", kind, e)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := circuits.CLA(8)
+	a := Run(g, errmetric.ER, 0.03, Options{})
+	b := Run(g, errmetric.ER, 0.03, Options{})
+	if a.Final.NumAnds() != b.Final.NumAnds() || a.Error != b.Error {
+		t.Fatalf("non-deterministic: %d/%g vs %d/%g",
+			a.Final.NumAnds(), a.Error, b.Final.NumAnds(), b.Error)
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("round counts differ: %d vs %d", len(a.Rounds), len(b.Rounds))
+	}
+}
+
+func TestRunZeroBoundKeepsExactness(t *testing.T) {
+	// With a zero error bound only zero-error LACs may be applied; the
+	// result must be functionally exact under the pattern set.
+	g := circuits.RCA(4)
+	res := Run(g, errmetric.ER, 0, Options{})
+	if res.Error != 0 {
+		t.Fatalf("error %g under zero bound", res.Error)
+	}
+	p := simulate.Exhaustive(g.NumPIs())
+	cmp := errmetric.NewComparator(errmetric.ER, g, p)
+	if e := cmp.Error(res.Final); e != 0 {
+		t.Fatalf("zero-bound result has error %g", e)
+	}
+}
+
+func TestRunRecordsMultiRounds(t *testing.T) {
+	g := circuits.ArrayMult(4)
+	res := Run(g, errmetric.ER, 0.05, Options{})
+	multi := 0
+	for _, rs := range res.Rounds {
+		if rs.MultiRound {
+			multi++
+			if rs.TopSize < 1 || rs.SolSize < 1 || rs.IndpSize < 1 || rs.RandSize < 1 {
+				t.Fatalf("round %d: empty selection sets: %+v", rs.Round, rs)
+			}
+			if rs.SolSize > rs.TopSize || rs.IndpSize > rs.SolSize {
+				t.Fatalf("round %d: set sizes inconsistent: %+v", rs.Round, rs)
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-selection rounds on a fresh circuit")
+	}
+	ratio := res.IndpRatio()
+	if ratio < 0 || ratio > 1 {
+		t.Fatalf("IndpRatio = %g", ratio)
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	g := circuits.RCA(4)
+	var calls int
+	Run(g, errmetric.ER, 0.02, Options{Progress: func(RoundStats) { calls++ }})
+	if calls == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+}
+
+func TestRunAppliesMultipleLACsPerRound(t *testing.T) {
+	// The whole point of AccALS: at least one round should apply more
+	// than one LAC on a generously-bounded multiplier.
+	g := circuits.ArrayMult(4)
+	res := Run(g, errmetric.ER, 0.05, Options{})
+	found := false
+	for _, rs := range res.Rounds {
+		if rs.AppliedLACs > 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no round applied multiple LACs")
+	}
+}

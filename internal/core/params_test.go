@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+)
+
+func TestFillDefaultsPreservesExplicit(t *testing.T) {
+	p := Params{TB: 0.7, RSel: 5}
+	f := p.fillDefaults(100)
+	if f.TB != 0.7 || f.RSel != 5 {
+		t.Fatal("explicit values overwritten")
+	}
+	if f.Lambda != 0.9 || f.LE != 0.9 || f.LD != 0.3 || f.RRef != 100 {
+		t.Fatalf("defaults not filled: %+v", f)
+	}
+	if f.MaxRounds == 0 || f.Seed == 0 {
+		t.Fatal("round cap or seed missing")
+	}
+}
+
+func TestIndpRatioCounting(t *testing.T) {
+	r := &Result{Rounds: []RoundStats{
+		{MultiRound: true, PickedIndp: true},
+		{MultiRound: true, PickedIndp: false},
+		{MultiRound: true, PickedIndp: true, Reverted: true}, // excluded
+		{MultiRound: false},                                  // excluded
+	}}
+	if got := r.IndpRatio(); got != 0.5 {
+		t.Fatalf("IndpRatio = %g, want 0.5", got)
+	}
+	empty := &Result{}
+	if empty.IndpRatio() != 0 {
+		t.Fatal("empty result should give 0")
+	}
+}
+
+func TestOptionsPatternsModes(t *testing.T) {
+	small := circuits.ArrayMult(3) // 6 PIs
+	p := Options{NumPatterns: 1024}.Patterns(small)
+	if p.NumPatterns() != 64 {
+		t.Fatalf("exhaustive expected for 6 PIs, got %d", p.NumPatterns())
+	}
+	big := circuits.RCA(32) // 65 PIs
+	p = Options{NumPatterns: 777}.Patterns(big)
+	if p.NumPatterns() != 777 {
+		t.Fatalf("Monte-Carlo budget not honoured: %d", p.NumPatterns())
+	}
+	if d := (Options{}).Patterns(big); d.NumPatterns() != DefaultPatterns {
+		t.Fatalf("default patterns = %d", d.NumPatterns())
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	g := circuits.ArrayMult(4)
+	for _, p := range []Params{
+		{DisableIndp: true},
+		{DisableRandom: true},
+		{DisableIndp: true, DisableRandom: true},
+		{DisableImprovements: true},
+	} {
+		res := Run(g, errmetric.ER, 0.03, Options{Params: p, NumPatterns: 1024})
+		if res.Error > 0.03 {
+			t.Fatalf("%+v: bound violated (%g)", p, res.Error)
+		}
+		if res.Final.Check() != nil {
+			t.Fatalf("%+v: invalid result", p)
+		}
+	}
+	// DisableRandom means the independent set is always picked.
+	res := Run(g, errmetric.ER, 0.03, Options{Params: Params{DisableRandom: true}, NumPatterns: 1024})
+	for _, rs := range res.Rounds {
+		if rs.MultiRound && rs.RandSize > 0 {
+			t.Fatal("random set built despite DisableRandom")
+		}
+	}
+	res = Run(g, errmetric.ER, 0.03, Options{Params: Params{DisableIndp: true}, NumPatterns: 1024})
+	for _, rs := range res.Rounds {
+		if rs.MultiRound && rs.IndpSize > 0 {
+			t.Fatal("independent set built despite DisableIndp")
+		}
+		if rs.PickedIndp && rs.MultiRound && rs.IndpSize == 0 {
+			t.Fatal("PickedIndp set with no independent set")
+		}
+	}
+}
+
+func TestExactEstimatesFlow(t *testing.T) {
+	g := circuits.ArrayMult(3)
+	res := Run(g, errmetric.ER, 0.05, Options{ExactEstimates: true, NumPatterns: 512})
+	if res.Error > 0.05 || res.Final.NumAnds() >= g.NumAnds() {
+		t.Fatalf("exact-estimate flow failed: err %g, ands %d", res.Error, res.Final.NumAnds())
+	}
+}
+
+func TestMaxRoundsCap(t *testing.T) {
+	g := circuits.ArrayMult(4)
+	res := Run(g, errmetric.NMED, 0.01, Options{Params: Params{MaxRounds: 3}, NumPatterns: 512})
+	if len(res.Rounds) > 3 {
+		t.Fatalf("MaxRounds ignored: %d rounds", len(res.Rounds))
+	}
+}
+
+func TestSynthesisUnderBiasedInputs(t *testing.T) {
+	// A multiplier whose operand-B high bits are almost always zero
+	// should shrink far more than under uniform inputs at the same
+	// NMED bound: the flow is free to corrupt patterns that almost
+	// never occur.
+	g := circuits.ArrayMult(4)
+	probs := make([]float64, 8)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	probs[6], probs[7] = 0.02, 0.02 // b2, b3 rarely set
+
+	uniform := Run(g, errmetric.NMED, 0.002, Options{NumPatterns: 4096})
+	biased := Run(g, errmetric.NMED, 0.002, Options{NumPatterns: 4096, InputProbs: probs})
+	if biased.Final.NumAnds() >= uniform.Final.NumAnds() {
+		t.Fatalf("biased inputs should enable more reduction: %d vs %d ANDs",
+			biased.Final.NumAnds(), uniform.Final.NumAnds())
+	}
+}

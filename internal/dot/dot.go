@@ -1,0 +1,78 @@
+// Package dot renders AND-inverter graphs in Graphviz DOT format for
+// debugging and documentation. Complemented edges are drawn dashed
+// with a dot arrowhead, the usual AIG convention.
+package dot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"accals/internal/aig"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Highlight marks the given node ids (e.g. LAC targets) in red.
+	Highlight map[int]bool
+	// RankByLevel places nodes of equal logic level on one rank.
+	RankByLevel bool
+}
+
+// Write renders g as a DOT digraph.
+func Write(w io.Writer, g *aig.Graph, opt Options) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=BT;\n  node [fontsize=10];\n", g.Name)
+
+	for i, id := range g.PIs() {
+		fmt.Fprintf(bw, "  n%d [shape=triangle, label=%q];\n", id, g.PIName(i))
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		attrs := "shape=circle, label=\"∧\""
+		if opt.Highlight[id] {
+			attrs += ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", id, attrs)
+		n := g.NodeAt(id)
+		writeEdge(bw, n.Fanin0, id)
+		writeEdge(bw, n.Fanin1, id)
+	}
+	for i, l := range g.POs() {
+		fmt.Fprintf(bw, "  po%d [shape=invtriangle, label=%q];\n", i, g.POName(i))
+		style := ""
+		if l.IsCompl() {
+			style = " [style=dashed, arrowhead=odot]"
+		}
+		fmt.Fprintf(bw, "  n%d -> po%d%s;\n", l.Node(), i, style)
+	}
+
+	if opt.RankByLevel {
+		lv := g.Levels()
+		byLevel := map[int][]int{}
+		for id := 0; id < g.NumNodes(); id++ {
+			if g.IsAnd(id) || g.IsPI(id) {
+				byLevel[lv[id]] = append(byLevel[lv[id]], id)
+			}
+		}
+		for _, ids := range byLevel {
+			fmt.Fprint(bw, "  { rank=same;")
+			for _, id := range ids {
+				fmt.Fprintf(bw, " n%d;", id)
+			}
+			fmt.Fprintln(bw, " }")
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func writeEdge(bw *bufio.Writer, from aig.Lit, to int) {
+	style := ""
+	if from.IsCompl() {
+		style = " [style=dashed, arrowhead=odot]"
+	}
+	fmt.Fprintf(bw, "  n%d -> n%d%s;\n", from.Node(), to, style)
+}

@@ -1,0 +1,38 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"accals/internal/aig"
+)
+
+func TestWrite(t *testing.T) {
+	g := aig.New("t")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	x := g.And(a, b.Not())
+	g.AddPO(x.Not(), "y")
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g, Options{Highlight: map[int]bool{x.Node(): true}, RankByLevel: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"t\"",
+		"shape=triangle",
+		"shape=invtriangle",
+		"style=dashed, arrowhead=odot", // complemented edges
+		"color=red",                    // highlight
+		"rank=same",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	if strings.Count(out, "->") != 3 { // 2 fanins + 1 PO edge
+		t.Errorf("edge count wrong:\n%s", out)
+	}
+}

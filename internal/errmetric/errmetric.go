@@ -1,0 +1,344 @@
+// Package errmetric computes the statistical error metrics used in the
+// AccALS paper: error rate (ER), normalized mean error distance (NMED)
+// and mean relative error distance (MRED). All metrics are evaluated
+// against a fixed pattern set (exhaustive or Monte-Carlo) produced by
+// package simulate, matching the paper's assumption of uniformly
+// distributed inputs.
+package errmetric
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"accals/internal/aig"
+	"accals/internal/simulate"
+)
+
+// Kind identifies a statistical error metric.
+type Kind int
+
+// Supported metrics.
+const (
+	// ER is the probability that the approximate outputs differ from
+	// the exact outputs in at least one bit.
+	ER Kind = iota
+	// NMED is the mean error distance normalised by the maximum output
+	// value 2^m - 1, treating the outputs as an unsigned integer with
+	// PO 0 the least significant bit.
+	NMED
+	// MRED is the mean of |approx - exact| / max(exact, 1).
+	MRED
+	// MHD is the mean Hamming distance: the average fraction of
+	// output bits that differ. Unlike NMED/MRED it applies to
+	// circuits of any output width (no binary-number interpretation).
+	MHD
+)
+
+// String returns the metric's conventional abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case ER:
+		return "ER"
+	case NMED:
+		return "NMED"
+	case MRED:
+		return "MRED"
+	case MHD:
+		return "MHD"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsWordLevel reports whether the metric interprets the outputs as a
+// binary number (true for NMED and MRED).
+func (k Kind) IsWordLevel() bool { return k == NMED || k == MRED }
+
+// Comparator evaluates the error of approximate circuits against a
+// fixed reference circuit under a fixed pattern set. Building a
+// Comparator simulates the reference once; each Error call simulates
+// only the candidate.
+type Comparator struct {
+	kind     Kind
+	patterns *simulate.Patterns
+	numPOs   int
+	exactPOs []simulate.Vec
+	// exactVals caches the per-pattern exact output value for the
+	// word-level metrics.
+	exactVals []uint64
+	// maxVal is 2^m - 1 as a float, the NMED normalisation constant.
+	maxVal float64
+}
+
+// NewComparator simulates the reference graph ref under the pattern set
+// and returns a comparator for the chosen metric. For word-level
+// metrics the reference must have at most 63 outputs.
+func NewComparator(kind Kind, ref *aig.Graph, p *simulate.Patterns) *Comparator {
+	if kind.IsWordLevel() && ref.NumPOs() > 63 {
+		panic(fmt.Sprintf("errmetric: %v limited to 63 outputs, circuit %q has %d", kind, ref.Name, ref.NumPOs()))
+	}
+	res := simulate.Run(ref, p)
+	c := &Comparator{
+		kind:     kind,
+		patterns: p,
+		numPOs:   ref.NumPOs(),
+		exactPOs: res.POValues(ref),
+		maxVal:   math.Pow(2, float64(ref.NumPOs())) - 1,
+	}
+	if kind.IsWordLevel() {
+		c.exactVals = extractValues(c.exactPOs, p)
+	}
+	return c
+}
+
+// Kind returns the metric the comparator evaluates.
+func (c *Comparator) Kind() Kind { return c.kind }
+
+// Patterns returns the pattern set the comparator evaluates under.
+func (c *Comparator) Patterns() *simulate.Patterns { return c.patterns }
+
+// ExactPOs returns the reference circuit's simulated output vectors.
+func (c *Comparator) ExactPOs() []simulate.Vec { return c.exactPOs }
+
+// Error simulates the approximate graph and returns its error with
+// respect to the reference. The graph must have the same PI/PO counts
+// as the reference.
+func (c *Comparator) Error(approx *aig.Graph) float64 {
+	if approx.NumPOs() != c.numPOs {
+		panic("errmetric: PO count mismatch")
+	}
+	res := simulate.Run(approx, c.patterns)
+	return c.ErrorFromPOs(res.POValues(approx))
+}
+
+// ErrorFromPOs returns the error of the given simulated output vectors
+// with respect to the reference.
+func (c *Comparator) ErrorFromPOs(approxPOs []simulate.Vec) float64 {
+	return c.ErrorFromPOsXor(approxPOs, nil)
+}
+
+// ErrorFromPOsXor returns the error of base XOR flip with respect to
+// the reference, where flip[j] may be nil to indicate no flipped
+// patterns on output j. This is the estimator's fast path: it avoids
+// materialising the flipped output vectors.
+func (c *Comparator) ErrorFromPOsXor(base, flip []simulate.Vec) float64 {
+	n := c.patterns.NumPatterns()
+	words := c.patterns.Words()
+	if c.kind == MHD {
+		// Mean Hamming distance is linear over outputs: sum the
+		// per-output diff counts.
+		diffBits := 0
+		buf := make(simulate.Vec, words)
+		for j := 0; j < c.numPOs; j++ {
+			e := c.exactPOs[j]
+			b := base[j]
+			if flip != nil && flip[j] != nil {
+				f := flip[j]
+				for w := 0; w < words; w++ {
+					buf[w] = (b[w] ^ f[w]) ^ e[w]
+				}
+			} else {
+				for w := 0; w < words; w++ {
+					buf[w] = b[w] ^ e[w]
+				}
+			}
+			buf[words-1] &= c.patterns.LastMask()
+			diffBits += simulate.PopCount(buf)
+		}
+		return float64(diffBits) / float64(n*c.numPOs)
+	}
+	if c.kind == ER {
+		diffCount := 0
+		anyDiff := make(simulate.Vec, words)
+		for j := 0; j < c.numPOs; j++ {
+			e := c.exactPOs[j]
+			b := base[j]
+			if flip != nil && flip[j] != nil {
+				f := flip[j]
+				for w := 0; w < words; w++ {
+					anyDiff[w] |= (b[w] ^ f[w]) ^ e[w]
+				}
+			} else {
+				for w := 0; w < words; w++ {
+					anyDiff[w] |= b[w] ^ e[w]
+				}
+			}
+		}
+		anyDiff[words-1] &= c.patterns.LastMask()
+		diffCount = simulate.PopCount(anyDiff)
+		return float64(diffCount) / float64(n)
+	}
+
+	// Word-level metrics: walk patterns, assembling the approximate
+	// output value per pattern.
+	sum := 0.0
+	row := make([]uint64, c.numPOs)
+	for w := 0; w < words; w++ {
+		for j := 0; j < c.numPOs; j++ {
+			v := base[j][w]
+			if flip != nil && flip[j] != nil {
+				v ^= flip[j][w]
+			}
+			row[j] = v
+		}
+		lim := 64
+		if w == words-1 && n&63 != 0 {
+			lim = n & 63
+		}
+		for b := 0; b < lim; b++ {
+			var av uint64
+			for j := 0; j < c.numPOs; j++ {
+				av |= (row[j] >> uint(b) & 1) << uint(j)
+			}
+			ev := c.exactVals[w<<6+b]
+			var diff uint64
+			if av > ev {
+				diff = av - ev
+			} else {
+				diff = ev - av
+			}
+			switch c.kind {
+			case NMED:
+				sum += float64(diff) / c.maxVal
+			case MRED:
+				den := float64(ev)
+				if den < 1 {
+					den = 1
+				}
+				sum += float64(diff) / den
+			}
+		}
+	}
+	return sum / float64(n)
+}
+
+// BaseEval caches the per-pattern values and error of one approximate
+// circuit, so that many flip-mask variants of it (one per candidate
+// LAC) can be scored incrementally: only the patterns an output flip
+// touches are re-evaluated.
+type BaseEval struct {
+	// POs are the base circuit's simulated outputs.
+	POs []simulate.Vec
+	// Vals are the per-pattern output values (word-level metrics only).
+	Vals []uint64
+	// Err is the base circuit's error.
+	Err float64
+}
+
+// NewBaseEval prepares an incremental evaluator for the given
+// simulated outputs.
+func (c *Comparator) NewBaseEval(pos []simulate.Vec) *BaseEval {
+	b := &BaseEval{POs: pos, Err: c.ErrorFromPOs(pos)}
+	if c.kind.IsWordLevel() {
+		b.Vals = extractValues(pos, c.patterns)
+	}
+	return b
+}
+
+// contribution returns one pattern's error contribution for the
+// word-level metrics.
+func (c *Comparator) contribution(av, ev uint64) float64 {
+	var diff uint64
+	if av > ev {
+		diff = av - ev
+	} else {
+		diff = ev - av
+	}
+	switch c.kind {
+	case NMED:
+		return float64(diff) / c.maxVal
+	case MRED:
+		den := float64(ev)
+		if den < 1 {
+			den = 1
+		}
+		return float64(diff) / den
+	}
+	return 0
+}
+
+// flipSampleBudget bounds the number of flipped patterns evaluated
+// exactly per candidate; larger flip sets are scored on a strided
+// word sample and scaled. The budget is set high enough that every
+// candidate is exact at the default pattern counts (sampling can bias
+// the ranking of constant LACs, whose flips are many but individually
+// cheap under NMED); it only engages as a guard on very large
+// Monte-Carlo sample sizes.
+const flipSampleBudget = 16384
+
+// ErrorWithFlips returns the error of base XOR flips (flip[j] may be
+// nil), touching only flipped patterns. It must only be used with the
+// word-level metrics; the ER estimator has its own batched fast path.
+func (c *Comparator) ErrorWithFlips(b *BaseEval, flips []simulate.Vec) float64 {
+	if !c.kind.IsWordLevel() {
+		panic("errmetric: ErrorWithFlips requires a word-level metric")
+	}
+	// Flipped output list and the union of changed patterns.
+	var fj []int
+	for j, f := range flips {
+		if f != nil {
+			fj = append(fj, j)
+		}
+	}
+	if len(fj) == 0 {
+		return b.Err
+	}
+	words := c.patterns.Words()
+	changed := make(simulate.Vec, words)
+	total := 0
+	for w := 0; w < words; w++ {
+		var m uint64
+		for _, j := range fj {
+			m |= flips[j][w]
+		}
+		changed[w] = m
+		total += bits.OnesCount64(m)
+	}
+	if total == 0 {
+		return b.Err
+	}
+	stride := 1
+	if total > flipSampleBudget {
+		stride = (total + flipSampleBudget - 1) / flipSampleBudget
+	}
+
+	delta := 0.0
+	sampled := 0
+	for w := 0; w < words; w += stride {
+		m := changed[w]
+		sampled += bits.OnesCount64(m)
+		for ; m != 0; m &= m - 1 {
+			bit := m & -m
+			pat := w<<6 + bits.TrailingZeros64(bit)
+			av := b.Vals[pat]
+			av2 := av
+			for _, j := range fj {
+				if flips[j][w]&bit != 0 {
+					av2 ^= 1 << uint(j)
+				}
+			}
+			ev := c.exactVals[pat]
+			delta += c.contribution(av2, ev) - c.contribution(av, ev)
+		}
+	}
+	if sampled == 0 {
+		return b.Err
+	}
+	delta *= float64(total) / float64(sampled)
+	return b.Err + delta/float64(c.patterns.NumPatterns())
+}
+
+// extractValues converts packed PO vectors into one unsigned integer
+// per pattern (PO 0 = least significant bit).
+func extractValues(pos []simulate.Vec, p *simulate.Patterns) []uint64 {
+	n := p.NumPatterns()
+	vals := make([]uint64, n)
+	for j, v := range pos {
+		for pat := 0; pat < n; pat++ {
+			if v[pat>>6]&(1<<(uint(pat)&63)) != 0 {
+				vals[pat] |= 1 << uint(j)
+			}
+		}
+	}
+	return vals
+}

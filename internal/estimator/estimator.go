@@ -1,0 +1,342 @@
+// Package estimator implements batch error-increase estimation for
+// candidate LACs, in the style of VECBEE [11] and SEALS [12]: a single
+// reverse change-propagation pass per primary output yields, for every
+// node, the mask of patterns on which a value flip at that node would
+// propagate to the output. Combining these masks with each LAC's
+// deviation mask gives the estimated output flips — and hence the
+// estimated error — of every candidate without simulating candidate
+// circuits.
+//
+// The propagation pass treats reconvergent paths independently (ORing
+// path sensitivities), which is the standard fast approximation; an
+// exact cone-resimulation mode is provided for validation and for the
+// flow's accurate per-round evaluation.
+package estimator
+
+import (
+	"math/bits"
+
+	"accals/internal/aig"
+	"accals/internal/errmetric"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+// EstimateAll computes the estimated error increase ΔE for every
+// candidate LAC and stores it in each LAC's DeltaE field. It returns
+// the current error of g with respect to the comparator's reference.
+// res must be the simulation of g under the comparator's pattern set.
+func EstimateAll(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC) float64 {
+	curPOs := res.POValues(g)
+	curErr := cmp.ErrorFromPOs(curPOs)
+	if len(lacs) == 0 {
+		return curErr
+	}
+
+	words := res.Patterns.Words()
+	numPOs := g.NumPOs()
+
+	// Deviation masks, computed once per LAC.
+	devs := make([]simulate.Vec, len(lacs))
+	for i, l := range lacs {
+		devs[i], _ = l.Deviation(res)
+	}
+
+	prop := newPropagator(g, res)
+
+	if cmp.Kind() == errmetric.ER {
+		// ER fast path: per LAC, accumulate the mask of patterns on
+		// which any output differs from the exact circuit. Memory is
+		// one vector per LAC regardless of output count.
+		exact := cmp.ExactPOs()
+		anyDiff := make([]simulate.Vec, len(lacs))
+		for i := range anyDiff {
+			anyDiff[i] = make(simulate.Vec, words)
+		}
+		diffJ := make(simulate.Vec, words)
+		for j := 0; j < numPOs; j++ {
+			masks := prop.run(j)
+			for w := 0; w < words; w++ {
+				diffJ[w] = curPOs[j][w] ^ exact[j][w]
+			}
+			for i, l := range lacs {
+				pm := masks[l.Target]
+				ad := anyDiff[i]
+				if pm == nil {
+					for w := 0; w < words; w++ {
+						ad[w] |= diffJ[w]
+					}
+					continue
+				}
+				dv := devs[i]
+				for w := 0; w < words; w++ {
+					ad[w] |= diffJ[w] ^ (pm[w] & dv[w])
+				}
+			}
+		}
+		n := float64(res.Patterns.NumPatterns())
+		for i, l := range lacs {
+			l.DeltaE = float64(simulate.PopCount(anyDiff[i]))/n - curErr
+		}
+		return curErr
+	}
+
+	if cmp.Kind() == errmetric.MHD {
+		// MHD is linear over outputs: accumulate per-LAC diff-bit
+		// counts output by output, no flip storage needed.
+		exact := cmp.ExactPOs()
+		counts := make([]int, len(lacs))
+		diffJ := make(simulate.Vec, words)
+		for j := 0; j < numPOs; j++ {
+			masks := prop.run(j)
+			baseCount := 0
+			for w := 0; w < words; w++ {
+				diffJ[w] = curPOs[j][w] ^ exact[j][w]
+				baseCount += bits.OnesCount64(diffJ[w])
+			}
+			for i, l := range lacs {
+				pm := masks[l.Target]
+				if pm == nil {
+					counts[i] += baseCount
+					continue
+				}
+				dv := devs[i]
+				c := 0
+				for w := 0; w < words; w++ {
+					c += bits.OnesCount64(diffJ[w] ^ (pm[w] & dv[w]))
+				}
+				counts[i] += c
+			}
+		}
+		denom := float64(res.Patterns.NumPatterns() * numPOs)
+		for i, l := range lacs {
+			l.DeltaE = float64(counts[i])/denom - curErr
+		}
+		return curErr
+	}
+
+	// Word-level metrics: collect per-PO flip masks per LAC (nil when
+	// the LAC cannot flip that output), then score each LAC
+	// incrementally over only its flipped patterns.
+	flips := make([][]simulate.Vec, len(lacs))
+	for i := range flips {
+		flips[i] = make([]simulate.Vec, numPOs)
+	}
+	for j := 0; j < numPOs; j++ {
+		masks := prop.run(j)
+		for i, l := range lacs {
+			pm := masks[l.Target]
+			if pm == nil {
+				continue
+			}
+			var f simulate.Vec
+			for w := 0; w < words; w++ {
+				b := pm[w] & devs[i][w]
+				if b != 0 && f == nil {
+					f = make(simulate.Vec, words)
+				}
+				if f != nil {
+					f[w] = b
+				}
+			}
+			flips[i][j] = f
+		}
+	}
+	base := cmp.NewBaseEval(curPOs)
+	for i, l := range lacs {
+		l.DeltaE = cmp.ErrorWithFlips(base, flips[i]) - curErr
+	}
+	return curErr
+}
+
+// propagator computes per-PO change propagation masks with reusable
+// buffers.
+type propagator struct {
+	g       *aig.Graph
+	res     *simulate.Result
+	words   int
+	masks   []simulate.Vec // indexed by node; nil when untouched
+	touched []int
+	pool    []simulate.Vec
+}
+
+func newPropagator(g *aig.Graph, res *simulate.Result) *propagator {
+	return &propagator{
+		g:     g,
+		res:   res,
+		words: res.Patterns.Words(),
+		masks: make([]simulate.Vec, g.NumNodes()),
+	}
+}
+
+// alloc returns a zeroed vector, reusing retired buffers.
+func (p *propagator) alloc() simulate.Vec {
+	if n := len(p.pool); n > 0 {
+		v := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		for w := range v {
+			v[w] = 0
+		}
+		return v
+	}
+	return make(simulate.Vec, p.words)
+}
+
+// run computes, for primary output j, the mask per node of patterns on
+// which flipping the node's value flips the output (single-pass
+// approximation). The returned slice is valid until the next call.
+func (p *propagator) run(j int) []simulate.Vec {
+	// Reset state from the previous run.
+	for _, id := range p.touched {
+		p.pool = append(p.pool, p.masks[id])
+		p.masks[id] = nil
+	}
+	p.touched = p.touched[:0]
+
+	root := p.g.PO(j).Node()
+	m := p.alloc()
+	for w := range m {
+		m[w] = ^uint64(0)
+	}
+	m[len(m)-1] &= p.res.Patterns.LastMask()
+	p.masks[root] = m
+	p.touched = append(p.touched, root)
+
+	// Reverse topological sweep: node ids descend, and fanins always
+	// have smaller ids, so a single descending pass propagates all
+	// masks.
+	for id := root; id > 0; id-- {
+		pm := p.masks[id]
+		if pm == nil || !p.g.IsAnd(id) {
+			continue
+		}
+		n := p.g.NodeAt(id)
+		p.propagateToFanin(pm, n.Fanin0, n.Fanin1)
+		p.propagateToFanin(pm, n.Fanin1, n.Fanin0)
+	}
+	return p.masks
+}
+
+// propagateToFanin ORs into the mask of fanin `to` the patterns where a
+// flip of `to` flips the AND output: those where the sibling input
+// evaluates to 1 and the output flip itself propagates.
+func (p *propagator) propagateToFanin(outMask simulate.Vec, to, sibling aig.Lit) {
+	id := to.Node()
+	if id == 0 {
+		return
+	}
+	sv := p.res.NodeVals[sibling.Node()]
+	m := p.masks[id]
+	if m == nil {
+		m = p.alloc()
+		p.masks[id] = m
+		p.touched = append(p.touched, id)
+	}
+	if sibling.IsCompl() {
+		for w := range m {
+			m[w] |= outMask[w] & ^sv[w]
+		}
+	} else {
+		for w := range m {
+			m[w] |= outMask[w] & sv[w]
+		}
+	}
+}
+
+// EstimateAllExact fills DeltaE for every candidate with its exact
+// (pattern-set) error increase, by resimulating each candidate's
+// fanout cone. It is typically one to two orders of magnitude slower
+// than EstimateAll and exists for validation and for the estimator
+// ablation study.
+func EstimateAllExact(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC) float64 {
+	curPOs := res.POValues(g)
+	curErr := cmp.ErrorFromPOs(curPOs)
+	for _, l := range lacs {
+		newPOs := ResimulateWith(g, res, l)
+		l.DeltaE = cmp.ErrorFromPOs(newPOs) - curErr
+	}
+	return curErr
+}
+
+// ExactDeltaE computes the exact (with respect to the pattern set)
+// error increase of applying a single LAC, by resimulating the
+// transitive fanout cone of the target with the LAC's new values.
+func ExactDeltaE(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, l *lac.LAC) float64 {
+	curPOs := res.POValues(g)
+	curErr := cmp.ErrorFromPOs(curPOs)
+	newPOs := ResimulateWith(g, res, l)
+	return cmp.ErrorFromPOs(newPOs) - curErr
+}
+
+// ResimulateWith returns the primary output vectors of g after applying
+// the LAC, computed by resimulating only the target's transitive
+// fanout cone.
+func ResimulateWith(g *aig.Graph, res *simulate.Result, l *lac.LAC) []simulate.Vec {
+	words := res.Patterns.Words()
+	overlay := make(map[int]simulate.Vec, 64)
+	overlay[l.Target] = l.NewValue(res)
+
+	value := func(lit aig.Lit) simulate.Vec {
+		if v, ok := overlay[lit.Node()]; ok {
+			return v
+		}
+		return res.NodeVals[lit.Node()]
+	}
+
+	// Sweep nodes after the target; only nodes with an affected fanin
+	// need recomputation.
+	for id := l.Target + 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		n := g.NodeAt(id)
+		_, a := overlay[n.Fanin0.Node()]
+		_, b := overlay[n.Fanin1.Node()]
+		if !a && !b {
+			continue
+		}
+		v0, v1 := value(n.Fanin0), value(n.Fanin1)
+		out := make(simulate.Vec, words)
+		c0, c1 := n.Fanin0.IsCompl(), n.Fanin1.IsCompl()
+		for w := 0; w < words; w++ {
+			x, y := v0[w], v1[w]
+			if c0 {
+				x = ^x
+			}
+			if c1 {
+				y = ^y
+			}
+			out[w] = x & y
+		}
+		out[words-1] &= res.Patterns.LastMask()
+		// Skip storing unchanged values to keep the cone tight.
+		if eq(out, res.NodeVals[id]) {
+			continue
+		}
+		overlay[id] = out
+	}
+
+	pos := make([]simulate.Vec, g.NumPOs())
+	for i, lit := range g.POs() {
+		v := value(lit)
+		if lit.IsCompl() {
+			inv := make(simulate.Vec, words)
+			for w := range inv {
+				inv[w] = ^v[w]
+			}
+			inv[words-1] &= res.Patterns.LastMask()
+			v = inv
+		}
+		pos[i] = v
+	}
+	return pos
+}
+
+func eq(a, b simulate.Vec) bool {
+	for w := range a {
+		if a[w] != b[w] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"accals/internal/errmetric"
+)
+
+// tinyCfg is an even smaller configuration than Quick, for unit tests.
+func tinyCfg() Config {
+	return Config{Quick: true, Patterns: 1024, Seed: 1}
+}
+
+func TestTable1RowsComplete(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg()
+	cfg.Out = &buf
+	rows := Table1(cfg)
+	if len(rows) < 10 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes <= 0 || r.Area <= 0 || r.Delay <= 0 || r.PIs <= 0 || r.POs <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "mtp8") {
+		t.Fatal("table output missing circuits")
+	}
+}
+
+func TestFig4RowsInRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test")
+	}
+	rows := Fig4(tinyCfg())
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.IndpRatio < 0 || r.IndpRatio > 1 {
+			t.Fatalf("ratio out of range: %+v", r)
+		}
+	}
+	// Under ER the independent set should win in the clear majority
+	// of rounds (the paper reports > 0.95 on several circuits).
+	sum, n := 0.0, 0
+	for _, r := range rows {
+		if r.Metric == errmetric.ER {
+			sum += r.IndpRatio
+			n++
+		}
+	}
+	if n == 0 || sum/float64(n) < 0.5 {
+		t.Fatalf("ER L_indp ratio too low: %g", sum/float64(n))
+	}
+}
+
+func TestFig5ShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test")
+	}
+	pts := Fig5(tinyCfg())
+	if len(pts) < 2 {
+		t.Fatal("need at least 2 thresholds")
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	// ADP decreases (or stays equal) as the error budget grows.
+	if last.AccALSADP > first.AccALSADP+0.02 {
+		t.Fatalf("AccALS ADP did not decrease with ER: %g -> %g", first.AccALSADP, last.AccALSADP)
+	}
+	// AccALS is faster than SEALS at the loosest threshold.
+	if last.SpeedupRatio < 1.0 {
+		t.Fatalf("no speedup at the loosest threshold: %g", last.SpeedupRatio)
+	}
+	// Quality stays close (within 5% ADP absolute).
+	for _, p := range pts {
+		if p.AccALSADP-p.SEALSADP > 0.05 {
+			t.Fatalf("quality gap too large at ER %g: %g vs %g", p.Threshold, p.AccALSADP, p.SEALSADP)
+		}
+	}
+}
+
+func TestFig6WordMetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test")
+	}
+	rows := Fig6(tinyCfg(), errmetric.NMED)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.AccALSADP <= 0 || r.AccALSADP > 1.001 {
+			t.Fatalf("implausible ADP: %+v", r)
+		}
+		if r.NormRuntime <= 0 {
+			t.Fatalf("missing runtime: %+v", r)
+		}
+	}
+	// On word-level metrics multi-selection should be clearly faster
+	// on average.
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.NormRuntime
+	}
+	if avg := sum / float64(len(rows)); avg > 0.9 {
+		t.Fatalf("no average speedup under NMED: t-ratio %g", avg)
+	}
+}
+
+func TestTable2Speedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test")
+	}
+	rows := Table2(tinyCfg())
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.AccALSArea <= 0 || r.AccALSArea > 1.001 || r.SEALSArea <= 0 {
+			t.Fatalf("implausible areas: %+v", r)
+		}
+		if r.Speedup < 1 {
+			t.Errorf("%s: AccALS slower than SEALS (%gx)", r.Circuit, r.Speedup)
+		}
+	}
+}
+
+func TestFig7AccALSDominatesAMOSA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test")
+	}
+	curves := Fig7(tinyCfg())
+	if len(curves) == 0 {
+		t.Fatal("no curves")
+	}
+	for _, c := range curves {
+		if len(c.AccALS) == 0 {
+			t.Fatalf("%s: empty AccALS curve", c.Circuit)
+		}
+		if len(c.AMOSA) == 0 {
+			t.Fatalf("%s: empty AMOSA curve", c.Circuit)
+		}
+		// At the full budget, AccALS should reach at least as small
+		// an area as AMOSA (the paper's Fig. 7 finding), with slack
+		// for the stochastic baseline.
+		accArea := AreaAtER(c.AccALS, fig7MaxER)
+		amoArea := AreaAtER(c.AMOSA, fig7MaxER)
+		if accArea > amoArea+0.10 {
+			t.Errorf("%s: AccALS area %g much worse than AMOSA %g", c.Circuit, accArea, amoArea)
+		}
+	}
+}
+
+func TestTable3RuntimesPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test")
+	}
+	rows := Table3(tinyCfg())
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.AccALSTime <= 0 || r.AMOSATime <= 0 {
+			t.Fatalf("missing runtime: %+v", r)
+		}
+	}
+}
+
+func TestAblationVariantsRespectBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test")
+	}
+	rows := Ablation(tinyCfg())
+	if len(rows) < 8 {
+		t.Fatalf("expected all variants, got %d rows", len(rows))
+	}
+	byVariant := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.ADP <= 0 || r.ADP > 1.001 {
+			t.Fatalf("implausible ADP: %+v", r)
+		}
+		byVariant[r.Variant] = r
+	}
+	for _, v := range []string{"full", "no-indp", "no-random", "no-improve", "exact-est", "resub2", "resub3", "seals"} {
+		if _, ok := byVariant[v]; !ok {
+			t.Fatalf("missing variant %s", v)
+		}
+	}
+	// The full flow should not be slower than SEALS.
+	if byVariant["full"].Time > byVariant["seals"].Time {
+		t.Errorf("full AccALS slower than SEALS: %v vs %v",
+			byVariant["full"].Time, byVariant["seals"].Time)
+	}
+}
+
+func TestAreaAtER(t *testing.T) {
+	curve := []ErrArea{{0.01, 0.9}, {0.05, 0.7}, {0.2, 0.5}}
+	if got := AreaAtER(curve, 0.06); got != 0.7 {
+		t.Fatalf("AreaAtER(0.06) = %g", got)
+	}
+	if got := AreaAtER(curve, 0.005); got != 1.0 {
+		t.Fatalf("AreaAtER(0.005) = %g", got)
+	}
+	if got := AreaAtER(curve, 1); got != 0.5 {
+		t.Fatalf("AreaAtER(1) = %g", got)
+	}
+}

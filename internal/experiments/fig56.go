@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"time"
+
+	"accals/internal/errmetric"
+)
+
+// Fig5Point is one ER threshold of the paper's Fig. 5: average ADP
+// ratio and average runtime for AccALS and SEALS over the small
+// circuits.
+type Fig5Point struct {
+	Threshold    float64
+	AccALSADP    float64
+	SEALSADP     float64
+	AccALSTime   time.Duration
+	SEALSTime    time.Duration
+	SpeedupRatio float64
+}
+
+// Fig5 sweeps the five ER thresholds over the small ISCAS and
+// arithmetic circuits, averaging ADP ratio and runtime per threshold.
+func Fig5(cfg Config) []Fig5Point {
+	cfg = cfg.withDefaults()
+	thresholds := erThresholds
+	ckts := smallCircuits()
+	if cfg.Quick {
+		thresholds = []float64{0.005, 0.05}
+		ckts = []string{"alu4", "mtp8", "cla32"}
+	}
+
+	fprintf(cfg.Out, "Fig. 5. Average ADP ratio and runtime vs ER threshold (small ISCAS + arithmetic).\n")
+	fprintf(cfg.Out, "%9s %12s %12s %12s %12s %9s\n",
+		"ER", "AccALS ADP", "SEALS ADP", "AccALS t", "SEALS t", "speedup")
+
+	var points []Fig5Point
+	for _, th := range thresholds {
+		var accADP, slsADP float64
+		var accT, slsT time.Duration
+		n := 0
+		for _, name := range ckts {
+			g := mustCircuit(name)
+			for run := 0; run < cfg.Runs; run++ {
+				acc, sls := runPair(g, errmetric.ER, th, cfg, cfg.Seed+int64(run))
+				accADP += adpRatio(g, acc.Final)
+				slsADP += adpRatio(g, sls.Final)
+				accT += acc.Runtime
+				slsT += sls.Runtime
+				n++
+			}
+		}
+		pt := Fig5Point{
+			Threshold:  th,
+			AccALSADP:  accADP / float64(n),
+			SEALSADP:   slsADP / float64(n),
+			AccALSTime: accT / time.Duration(n),
+			SEALSTime:  slsT / time.Duration(n),
+		}
+		if pt.AccALSTime > 0 {
+			pt.SpeedupRatio = float64(pt.SEALSTime) / float64(pt.AccALSTime)
+		}
+		points = append(points, pt)
+		fprintf(cfg.Out, "%8.2f%% %12.4f %12.4f %12v %12v %8.1fx\n",
+			th*100, pt.AccALSADP, pt.SEALSADP,
+			pt.AccALSTime.Round(time.Millisecond), pt.SEALSTime.Round(time.Millisecond),
+			pt.SpeedupRatio)
+	}
+	return points
+}
+
+// Fig6Row is one circuit of the paper's Fig. 6: ADP ratios and the
+// AccALS runtime normalised to SEALS, averaged over the metric's
+// threshold list.
+type Fig6Row struct {
+	Circuit     string
+	Metric      errmetric.Kind
+	AccALSADP   float64
+	SEALSADP    float64
+	AccALSTime  time.Duration
+	SEALSTime   time.Duration
+	NormRuntime float64 // AccALS time / SEALS time
+}
+
+// Fig6 produces the per-circuit comparison under one metric:
+// Fig. 6(a) with ER over the nine small circuits, Fig. 6(b)/(c) with
+// NMED/MRED over the five arithmetic circuits.
+func Fig6(cfg Config, metric errmetric.Kind) []Fig6Row {
+	cfg = cfg.withDefaults()
+	var ckts []string
+	var thresholds []float64
+	if metric == errmetric.ER {
+		ckts = smallCircuits()
+		thresholds = erThresholds
+	} else {
+		ckts = arithCircuits()
+		thresholds = wordThresholds
+	}
+	if cfg.Quick {
+		thresholds = thresholds[len(thresholds)-2:]
+		if len(ckts) > 3 {
+			ckts = ckts[:3]
+		}
+	}
+
+	fprintf(cfg.Out, "Fig. 6 (%v). Per-circuit ADP ratio and normalised runtime (avg over %d thresholds).\n",
+		metric, len(thresholds))
+	fprintf(cfg.Out, "%-8s %12s %12s %12s %12s %10s\n",
+		"Ckt", "AccALS ADP", "SEALS ADP", "AccALS t", "SEALS t", "t ratio")
+
+	var rows []Fig6Row
+	for _, name := range ckts {
+		g := mustCircuit(name)
+		var accADP, slsADP float64
+		var accT, slsT time.Duration
+		n := 0
+		for _, th := range thresholds {
+			for run := 0; run < cfg.Runs; run++ {
+				acc, sls := runPair(g, metric, th, cfg, cfg.Seed+int64(run))
+				accADP += adpRatio(g, acc.Final)
+				slsADP += adpRatio(g, sls.Final)
+				accT += acc.Runtime
+				slsT += sls.Runtime
+				n++
+			}
+		}
+		row := Fig6Row{
+			Circuit:    name,
+			Metric:     metric,
+			AccALSADP:  accADP / float64(n),
+			SEALSADP:   slsADP / float64(n),
+			AccALSTime: accT / time.Duration(n),
+			SEALSTime:  slsT / time.Duration(n),
+		}
+		if row.SEALSTime > 0 {
+			row.NormRuntime = float64(row.AccALSTime) / float64(row.SEALSTime)
+		}
+		rows = append(rows, row)
+		fprintf(cfg.Out, "%-8s %12.4f %12.4f %12v %12v %10.3f\n",
+			name, row.AccALSADP, row.SEALSADP,
+			row.AccALSTime.Round(time.Millisecond), row.SEALSTime.Round(time.Millisecond),
+			row.NormRuntime)
+	}
+
+	// Averages (the paper quotes ADP gaps of 0.67%-1.74% and speedups
+	// of 6.3x-8.8x on its testbed).
+	var aADP, sADP, tRatio float64
+	for _, r := range rows {
+		aADP += r.AccALSADP
+		sADP += r.SEALSADP
+		tRatio += r.NormRuntime
+	}
+	k := float64(len(rows))
+	fprintf(cfg.Out, "%-8s %12.4f %12.4f %37.3f\n", "avg", aADP/k, sADP/k, tRatio/k)
+	return rows
+}

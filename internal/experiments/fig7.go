@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"accals/internal/amosa"
+	"accals/internal/core"
+	"accals/internal/errmetric"
+	"accals/internal/lac"
+	"accals/internal/mapping"
+)
+
+// ErrArea is one point of an area-ratio-vs-ER curve.
+type ErrArea struct {
+	Err       float64
+	AreaRatio float64
+}
+
+// Fig7Curve holds both methods' trade-off curves for one circuit
+// (the paper's Fig. 7), plus the runtimes reported in Table III.
+type Fig7Curve struct {
+	Circuit    string
+	AccALS     []ErrArea
+	AMOSA      []ErrArea
+	AccALSTime time.Duration
+	AMOSATime  time.Duration
+}
+
+// amosaIterations scales the annealing budget.
+func amosaIterations(quick bool) int {
+	if quick {
+		return 300
+	}
+	return 2000
+}
+
+// fig7MaxER is the ER bound explored on the LGSynt91 circuits (the
+// paper synthesises up to the maximum ER of the AMOSA designs; we fix
+// a comparable 20% budget).
+const fig7MaxER = 0.20
+
+// Fig7 produces the area-ratio-vs-ER curves of AccALS and the AMOSA
+// baseline on the LGSynt91 circuits.
+func Fig7(cfg Config) []Fig7Curve {
+	cfg = cfg.withDefaults()
+	ckts := lgsyntCircuits()
+	if cfg.Quick {
+		ckts = []string{"alu2", "term1"}
+	}
+
+	fprintf(cfg.Out, "Fig. 7 / Table III. AccALS vs AMOSA on LGSynt91 circuits (ER budget %.0f%%).\n", fig7MaxER*100)
+
+	var curves []Fig7Curve
+	for _, name := range ckts {
+		g := mustCircuit(name)
+		oa, _ := mapping.AreaDelay(g)
+
+		// AccALS trajectory: one (error, area) point per round.
+		var traj []ErrArea
+		accStart := time.Now()
+		core.Run(g, errmetric.ER, fig7MaxER, core.Options{
+			NumPatterns: cfg.Patterns,
+			PatternSeed: cfg.Seed,
+			Params:      core.Params{Seed: cfg.Seed},
+			Progress: func(rs core.RoundStats) {
+				if rs.Graph == nil || rs.Error > fig7MaxER {
+					return
+				}
+				aa, _ := mapping.AreaDelay(rs.Graph)
+				traj = append(traj, ErrArea{Err: rs.Error, AreaRatio: aa / oa})
+			},
+		})
+		accTime := time.Since(accStart)
+		traj = paretoFilter(traj)
+
+		// AMOSA archive.
+		ares := amosa.Run(g, errmetric.ER, amosa.Options{
+			ErrBound:    fig7MaxER,
+			Iterations:  amosaIterations(cfg.Quick),
+			Seed:        cfg.Seed,
+			NumPatterns: cfg.Patterns,
+		})
+		var front []ErrArea
+		for _, pt := range ares.Archive {
+			ng := lac.Apply(g, pt.LACs)
+			aa, _ := mapping.AreaDelay(ng)
+			front = append(front, ErrArea{Err: pt.Error, AreaRatio: aa / oa})
+		}
+		front = paretoFilter(front)
+
+		curve := Fig7Curve{
+			Circuit:    name,
+			AccALS:     traj,
+			AMOSA:      front,
+			AccALSTime: accTime,
+			AMOSATime:  ares.Runtime,
+		}
+		curves = append(curves, curve)
+
+		fprintf(cfg.Out, "\n%s  (AccALS %v, AMOSA %v)\n", name,
+			accTime.Round(time.Millisecond), ares.Runtime.Round(time.Millisecond))
+		fprintf(cfg.Out, "  %-28s %-28s\n", "AccALS err%% -> area%%", "AMOSA err%% -> area%%")
+		for i := 0; i < len(traj) || i < len(front); i++ {
+			l, r := "", ""
+			if i < len(traj) {
+				l = pointStr(traj[i])
+			}
+			if i < len(front) {
+				r = pointStr(front[i])
+			}
+			fprintf(cfg.Out, "  %-28s %-28s\n", l, r)
+		}
+	}
+	return curves
+}
+
+func pointStr(p ErrArea) string {
+	return fmt.Sprintf("%.2f%% -> %.2f%%", p.Err*100, p.AreaRatio*100)
+}
+
+// paretoFilter keeps only non-dominated points, sorted by error.
+func paretoFilter(pts []ErrArea) []ErrArea {
+	var out []ErrArea
+	for _, p := range pts {
+		dominated := false
+		for _, q := range pts {
+			if (q.Err < p.Err && q.AreaRatio <= p.AreaRatio) ||
+				(q.Err <= p.Err && q.AreaRatio < p.AreaRatio) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Err < out[j].Err })
+	var dedup []ErrArea
+	for _, p := range out {
+		if len(dedup) == 0 || dedup[len(dedup)-1] != p {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}
+
+// AreaAtER interpolates a curve's area ratio at a given error budget:
+// the smallest area among points with error <= er (1.0 when none).
+func AreaAtER(curve []ErrArea, er float64) float64 {
+	best := 1.0
+	for _, p := range curve {
+		if p.Err <= er && p.AreaRatio < best {
+			best = p.AreaRatio
+		}
+	}
+	return best
+}

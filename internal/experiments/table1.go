@@ -1,0 +1,69 @@
+package experiments
+
+import "accals/internal/mapping"
+
+// Table1Row is one benchmark inventory entry (the paper's Table I):
+// AIG node count plus mapped area and delay normalised to the
+// inverter.
+type Table1Row struct {
+	Name  string
+	Suite string
+	Nodes int
+	PIs   int
+	POs   int
+	Area  float64
+	Delay float64
+}
+
+// Table1 builds every registered benchmark and reports its statistics.
+func Table1(cfg Config) []Table1Row {
+	cfg = cfg.withDefaults()
+	var rows []Table1Row
+	fprintf(cfg.Out, "Table I. Benchmarks: AIG nodes, mapped area and delay (INV-normalised).\n")
+	fprintf(cfg.Out, "%-8s %-9s %7s %5s %5s %10s %8s\n", "Ckt", "Suite", "#Nd", "PIs", "POs", "Area", "Delay")
+	for _, b := range allBenchmarks(cfg) {
+		g := mustCircuit(b)
+		area, delay := mapping.AreaDelay(g)
+		row := Table1Row{
+			Name:  g.Name,
+			Suite: suiteOf(b),
+			Nodes: g.NumAnds(),
+			PIs:   g.NumPIs(),
+			POs:   g.NumPOs(),
+			Area:  area,
+			Delay: delay,
+		}
+		rows = append(rows, row)
+		fprintf(cfg.Out, "%-8s %-9s %7d %5d %5d %10.1f %8.1f\n",
+			row.Name, row.Suite, row.Nodes, row.PIs, row.POs, row.Area, row.Delay)
+	}
+	return rows
+}
+
+func allBenchmarks(cfg Config) []string {
+	names := append(append([]string{}, smallCircuits()...), epflCircuits()...)
+	if cfg.Quick {
+		// Skip the large circuits in quick mode.
+		names = append([]string{}, smallCircuits()...)
+	}
+	return append(names, lgsyntCircuits()...)
+}
+
+func suiteOf(name string) string {
+	for _, s := range []string{"alu4", "c880", "c1908", "c3540"} {
+		if s == name {
+			return "iscas"
+		}
+	}
+	for _, s := range arithCircuits() {
+		if s == name {
+			return "arith"
+		}
+	}
+	for _, s := range epflCircuits() {
+		if s == name {
+			return "epfl"
+		}
+	}
+	return "lgsynt91"
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"time"
+
+	"accals/internal/errmetric"
+	"accals/internal/mapping"
+)
+
+// Table2Row compares AccALS and SEALS on one large arithmetic circuit
+// under the ER threshold of 0.1% (the paper's Table II).
+type Table2Row struct {
+	Circuit     string
+	AccALSArea  float64 // area ratio vs the original
+	SEALSArea   float64
+	AccALSDelay float64 // delay ratio vs the original
+	SEALSDelay  float64
+	AccALSTime  time.Duration
+	SEALSTime   time.Duration
+	Speedup     float64
+}
+
+// Table2 runs both flows on the EPFL-style arithmetic circuits (single
+// run each, as in the paper, due to their size).
+func Table2(cfg Config) []Table2Row {
+	cfg = cfg.withDefaults()
+	cfg.Runs = 1 // the paper runs the large circuits once
+	const bound = 0.001
+
+	ckts := epflCircuits()
+	if cfg.Quick {
+		ckts = []string{"square", "sqrt"}
+	}
+
+	fprintf(cfg.Out, "Table II. AccALS vs SEALS on large arithmetic circuits, ER threshold 0.1%%.\n")
+	fprintf(cfg.Out, "%-8s %10s %10s %10s %10s %10s %10s %8s\n",
+		"Ckt", "Acc area", "SLS area", "Acc delay", "SLS delay", "Acc t", "SLS t", "speedup")
+
+	var rows []Table2Row
+	var avg Table2Row
+	for _, name := range ckts {
+		g := mustCircuit(name)
+		oa, od := mapping.AreaDelay(g)
+		acc, sls := runPair(g, errmetric.ER, bound, cfg, cfg.Seed)
+		aa, ad := mapping.AreaDelay(acc.Final)
+		sa, sd := mapping.AreaDelay(sls.Final)
+		row := Table2Row{
+			Circuit:     name,
+			AccALSArea:  aa / oa,
+			SEALSArea:   sa / oa,
+			AccALSDelay: ad / od,
+			SEALSDelay:  sd / od,
+			AccALSTime:  acc.Runtime,
+			SEALSTime:   sls.Runtime,
+		}
+		if row.AccALSTime > 0 {
+			row.Speedup = float64(row.SEALSTime) / float64(row.AccALSTime)
+		}
+		rows = append(rows, row)
+		avg.AccALSArea += row.AccALSArea
+		avg.SEALSArea += row.SEALSArea
+		avg.AccALSDelay += row.AccALSDelay
+		avg.SEALSDelay += row.SEALSDelay
+		avg.AccALSTime += row.AccALSTime
+		avg.SEALSTime += row.SEALSTime
+		fprintf(cfg.Out, "%-8s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %10v %10v %7.1fx\n",
+			name, row.AccALSArea*100, row.SEALSArea*100,
+			row.AccALSDelay*100, row.SEALSDelay*100,
+			row.AccALSTime.Round(time.Millisecond), row.SEALSTime.Round(time.Millisecond),
+			row.Speedup)
+	}
+	k := float64(len(rows))
+	if k > 0 {
+		sp := 0.0
+		if avg.AccALSTime > 0 {
+			sp = float64(avg.SEALSTime) / float64(avg.AccALSTime)
+		}
+		fprintf(cfg.Out, "%-8s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %10v %10v %7.1fx\n",
+			"Avg", avg.AccALSArea/k*100, avg.SEALSArea/k*100,
+			avg.AccALSDelay/k*100, avg.SEALSDelay/k*100,
+			(avg.AccALSTime / time.Duration(len(rows))).Round(time.Millisecond),
+			(avg.SEALSTime / time.Duration(len(rows))).Round(time.Millisecond), sp)
+	}
+	return rows
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "time"
+
+// Table3Row reports single-run synthesis times for AccALS and the
+// AMOSA baseline on one LGSynt91 circuit (the paper's Table III).
+type Table3Row struct {
+	Circuit    string
+	AccALSTime time.Duration
+	AMOSATime  time.Duration
+}
+
+// Table3 derives the runtime comparison from the Fig. 7 runs.
+func Table3(cfg Config) []Table3Row {
+	cfg = cfg.withDefaults()
+	curves := Fig7(Config{
+		Patterns: cfg.Patterns,
+		Runs:     1,
+		Seed:     cfg.Seed,
+		Quick:    cfg.Quick,
+	})
+
+	fprintf(cfg.Out, "\nTable III. Runtime for the LGSynt91 circuits (single run).\n")
+	fprintf(cfg.Out, "%-8s %12s %12s %9s\n", "Ckt", "AccALS", "AMOSA", "ratio")
+	var rows []Table3Row
+	var accSum, amoSum time.Duration
+	for _, c := range curves {
+		rows = append(rows, Table3Row{Circuit: c.Circuit, AccALSTime: c.AccALSTime, AMOSATime: c.AMOSATime})
+		accSum += c.AccALSTime
+		amoSum += c.AMOSATime
+		ratio := 0.0
+		if c.AccALSTime > 0 {
+			ratio = float64(c.AMOSATime) / float64(c.AccALSTime)
+		}
+		fprintf(cfg.Out, "%-8s %12v %12v %8.1fx\n",
+			c.Circuit, c.AccALSTime.Round(time.Millisecond), c.AMOSATime.Round(time.Millisecond), ratio)
+	}
+	if len(rows) > 0 {
+		n := time.Duration(len(rows))
+		ratio := 0.0
+		if accSum > 0 {
+			ratio = float64(amoSum) / float64(accSum)
+		}
+		fprintf(cfg.Out, "%-8s %12v %12v %8.1fx\n", "average",
+			(accSum / n).Round(time.Millisecond), (amoSum / n).Round(time.Millisecond), ratio)
+	}
+	return rows
+}

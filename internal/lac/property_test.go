@@ -1,0 +1,145 @@
+package lac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"accals/internal/circuits"
+	"accals/internal/simulate"
+)
+
+// TestQuickERBoundedByDeviation checks the theorem that makes the
+// deviation count a sound ranking proxy: a single LAC can only change
+// an output on a pattern where it changes the target node's value, so
+// the fraction of erroneous patterns is at most dev/N.
+func TestQuickERBoundedByDeviation(t *testing.T) {
+	f := func(seed int64) bool {
+		nPI := 6 + int(uint(seed)%4)
+		g := circuits.RandomLogic("r", nPI, 3, 60, seed)
+		if g.NumAnds() == 0 {
+			return true
+		}
+		p := simulate.Exhaustive(nPI)
+		res := simulate.Run(g, p)
+		cands := Generate(g, res, Config{EnableResub: true})
+		exactPOs := res.POValues(g)
+		for _, l := range cands {
+			_, dev := l.Deviation(res)
+			ng := Apply(g, []*LAC{l})
+			nres := simulate.Run(ng, p)
+			npos := nres.POValues(ng)
+			diff := 0
+			for pat := 0; pat < p.NumPatterns(); pat++ {
+				for j := range npos {
+					if simulate.Bit(npos[j], pat) != simulate.Bit(exactPOs[j], pat) {
+						diff++
+						break
+					}
+				}
+			}
+			if diff > dev {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMultiLACApplyValid checks that any conflict-free subset of
+// generated candidates applies to a valid, interface-preserving,
+// never-larger circuit.
+func TestQuickMultiLACApplyValid(t *testing.T) {
+	f := func(seed int64, pick uint16) bool {
+		g := circuits.RandomLogic("r", 8, 3, 80, seed)
+		p := simulate.Exhaustive(8)
+		res := simulate.Run(g, p)
+		cands := Generate(g, res, Config{EnableResub: true})
+		if len(cands) == 0 {
+			return true
+		}
+		// Greedily build a conflict-free subset driven by pick bits.
+		usedTN := map[int]bool{}
+		var chosen []*LAC
+		for i, l := range cands {
+			if pick&(1<<(uint(i)%16)) == 0 {
+				continue
+			}
+			if usedTN[l.Target] {
+				continue
+			}
+			conflict := false
+			for _, sn := range l.SNs {
+				if usedTN[sn] {
+					conflict = true
+					break
+				}
+			}
+			// Also reject if an already chosen LAC uses this target
+			// as an SN.
+			for _, c := range chosen {
+				for _, sn := range c.SNs {
+					if sn == l.Target {
+						conflict = true
+					}
+				}
+			}
+			if conflict {
+				continue
+			}
+			usedTN[l.Target] = true
+			chosen = append(chosen, l)
+			if len(chosen) >= 12 {
+				break
+			}
+		}
+		if len(chosen) == 0 {
+			return true
+		}
+		ng := Apply(g, chosen)
+		if ng.Check() != nil {
+			return false
+		}
+		if ng.NumPIs() != g.NumPIs() || ng.NumPOs() != g.NumPOs() {
+			return false
+		}
+		return ng.NumAnds() <= g.NumAnds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeviationMatchesDefinition cross-checks Deviation against a
+// per-pattern recomputation.
+func TestQuickDeviationMatchesDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := circuits.RandomLogic("r", 7, 2, 50, seed)
+		p := simulate.Exhaustive(7)
+		res := simulate.Run(g, p)
+		cands := Generate(g, res, Config{EnableResub: true, MaxPerTarget: 3})
+		for _, l := range cands {
+			mask, count := l.Deviation(res)
+			if simulate.PopCount(mask) != count {
+				return false
+			}
+			nv := l.NewValue(res)
+			cur := res.NodeVals[l.Target]
+			recount := 0
+			for pat := 0; pat < p.NumPatterns(); pat++ {
+				if simulate.Bit(nv, pat) != simulate.Bit(cur, pat) {
+					recount++
+				}
+			}
+			if recount != count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package mapping
+
+import (
+	"sort"
+
+	"accals/internal/aig"
+)
+
+// K is the cut size limit (4-feasible cuts, matching the 4-input
+// library).
+const K = 4
+
+// maxCutsPerNode bounds the priority-cut list kept per node.
+const maxCutsPerNode = 8
+
+// Cut is a k-feasible cut of a node: its leaves (sorted node ids) and
+// the node's function over the leaves.
+type Cut struct {
+	Leaves []int
+	TT     TT
+}
+
+// trivial returns the trivial cut of a node (the node itself).
+func trivialCut(id int) Cut {
+	return Cut{Leaves: []int{id}, TT: ttVar(0, 1)}
+}
+
+// enumerateCuts computes priority cuts for every node of g.
+func enumerateCuts(g *aig.Graph) [][]Cut {
+	cuts := make([][]Cut, g.NumNodes())
+	cuts[0] = []Cut{{Leaves: []int{0}, TT: 0}} // constant node: function 0
+	for id := 1; id < g.NumNodes(); id++ {
+		n := g.NodeAt(id)
+		if n.Kind == aig.KindPI {
+			cuts[id] = []Cut{trivialCut(id)}
+			continue
+		}
+		if n.Kind != aig.KindAnd {
+			continue
+		}
+		var merged []Cut
+		for _, c0 := range cuts[n.Fanin0.Node()] {
+			for _, c1 := range cuts[n.Fanin1.Node()] {
+				if c, ok := mergeCuts(c0, c1, n.Fanin0.IsCompl(), n.Fanin1.IsCompl()); ok {
+					merged = append(merged, c)
+				}
+			}
+		}
+		// The self-cut lets fanouts use this node as a leaf; the 2-leaf
+		// fanin cut guarantees a library match exists.
+		merged = append(merged, trivialCut(id), trivialCutOfAnd(g, id))
+		merged = dedupeAndPrune(merged)
+		cuts[id] = merged
+	}
+	return cuts
+}
+
+// trivialCutOfAnd returns the 2-leaf cut {fanin0, fanin1} of an AND
+// node, which always exists and guarantees a library match.
+func trivialCutOfAnd(g *aig.Graph, id int) Cut {
+	n := g.NodeAt(id)
+	l0, l1 := n.Fanin0.Node(), n.Fanin1.Node()
+	leaves := []int{l0, l1}
+	v0, v1 := ttVar(0, 2), ttVar(1, 2)
+	if l1 < l0 {
+		leaves[0], leaves[1] = l1, l0
+		v0, v1 = v1, v0
+	}
+	if n.Fanin0.IsCompl() {
+		v0 = ttNot(v0, 2)
+	}
+	if n.Fanin1.IsCompl() {
+		v1 = ttNot(v1, 2)
+	}
+	return Cut{Leaves: leaves, TT: v0 & v1}
+}
+
+// mergeCuts combines a cut of each fanin into a cut of the AND node,
+// complementing the fanin functions according to the edges. It fails
+// when the merged leaf set exceeds K.
+func mergeCuts(c0, c1 Cut, compl0, compl1 bool) (Cut, bool) {
+	leaves := mergeLeaves(c0.Leaves, c1.Leaves)
+	if len(leaves) > K {
+		return Cut{}, false
+	}
+	t0 := ttExpand(c0.TT, c0.Leaves, leaves)
+	t1 := ttExpand(c1.TT, c1.Leaves, leaves)
+	n := len(leaves)
+	if compl0 {
+		t0 = ttNot(t0, n)
+	}
+	if compl1 {
+		t1 = ttNot(t1, n)
+	}
+	return Cut{Leaves: leaves, TT: t0 & t1}, true
+}
+
+// mergeLeaves unions two sorted leaf lists.
+func mergeLeaves(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// dedupeAndPrune removes duplicate and dominated cuts and keeps at
+// most maxCutsPerNode, preferring smaller cuts (better reuse in the
+// area-flow covering).
+func dedupeAndPrune(cuts []Cut) []Cut {
+	sort.SliceStable(cuts, func(i, j int) bool {
+		if len(cuts[i].Leaves) != len(cuts[j].Leaves) {
+			return len(cuts[i].Leaves) < len(cuts[j].Leaves)
+		}
+		for k := range cuts[i].Leaves {
+			if cuts[i].Leaves[k] != cuts[j].Leaves[k] {
+				return cuts[i].Leaves[k] < cuts[j].Leaves[k]
+			}
+		}
+		return cuts[i].TT < cuts[j].TT
+	})
+	var out []Cut
+	for _, c := range cuts {
+		dup := false
+		for _, o := range out {
+			if sameLeaves(o.Leaves, c.Leaves) && o.TT == c.TT {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+		if len(out) >= maxCutsPerNode {
+			break
+		}
+	}
+	return out
+}
+
+func sameLeaves(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

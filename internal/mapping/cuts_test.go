@@ -1,0 +1,137 @@
+package mapping
+
+import (
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+)
+
+func TestMergeLeaves(t *testing.T) {
+	cases := []struct{ a, b, want []int }{
+		{[]int{1, 3}, []int{2, 4}, []int{1, 2, 3, 4}},
+		{[]int{1, 2}, []int{2, 3}, []int{1, 2, 3}},
+		{[]int{5}, []int{5}, []int{5}},
+		{nil, []int{7}, []int{7}},
+	}
+	for _, c := range cases {
+		got := mergeLeaves(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("merge(%v,%v) = %v", c.a, c.b, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("merge(%v,%v) = %v", c.a, c.b, got)
+			}
+		}
+	}
+}
+
+func TestEnumerateCutsInvariants(t *testing.T) {
+	g := circuits.CLA(8)
+	cuts := enumerateCuts(g)
+	for id := 0; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		list := cuts[id]
+		if len(list) == 0 || len(list) > maxCutsPerNode {
+			t.Fatalf("node %d: %d cuts", id, len(list))
+		}
+		hasSelf, hasFanin := false, false
+		n := g.NodeAt(id)
+		for _, c := range list {
+			if len(c.Leaves) > K {
+				t.Fatalf("node %d: oversized cut %v", id, c.Leaves)
+			}
+			for i := 1; i < len(c.Leaves); i++ {
+				if c.Leaves[i-1] >= c.Leaves[i] {
+					t.Fatalf("node %d: unsorted leaves %v", id, c.Leaves)
+				}
+			}
+			for _, l := range c.Leaves {
+				if l > id {
+					t.Fatalf("node %d: leaf %d after node", id, l)
+				}
+			}
+			if len(c.Leaves) == 1 && c.Leaves[0] == id {
+				hasSelf = true
+			}
+			if len(c.Leaves) == 2 &&
+				((c.Leaves[0] == n.Fanin0.Node() && c.Leaves[1] == n.Fanin1.Node()) ||
+					(c.Leaves[1] == n.Fanin0.Node() && c.Leaves[0] == n.Fanin1.Node())) {
+				hasFanin = true
+			}
+		}
+		if !hasSelf {
+			t.Fatalf("node %d: missing self-cut", id)
+		}
+		if !hasFanin {
+			t.Fatalf("node %d: missing fanin cut", id)
+		}
+	}
+}
+
+// TestCutTruthTables verifies each cut's truth table against direct
+// evaluation of the node function on every leaf assignment.
+func TestCutTruthTables(t *testing.T) {
+	g := aig.New("t")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	d := g.AddPI("d")
+	// f = (a & !b) | (c ^ d)
+	f := g.Or(g.And(a, b.Not()), g.Xor(c, d))
+	g.AddPO(f, "f")
+
+	cuts := enumerateCuts(g)
+	// Reference evaluation of a node under a PI assignment.
+	var eval func(l aig.Lit, assign map[int]bool) bool
+	eval = func(l aig.Lit, assign map[int]bool) bool {
+		n := g.NodeAt(l.Node())
+		var v bool
+		switch n.Kind {
+		case aig.KindConst:
+			v = false
+		case aig.KindPI:
+			v = assign[l.Node()]
+		default:
+			v = eval(n.Fanin0, assign) && eval(n.Fanin1, assign)
+		}
+		if l.IsCompl() {
+			return !v
+		}
+		return v
+	}
+
+	for id := 0; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		for _, cut := range cuts[id] {
+			// Only check cuts whose leaves are all PIs (so we can
+			// enumerate assignments directly).
+			allPI := true
+			for _, l := range cut.Leaves {
+				if !g.IsPI(l) {
+					allPI = false
+				}
+			}
+			if !allPI {
+				continue
+			}
+			n := len(cut.Leaves)
+			for m := 0; m < 1<<uint(n); m++ {
+				assign := map[int]bool{}
+				for i, leaf := range cut.Leaves {
+					assign[leaf] = m&(1<<uint(i)) != 0
+				}
+				want := eval(aig.MakeLit(id, false), assign)
+				got := cut.TT&(1<<uint(m)) != 0
+				if got != want {
+					t.Fatalf("node %d cut %v: minterm %d: tt %v, eval %v", id, cut.Leaves, m, got, want)
+				}
+			}
+		}
+	}
+}

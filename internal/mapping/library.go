@@ -1,0 +1,207 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cell is one standard cell of the library. Area and Delay are
+// normalised to the inverter (INV = 1.0/1.0), following the paper's
+// normalisation of all results to INV_X1 of the MCNC library.
+type Cell struct {
+	Name   string
+	Inputs int
+	Area   float64
+	Delay  float64
+	// fn evaluates the cell on its inputs; used to derive truth tables.
+	fn func(in []bool) bool
+}
+
+// Library is a matched standard-cell library.
+type Library struct {
+	Cells []Cell
+	// InvArea and InvDelay are the inverter's cost, charged for
+	// complemented cut inputs and complemented outputs.
+	InvArea  float64
+	InvDelay float64
+	// matches maps (inputs, truth table) to the cheapest realisation.
+	matches map[matchKey]Match
+}
+
+type matchKey struct {
+	n  int
+	tt TT
+}
+
+// Match is one library realisation of a cut function: the cell, the
+// permutation assigning cut leaves to cell pins, the input-complement
+// mask (each complemented input costs one inverter), and whether the
+// cell output must be inverted.
+type Match struct {
+	Cell *Cell
+	// Perm maps cut-leaf index to cell-input index.
+	Perm []int
+	// InputCompl has bit i set when cut leaf i must be inverted.
+	InputCompl int
+	// OutputCompl requires an inverter on the cell output.
+	OutputCompl bool
+	// Area is the full match cost including inverters.
+	Area float64
+	// Delay is the cell delay plus inverter delays on the slowest
+	// path assumption (input inverter + cell + output inverter).
+	Delay float64
+}
+
+// MCNC returns the mini MCNC-style library used by the experiments,
+// with area and delay normalised to the inverter.
+func MCNC() *Library {
+	lib := &Library{
+		InvArea:  1,
+		InvDelay: 1,
+		Cells: []Cell{
+			{"inv", 1, 1.0, 1.0, func(in []bool) bool { return !in[0] }},
+			{"nand2", 2, 2.0, 1.0, func(in []bool) bool { return !(in[0] && in[1]) }},
+			{"nor2", 2, 2.0, 1.4, func(in []bool) bool { return !(in[0] || in[1]) }},
+			{"and2", 2, 3.0, 1.6, func(in []bool) bool { return in[0] && in[1] }},
+			{"or2", 2, 3.0, 1.8, func(in []bool) bool { return in[0] || in[1] }},
+			{"xor2", 2, 5.0, 1.9, func(in []bool) bool { return in[0] != in[1] }},
+			{"xnor2", 2, 5.0, 2.1, func(in []bool) bool { return in[0] == in[1] }},
+			{"nand3", 3, 3.0, 1.4, func(in []bool) bool { return !(in[0] && in[1] && in[2]) }},
+			{"nor3", 3, 3.0, 2.4, func(in []bool) bool { return !(in[0] || in[1] || in[2]) }},
+			{"nand4", 4, 4.0, 1.8, func(in []bool) bool { return !(in[0] && in[1] && in[2] && in[3]) }},
+			{"nor4", 4, 4.0, 3.8, func(in []bool) bool { return !(in[0] || in[1] || in[2] || in[3]) }},
+			{"aoi21", 3, 3.0, 1.6, func(in []bool) bool { return !(in[0] && in[1] || in[2]) }},
+			{"oai21", 3, 3.0, 1.6, func(in []bool) bool { return !((in[0] || in[1]) && in[2]) }},
+			{"aoi22", 4, 4.0, 2.0, func(in []bool) bool { return !(in[0] && in[1] || in[2] && in[3]) }},
+			{"oai22", 4, 4.0, 2.0, func(in []bool) bool { return !((in[0] || in[1]) && (in[2] || in[3])) }},
+			{"mux2", 3, 5.0, 2.0, func(in []bool) bool {
+				if in[2] {
+					return in[1]
+				}
+				return in[0]
+			}},
+			{"maj3", 3, 6.0, 2.4, func(in []bool) bool {
+				n := 0
+				for _, v := range in[:3] {
+					if v {
+						n++
+					}
+				}
+				return n >= 2
+			}},
+		},
+	}
+	lib.buildMatches()
+	return lib
+}
+
+// cellTT computes the truth table of a cell over its input count.
+func cellTT(c *Cell) TT {
+	n := c.Inputs
+	var t TT
+	in := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		for i := 0; i < n; i++ {
+			in[i] = m&(1<<uint(i)) != 0
+		}
+		if c.fn(in) {
+			t |= 1 << uint(m)
+		}
+	}
+	return t
+}
+
+// buildMatches enumerates every cell under all input permutations and
+// input/output complementations, recording the cheapest match per
+// (inputs, truth table).
+func (lib *Library) buildMatches() {
+	lib.matches = make(map[matchKey]Match)
+	for ci := range lib.Cells {
+		cell := &lib.Cells[ci]
+		n := cell.Inputs
+		base := cellTT(cell)
+		for _, perm := range permutations(n) {
+			pt := ttPermute(base, perm, n)
+			for mask := 0; mask < 1<<uint(n); mask++ {
+				// The mask is over cell inputs after permutation,
+				// i.e. over cut-leaf indices directly.
+				mt := ttFlipInputs(pt, mask, n)
+				for _, outC := range []bool{false, true} {
+					tt := mt
+					if outC {
+						tt = ttNot(tt, n)
+					}
+					area := cell.Area + float64(popcount4(mask))*lib.InvArea
+					delay := cell.Delay
+					if mask != 0 {
+						delay += lib.InvDelay
+					}
+					if outC {
+						area += lib.InvArea
+						delay += lib.InvDelay
+					}
+					key := matchKey{n, tt}
+					if old, ok := lib.matches[key]; ok && !better(area, delay, old.Area, old.Delay) {
+						continue
+					}
+					lib.matches[key] = Match{
+						Cell:        cell,
+						Perm:        perm,
+						InputCompl:  mask,
+						OutputCompl: outC,
+						Area:        area,
+						Delay:       delay,
+					}
+				}
+			}
+		}
+	}
+}
+
+// better orders matches by area then delay.
+func better(a1, d1, a2, d2 float64) bool {
+	if a1 != a2 {
+		return a1 < a2
+	}
+	return d1 < d2
+}
+
+// MatchTT returns the cheapest library realisation of the given truth
+// table over n cut leaves, or ok == false when no cell (plus
+// inverters) implements it.
+func (lib *Library) MatchTT(tt TT, n int) (Match, bool) {
+	m, ok := lib.matches[matchKey{n, tt}]
+	return m, ok
+}
+
+// permutations returns all permutations of 0..n-1 (n <= 4).
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(cur []int, used int)
+	rec = func(cur []int, used int) {
+		if len(cur) == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used&(1<<uint(i)) == 0 {
+				rec(append(cur, i), used|1<<uint(i))
+			}
+		}
+	}
+	rec(nil, 0)
+	return out
+}
+
+// String summarises the library.
+func (lib *Library) String() string {
+	names := make([]string, len(lib.Cells))
+	for i, c := range lib.Cells {
+		names[i] = c.Name
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("Library(%d cells: %v)", len(lib.Cells), names)
+}

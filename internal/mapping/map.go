@@ -1,0 +1,210 @@
+package mapping
+
+import (
+	"math"
+
+	"accals/internal/aig"
+)
+
+// Result summarises a technology mapping.
+type Result struct {
+	// Area is the total cell area (inverter-normalised units).
+	Area float64
+	// Delay is the critical-path delay (inverter-normalised units).
+	Delay float64
+	// NumCells counts mapped cell instances (inverters included).
+	NumCells int
+	// CellCounts breaks instances down by cell name.
+	CellCounts map[string]int
+}
+
+// ADP returns the area-delay product.
+func (r *Result) ADP() float64 { return r.Area * r.Delay }
+
+// nodePlan records the chosen realisation of one AND node.
+type nodePlan struct {
+	cut   Cut
+	match Match
+	// used lists the cut leaves in the function's support (the ones
+	// the covering must realise).
+	used []int
+	// wireTo >= 0 realises the node as a wire (possibly inverted) to
+	// another node, with no cell.
+	wireTo     int
+	wireInvert bool
+	constant   bool
+	areaFlow   float64
+	arrival    float64
+}
+
+// buildPlans chooses, for every AND node, the area-flow-best cut and
+// library match.
+func buildPlans(g *aig.Graph, lib *Library) []nodePlan {
+	cuts := enumerateCuts(g)
+	refs := g.RefCounts()
+	plans := make([]nodePlan, g.NumNodes())
+
+	for id := 0; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		best := nodePlan{areaFlow: math.Inf(1), arrival: math.Inf(1), wireTo: -1}
+		for _, cut := range cuts[id] {
+			if len(cut.Leaves) == 1 && cut.Leaves[0] == id {
+				continue // self-cut is not a realisation
+			}
+			plan, ok := planForCut(g, lib, plans, refs, cut)
+			if !ok {
+				continue
+			}
+			if plan.areaFlow < best.areaFlow ||
+				(plan.areaFlow == best.areaFlow && plan.arrival < best.arrival) {
+				best = plan
+			}
+		}
+		if math.IsInf(best.areaFlow, 1) {
+			panic("mapping: node has no realisation (missing trivial cut?)")
+		}
+		plans[id] = best
+	}
+	return plans
+}
+
+// Map covers g with cells from lib and returns area and delay.
+func Map(g *aig.Graph, lib *Library) *Result {
+	plans := buildPlans(g, lib)
+
+	// Covering: walk from the POs through chosen cuts.
+	res := &Result{CellCounts: make(map[string]int)}
+	needed := make([]bool, g.NumNodes())
+	var stack []int
+	requireNode := func(id int) {
+		if g.IsAnd(id) && !needed[id] {
+			needed[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		l := g.PO(i)
+		requireNode(l.Node())
+		if l.IsCompl() {
+			res.Area += lib.InvArea
+			res.NumCells++
+			res.CellCounts["inv"]++
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		p := &plans[id]
+		switch {
+		case p.constant:
+			// No cell.
+		case p.wireTo >= 0:
+			if p.wireInvert {
+				res.Area += lib.InvArea
+				res.NumCells++
+				res.CellCounts["inv"]++
+			}
+			requireNode(p.wireTo)
+		default:
+			res.Area += p.match.Area
+			res.NumCells++
+			res.CellCounts[p.match.Cell.Name]++
+			if p.match.InputCompl != 0 {
+				res.NumCells += popcount4(p.match.InputCompl)
+				res.CellCounts["inv"] += popcount4(p.match.InputCompl)
+			}
+			if p.match.OutputCompl {
+				res.NumCells++
+				res.CellCounts["inv"]++
+			}
+			for _, leaf := range p.used {
+				requireNode(leaf)
+			}
+		}
+	}
+
+	// Delay: maximum PO arrival (inverted POs pay one inverter).
+	for i := 0; i < g.NumPOs(); i++ {
+		l := g.PO(i)
+		a := 0.0
+		if g.IsAnd(l.Node()) {
+			a = plans[l.Node()].arrival
+		}
+		if l.IsCompl() {
+			a += lib.InvDelay
+		}
+		if a > res.Delay {
+			res.Delay = a
+		}
+	}
+	return res
+}
+
+// planForCut evaluates one cut of a node: its library match (or
+// degenerate wire/constant realisation), area flow, and arrival time.
+func planForCut(g *aig.Graph, lib *Library, plans []nodePlan, refs []int, cut Cut) (nodePlan, bool) {
+	n := len(cut.Leaves)
+	tt, vars, m := ttShrink(cut.TT, n)
+
+	leafAF := func(leaf int) float64 {
+		if !g.IsAnd(leaf) {
+			return 0
+		}
+		r := refs[leaf]
+		if r < 1 {
+			r = 1
+		}
+		return plans[leaf].areaFlow / float64(r)
+	}
+	leafArr := func(leaf int) float64 {
+		if !g.IsAnd(leaf) {
+			return 0
+		}
+		return plans[leaf].arrival
+	}
+
+	switch m {
+	case 0:
+		// Constant function.
+		return nodePlan{cut: cut, constant: true, wireTo: -1}, true
+	case 1:
+		// Wire or inverter to a single leaf.
+		leaf := cut.Leaves[vars[0]]
+		inv := tt == ttNot(ttVar(0, 1), 1)
+		p := nodePlan{cut: cut, wireTo: leaf, wireInvert: inv}
+		p.areaFlow = leafAF(leaf)
+		p.arrival = leafArr(leaf)
+		if inv {
+			p.areaFlow += lib.InvArea
+			p.arrival += lib.InvDelay
+		}
+		return p, true
+	}
+
+	match, ok := lib.MatchTT(tt, m)
+	if !ok {
+		return nodePlan{}, false
+	}
+	p := nodePlan{cut: cut, match: match, wireTo: -1}
+	p.areaFlow = match.Area
+	for _, vi := range vars {
+		leaf := cut.Leaves[vi]
+		p.used = append(p.used, leaf)
+		p.areaFlow += leafAF(leaf)
+		if a := leafArr(leaf); a > p.arrival {
+			p.arrival = a
+		}
+	}
+	p.arrival += match.Delay
+	return p, true
+}
+
+// AreaDelay maps g onto the MCNC-style library and returns its area
+// and delay. It is the convenience entry point used by the
+// experiments.
+func AreaDelay(g *aig.Graph) (area, delay float64) {
+	r := Map(g, MCNC())
+	return r.Area, r.Delay
+}

@@ -1,0 +1,244 @@
+package mapping
+
+import (
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+)
+
+func TestTTVarAndNot(t *testing.T) {
+	if ttVar(0, 2) != 0b1010 || ttVar(1, 2) != 0b1100 {
+		t.Fatalf("ttVar wrong: %04b %04b", ttVar(0, 2), ttVar(1, 2))
+	}
+	if ttNot(0b1010, 2) != 0b0101 {
+		t.Fatalf("ttNot wrong")
+	}
+}
+
+func TestTTExpand(t *testing.T) {
+	// f = var over leaves {5}; expand to {3, 5}: becomes var 1.
+	got := ttExpand(ttVar(0, 1), []int{5}, []int{3, 5})
+	if got != ttVar(1, 2) {
+		t.Fatalf("expand: %04b, want %04b", got, ttVar(1, 2))
+	}
+	// AND over {3,5} expanded to {3,4,5}.
+	and2 := ttVar(0, 2) & ttVar(1, 2)
+	got = ttExpand(and2, []int{3, 5}, []int{3, 4, 5})
+	want := ttVar(0, 3) & ttVar(2, 3)
+	if got != want {
+		t.Fatalf("expand3: %08b, want %08b", got, want)
+	}
+}
+
+func TestTTPermute(t *testing.T) {
+	// Swap variables of x0 & !x1.
+	f := ttVar(0, 2) & ttNot(ttVar(1, 2), 2)
+	got := ttPermute(f, []int{1, 0}, 2)
+	want := ttVar(1, 2) & ttNot(ttVar(0, 2), 2)
+	if got != want {
+		t.Fatalf("permute: %04b, want %04b", got, want)
+	}
+}
+
+func TestTTFlipInputs(t *testing.T) {
+	f := ttVar(0, 2) & ttVar(1, 2)
+	got := ttFlipInputs(f, 0b01, 2)
+	want := ttNot(ttVar(0, 2), 2) & ttVar(1, 2)
+	if got != want {
+		t.Fatalf("flip: %04b, want %04b", got, want)
+	}
+}
+
+func TestTTSupportAndShrink(t *testing.T) {
+	// Function over 3 vars ignoring var 1.
+	f := ttVar(0, 3) & ttVar(2, 3)
+	if sup := ttSupport(f, 3); sup != 0b101 {
+		t.Fatalf("support = %03b", sup)
+	}
+	red, vars, m := ttShrink(f, 3)
+	if m != 2 || vars[0] != 0 || vars[1] != 2 {
+		t.Fatalf("shrink vars = %v (m=%d)", vars, m)
+	}
+	if red != ttVar(0, 2)&ttVar(1, 2) {
+		t.Fatalf("shrink tt = %04b", red)
+	}
+	// Constant function.
+	_, _, m = ttShrink(0, 3)
+	if m != 0 {
+		t.Fatalf("const shrink m = %d", m)
+	}
+}
+
+func TestLibraryMatchesBasicFunctions(t *testing.T) {
+	lib := MCNC()
+	and2 := ttVar(0, 2) & ttVar(1, 2)
+	m, ok := lib.MatchTT(and2, 2)
+	if !ok {
+		t.Fatal("no match for AND2")
+	}
+	if m.Cell.Name != "and2" || m.Area != 3 {
+		t.Fatalf("AND2 matched to %s (area %g); nand2+inv would cost 3 too, but and2 must not cost more", m.Cell.Name, m.Area)
+	}
+	// NAND2 must match its own cell exactly.
+	m, ok = lib.MatchTT(ttNot(and2, 2), 2)
+	if !ok || m.Area != 2 || m.Cell.Name != "nand2" {
+		t.Fatalf("NAND2 match: %+v", m)
+	}
+	// XOR2.
+	xor2 := ttVar(0, 2) ^ ttVar(1, 2)
+	m, ok = lib.MatchTT(xor2, 2)
+	if !ok || m.Cell.Name != "xor2" {
+		t.Fatalf("XOR2 match: %+v", m)
+	}
+	// MAJ3.
+	v0, v1, v2 := ttVar(0, 3), ttVar(1, 3), ttVar(2, 3)
+	maj := v0&v1 | v0&v2 | v1&v2
+	m, ok = lib.MatchTT(maj, 3)
+	if !ok || m.Cell.Name != "maj3" {
+		t.Fatalf("MAJ3 match: %+v", m)
+	}
+	// Every 2-input function must be matchable (completeness).
+	for tt := TT(0); tt < 16; tt++ {
+		if s := ttSupport(tt, 2); s != 0b11 {
+			continue // degenerate handled outside matching
+		}
+		if _, ok := lib.MatchTT(tt, 2); !ok {
+			t.Errorf("no match for 2-input function %04b", tt)
+		}
+	}
+}
+
+func TestMatchCostsIncludeInverters(t *testing.T) {
+	lib := MCNC()
+	// x & !y: cheapest is nor2(!x, y)? nor2 area 2 + inv 1 = 3; or
+	// and2 + inv = 4; nand2+inv variants... Expect area 3.
+	f := ttVar(0, 2) & ttNot(ttVar(1, 2), 2)
+	m, ok := lib.MatchTT(f, 2)
+	if !ok {
+		t.Fatal("no match for x&!y")
+	}
+	if m.Area > 3 {
+		t.Fatalf("x&!y costs %g (cell %s), want <= 3", m.Area, m.Cell.Name)
+	}
+}
+
+func TestMapSimpleCircuits(t *testing.T) {
+	// Single AND gate: one and2 cell (or equivalent at area <= 3).
+	g := aig.New("and")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.And(a, b), "y")
+	r := Map(g, MCNC())
+	if r.Area <= 0 || r.Area > 3 {
+		t.Fatalf("AND area = %g", r.Area)
+	}
+	if r.Delay <= 0 {
+		t.Fatalf("AND delay = %g", r.Delay)
+	}
+
+	// Wire PO: zero area.
+	g2 := aig.New("wire")
+	a2 := g2.AddPI("a")
+	g2.AddPO(a2, "y")
+	if r := Map(g2, MCNC()); r.Area != 0 || r.Delay != 0 {
+		t.Fatalf("wire mapped to area %g delay %g", r.Area, r.Delay)
+	}
+
+	// Inverted PO: exactly one inverter.
+	g3 := aig.New("inv")
+	a3 := g3.AddPI("a")
+	g3.AddPO(a3.Not(), "y")
+	if r := Map(g3, MCNC()); r.Area != 1 || r.Delay != 1 {
+		t.Fatalf("inverter mapped to area %g delay %g", r.Area, r.Delay)
+	}
+}
+
+func TestMapXorUsesXorCell(t *testing.T) {
+	g := aig.New("xor")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.Xor(a, b), "y")
+	r := Map(g, MCNC())
+	// XOR as 3 AIG nodes must collapse into a single 2-input
+	// xor-class cell. The mapper is single-phase, so the complemented
+	// PO edge costs one explicit inverter: xnor2 (5) + inv (1).
+	if r.Area != 6 {
+		t.Fatalf("XOR area = %g, want 6 (cells: %v)", r.Area, r.CellCounts)
+	}
+	if r.CellCounts["xnor2"]+r.CellCounts["xor2"] != 1 {
+		t.Fatalf("XOR cells: %v", r.CellCounts)
+	}
+}
+
+func TestMapFullAdderReusesSharedLogic(t *testing.T) {
+	g := aig.New("fa")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	sum := g.Xor(g.Xor(a, b), c)
+	carry := g.Maj3(a, b, c)
+	g.AddPO(sum, "s")
+	g.AddPO(carry, "co")
+	r := Map(g, MCNC())
+	// Two xor-class cells + maj3 + phase inverters: 5+5+6+3 = 19 with
+	// the single-phase mapper.
+	if r.Area > 19 {
+		t.Fatalf("full adder area = %g (cells %v), want <= 19", r.Area, r.CellCounts)
+	}
+}
+
+func TestMapBenchmarksSane(t *testing.T) {
+	for _, name := range []string{"rca32", "mtp8", "alu4", "c1908"} {
+		g, err := circuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Map(g, MCNC())
+		if r.Area <= 0 || r.Delay <= 0 {
+			t.Fatalf("%s: area %g delay %g", name, r.Area, r.Delay)
+		}
+		// Mapped area should be within sane multiples of AIG size.
+		nAnds := float64(g.NumAnds())
+		if r.Area < nAnds*0.4 || r.Area > nAnds*4.5 {
+			t.Errorf("%s: area %g implausible for %d AND nodes", name, r.Area, g.NumAnds())
+		}
+		if r.ADP() != r.Area*r.Delay {
+			t.Errorf("%s: ADP mismatch", name)
+		}
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	g := circuits.CLA(16)
+	r1 := Map(g, MCNC())
+	r2 := Map(g, MCNC())
+	if r1.Area != r2.Area || r1.Delay != r2.Delay || r1.NumCells != r2.NumCells {
+		t.Fatal("mapping not deterministic")
+	}
+}
+
+func TestMapSmallerCircuitMapsSmaller(t *testing.T) {
+	// Area must track circuit size: an approximated (smaller) AIG
+	// should not map to a larger area than the original by much.
+	g := circuits.ArrayMult(4)
+	full := Map(g, MCNC())
+	if full.Area <= 0 {
+		t.Fatal("zero area")
+	}
+	if full.CellCounts["inv"] > full.NumCells {
+		t.Fatal("cell accounting inconsistent")
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	if got := len(permutations(3)); got != 6 {
+		t.Fatalf("3! = %d", got)
+	}
+	if got := len(permutations(4)); got != 24 {
+		t.Fatalf("4! = %d", got)
+	}
+	if got := len(permutations(0)); got != 1 {
+		t.Fatalf("0! = %d", got)
+	}
+}

@@ -1,0 +1,412 @@
+package mapping
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"accals/internal/aig"
+)
+
+// Instance is one mapped cell occurrence with named nets.
+type Instance struct {
+	// Cell names the library cell ("inv" for phase inverters).
+	Cell string
+	// Output is the driven net.
+	Output string
+	// Inputs are the input nets in cell pin order.
+	Inputs []string
+}
+
+// Netlist is a gate-level view of a mapped circuit.
+type Netlist struct {
+	Name      string
+	Inputs    []string
+	Outputs   []string
+	Instances []Instance
+}
+
+// MapNetlist covers g like Map and additionally returns the gate-level
+// netlist with full pin connectivity.
+func MapNetlist(g *aig.Graph, lib *Library) (*Result, *Netlist) {
+	plans := buildPlans(g, lib)
+
+	nl := &Netlist{Name: g.Name}
+	res := &Result{CellCounts: make(map[string]int)}
+
+	netOf := make(map[int]string, g.NumNodes())
+	for i, id := range g.PIs() {
+		name := g.PIName(i)
+		if name == "" {
+			name = fmt.Sprintf("pi%d", i)
+		}
+		netOf[id] = name
+		nl.Inputs = append(nl.Inputs, name)
+	}
+	taken := map[string]bool{}
+	for _, n := range nl.Inputs {
+		taken[n] = true
+	}
+	netName := func(id int) string {
+		if n, ok := netOf[id]; ok {
+			return n
+		}
+		n := fmt.Sprintf("n%d", id)
+		for taken[n] {
+			n += "_"
+		}
+		taken[n] = true
+		netOf[id] = n
+		return n
+	}
+
+	emit := func(inst Instance, cell *Cell) {
+		nl.Instances = append(nl.Instances, inst)
+		res.NumCells++
+		res.CellCounts[inst.Cell]++
+		if cell != nil {
+			res.Area += cell.Area
+		} else {
+			res.Area += libCellArea(lib, inst.Cell)
+		}
+	}
+
+	// invNets caches inverted versions of nets to share inverters
+	// within the netlist (the scalar Map charges them per use; the
+	// netlist writer can do slightly better without changing ratios
+	// materially — the Result it returns reflects the shared count).
+	invNets := map[string]string{}
+	invOf := func(net string) string {
+		if n, ok := invNets[net]; ok {
+			return n
+		}
+		n := net + "_bar"
+		invNets[net] = n
+		emit(Instance{Cell: "inv", Output: n, Inputs: []string{net}}, nil)
+		return n
+	}
+
+	needed := make([]bool, g.NumNodes())
+	var order []int
+	var require func(id int)
+	require = func(id int) {
+		if !g.IsAnd(id) || needed[id] {
+			return
+		}
+		needed[id] = true
+		p := &plans[id]
+		switch {
+		case p.constant:
+		case p.wireTo >= 0:
+			require(p.wireTo)
+		default:
+			for _, leaf := range p.used {
+				require(leaf)
+			}
+		}
+		order = append(order, id) // post-order: fanins first
+	}
+	for _, l := range g.POs() {
+		require(l.Node())
+	}
+
+	// Constant nets, emitted lazily.
+	constNet := func(one bool) string {
+		name := "const0"
+		if one {
+			name = "const1"
+		}
+		if _, ok := invNets["__"+name]; !ok {
+			invNets["__"+name] = name
+			nl.Instances = append(nl.Instances, Instance{Cell: "tie" + name[len(name)-1:], Output: name})
+		}
+		return name
+	}
+
+	for _, id := range order {
+		p := &plans[id]
+		switch {
+		case p.constant:
+			// The node's function reduced to a constant.
+			one := p.cut.TT != 0
+			netOf[id] = constNet(one)
+		case p.wireTo >= 0:
+			src := netName(p.wireTo)
+			if p.wireInvert {
+				netOf[id] = invOf(src)
+			} else {
+				netOf[id] = src
+			}
+		default:
+			m := p.match
+			pins := make([]string, m.Cell.Inputs)
+			for pin := 0; pin < m.Cell.Inputs; pin++ {
+				leafIdx := m.Perm[pin]
+				net := netName(p.used[leafIdx])
+				if m.InputCompl&(1<<uint(leafIdx)) != 0 {
+					net = invOf(net)
+				}
+				pins[pin] = net
+			}
+			out := netName(id)
+			if m.OutputCompl {
+				inner := out + "_pre"
+				emit(Instance{Cell: m.Cell.Name, Output: inner, Inputs: pins}, m.Cell)
+				emit(Instance{Cell: "inv", Output: out, Inputs: []string{inner}}, nil)
+			} else {
+				emit(Instance{Cell: m.Cell.Name, Output: out, Inputs: pins}, m.Cell)
+			}
+		}
+	}
+
+	// Outputs (with inverters for complemented PO edges).
+	for i, l := range g.POs() {
+		name := g.POName(i)
+		if name == "" {
+			name = fmt.Sprintf("po%d", i)
+		}
+		nl.Outputs = append(nl.Outputs, name)
+		var src string
+		switch {
+		case l == aig.ConstFalse:
+			src = constNet(false)
+		case l == aig.ConstTrue:
+			src = constNet(true)
+		case l.IsCompl():
+			src = invOf(netName(l.Node()))
+		default:
+			src = netName(l.Node())
+		}
+		emit(Instance{Cell: "buf", Output: name, Inputs: []string{src}}, nil)
+	}
+
+	// Delay from the scalar mapper (arrival times are identical).
+	res.Delay = Map(g, lib).Delay
+	return res, nl
+}
+
+// libCellArea returns the area of a named cell, with buf/tie cells
+// free (they exist only to name nets).
+func libCellArea(lib *Library, name string) float64 {
+	switch name {
+	case "buf", "tie0", "tie1":
+		return 0
+	}
+	for i := range lib.Cells {
+		if lib.Cells[i].Name == name {
+			return lib.Cells[i].Area
+		}
+	}
+	return 0
+}
+
+// cellExpr maps each cell to a Verilog expression template with %s
+// placeholders per input pin.
+var cellExpr = map[string]string{
+	"inv":   "~%s",
+	"buf":   "%s",
+	"nand2": "~(%s & %s)",
+	"nor2":  "~(%s | %s)",
+	"and2":  "%s & %s",
+	"or2":   "%s | %s",
+	"xor2":  "%s ^ %s",
+	"xnor2": "~(%s ^ %s)",
+	"nand3": "~(%s & %s & %s)",
+	"nor3":  "~(%s | %s | %s)",
+	"nand4": "~(%s & %s & %s & %s)",
+	"nor4":  "~(%s | %s | %s | %s)",
+	"aoi21": "~((%s & %s) | %s)",
+	"oai21": "~((%s | %s) & %s)",
+	"aoi22": "~((%s & %s) | (%s & %s))",
+	"oai22": "~((%s | %s) & (%s | %s))",
+	"mux2":  "%[3]s ? %[2]s : %[1]s",
+	"maj3":  "(%[1]s & %[2]s) | (%[1]s & %[3]s) | (%[2]s & %[3]s)",
+	"tie0":  "1'b0",
+	"tie1":  "1'b1",
+}
+
+// WriteVerilog emits the netlist as a flat structural Verilog module
+// using assign statements.
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	ports := append(append([]string{}, n.Inputs...), n.Outputs...)
+	fmt.Fprintf(bw, "// generated by accals/internal/mapping\nmodule %s(%s);\n",
+		vlogID(n.Name), strings.Join(mapStrings(ports, vlogID), ", "))
+	for _, in := range n.Inputs {
+		fmt.Fprintf(bw, "  input %s;\n", vlogID(in))
+	}
+	for _, out := range n.Outputs {
+		fmt.Fprintf(bw, "  output %s;\n", vlogID(out))
+	}
+	// Wires: every instance output that is not a port.
+	port := map[string]bool{}
+	for _, p := range ports {
+		port[p] = true
+	}
+	var wires []string
+	seen := map[string]bool{}
+	for _, inst := range n.Instances {
+		if !port[inst.Output] && !seen[inst.Output] {
+			seen[inst.Output] = true
+			wires = append(wires, inst.Output)
+		}
+	}
+	sort.Strings(wires)
+	for _, wn := range wires {
+		fmt.Fprintf(bw, "  wire %s;\n", vlogID(wn))
+	}
+	for _, inst := range n.Instances {
+		tpl, ok := cellExpr[inst.Cell]
+		if !ok {
+			return fmt.Errorf("mapping: no Verilog template for cell %q", inst.Cell)
+		}
+		args := make([]interface{}, len(inst.Inputs))
+		for i, in := range inst.Inputs {
+			args[i] = vlogID(in)
+		}
+		fmt.Fprintf(bw, "  assign %s = %s;\n", vlogID(inst.Output), fmt.Sprintf(tpl, args...))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// vlogID sanitises a net name into a Verilog identifier.
+func vlogID(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+func mapStrings(in []string, f func(string) string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = f(s)
+	}
+	return out
+}
+
+// Eval evaluates the netlist on one input assignment (nets resolved
+// iteratively), returning output values by name. It is used by tests
+// to validate mapping correctness end to end.
+func (n *Netlist) Eval(inputs map[string]bool) (map[string]bool, error) {
+	val := map[string]bool{"const0": false, "const1": true}
+	for _, in := range n.Inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("mapping: missing input %q", in)
+		}
+		val[in] = v
+	}
+	remaining := append([]Instance(nil), n.Instances...)
+	for len(remaining) > 0 {
+		progress := false
+		var next []Instance
+		for _, inst := range remaining {
+			ready := true
+			ins := make([]bool, len(inst.Inputs))
+			for i, in := range inst.Inputs {
+				v, ok := val[in]
+				if !ok {
+					ready = false
+					break
+				}
+				ins[i] = v
+			}
+			if !ready {
+				next = append(next, inst)
+				continue
+			}
+			val[inst.Output] = evalCell(inst.Cell, ins)
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("mapping: netlist has unresolved nets")
+		}
+		remaining = next
+	}
+	out := map[string]bool{}
+	for _, o := range n.Outputs {
+		out[o] = val[o]
+	}
+	return out, nil
+}
+
+// evalCell computes one cell's output.
+func evalCell(cell string, in []bool) bool {
+	and := func() bool {
+		for _, v := range in {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	or := func() bool {
+		for _, v := range in {
+			if v {
+				return true
+			}
+		}
+		return false
+	}
+	switch cell {
+	case "inv":
+		return !in[0]
+	case "buf":
+		return in[0]
+	case "and2":
+		return and()
+	case "or2":
+		return or()
+	case "nand2", "nand3", "nand4":
+		return !and()
+	case "nor2", "nor3", "nor4":
+		return !or()
+	case "xor2":
+		return in[0] != in[1]
+	case "xnor2":
+		return in[0] == in[1]
+	case "aoi21":
+		return !(in[0] && in[1] || in[2])
+	case "oai21":
+		return !((in[0] || in[1]) && in[2])
+	case "aoi22":
+		return !(in[0] && in[1] || in[2] && in[3])
+	case "oai22":
+		return !((in[0] || in[1]) && (in[2] || in[3]))
+	case "mux2":
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	case "maj3":
+		n := 0
+		for _, v := range in {
+			if v {
+				n++
+			}
+		}
+		return n >= 2
+	case "tie0":
+		return false
+	case "tie1":
+		return true
+	}
+	panic("mapping: unknown cell " + cell)
+}

@@ -1,0 +1,118 @@
+package mapping
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/simulate"
+)
+
+// checkNetlistEquivalent evaluates the netlist against the AIG on
+// random vectors.
+func checkNetlistEquivalent(t *testing.T, g *aig.Graph, nl *Netlist, trials int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := simulate.NewPatterns(g.NumPIs(), trials, seed)
+	res := simulate.Run(g, p)
+	pos := res.POValues(g)
+	for trial := 0; trial < trials && trial < p.NumPatterns(); trial++ {
+		in := map[string]bool{}
+		for i := range nl.Inputs {
+			in[nl.Inputs[i]] = simulate.Bit(p.PIValue(i), trial)
+		}
+		out, err := nl.Eval(in)
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		for j, name := range nl.Outputs {
+			want := simulate.Bit(pos[j], trial)
+			if out[name] != want {
+				t.Fatalf("trial %d: output %s = %v, want %v", trial, name, out[name], want)
+			}
+		}
+	}
+	_ = rng
+}
+
+func TestMapNetlistEquivalence(t *testing.T) {
+	for _, name := range []string{"alu4", "mtp8", "c1908", "term1"} {
+		g, err := circuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, nl := MapNetlist(g, MCNC())
+		if res.Area <= 0 || len(nl.Instances) == 0 {
+			t.Fatalf("%s: empty netlist", name)
+		}
+		checkNetlistEquivalent(t, g, nl, 64, 9)
+	}
+}
+
+func TestMapNetlistConstantsAndInverted(t *testing.T) {
+	g := aig.New("consts")
+	a := g.AddPI("a")
+	g.AddPO(aig.ConstFalse, "zero")
+	g.AddPO(aig.ConstTrue, "one")
+	g.AddPO(a.Not(), "na")
+	_, nl := MapNetlist(g, MCNC())
+	out, err := nl.Eval(map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["zero"] || !out["one"] || out["na"] {
+		t.Fatalf("outputs: %v", out)
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	g := circuits.RCA(4)
+	_, nl := MapNetlist(g, MCNC())
+	var buf bytes.Buffer
+	if err := nl.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{"module rca4", "input a0;", "output cout;", "endmodule"} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Every assign target appears exactly once.
+	if strings.Count(v, "assign s0 =") != 1 {
+		t.Fatal("missing or duplicated output assign")
+	}
+}
+
+func TestNetlistSharedInverters(t *testing.T) {
+	// A signal inverted at many consumers should produce one shared
+	// inverter in the netlist.
+	g := aig.New("sharedinv")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	d := g.AddPI("d")
+	x := g.And(a, b)
+	g.AddPO(g.And(x.Not(), c), "y0")
+	g.AddPO(g.And(x.Not(), d), "y1")
+	_, nl := MapNetlist(g, MCNC())
+	checkNetlistEquivalent(t, g, nl, 16, 11)
+}
+
+func TestVlogID(t *testing.T) {
+	cases := map[string]string{
+		"abc":   "abc",
+		"a[3]":  "a_3_",
+		"3x":    "_3x",
+		"":      "_",
+		"a.b-c": "a_b_c",
+	}
+	for in, want := range cases {
+		if got := vlogID(in); got != want {
+			t.Errorf("vlogID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package mapping implements structural technology mapping of an AIG
+// onto a standard-cell library: k-feasible priority-cut enumeration
+// with truth-table computation, permutation/phase matching against the
+// library, and area-flow-based covering. It reports mapped area and
+// critical-path delay normalised to the inverter, standing in for the
+// paper's ABC "amap" flow over the MCNC library (ratios between an
+// approximate circuit and its exact original are insensitive to the
+// absolute mapper quality because both sides use the same mapper).
+//
+// The mapper is single-phase: each AND node is matched in its positive
+// polarity only, and complemented edges at cut leaves or primary
+// outputs are realised with explicit inverters. Dual-phase matching
+// would shave a few percent of area but does not affect the ratio
+// metrics the experiments report.
+package mapping
+
+import "math/bits"
+
+// TT is a truth table over at most 4 variables, stored in the low
+// 2^n bits (variable 0 toggles fastest).
+type TT uint16
+
+// varMask[i] is the truth table of variable i over 4 variables.
+var varMask = [4]TT{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+
+// ttMaskN returns the mask of valid minterm bits for n variables.
+func ttMaskN(n int) TT {
+	return TT((1 << (1 << uint(n))) - 1)
+}
+
+// ttVar returns the truth table of variable i restricted to n
+// variables.
+func ttVar(i, n int) TT {
+	return varMask[i] & ttMaskN(n)
+}
+
+// ttNot complements a truth table over n variables.
+func ttNot(t TT, n int) TT {
+	return ^t & ttMaskN(n)
+}
+
+// ttExpand remaps a truth table over the leaf list from to the leaf
+// list to (a superset, both sorted ascending), returning the table
+// over len(to) variables.
+func ttExpand(t TT, from, to []int) TT {
+	if len(from) == len(to) {
+		return t
+	}
+	// Map each variable of from to its position in to.
+	var pos [4]int
+	j := 0
+	for i, leaf := range from {
+		for to[j] != leaf {
+			j++
+		}
+		pos[i] = j
+	}
+	var out TT
+	n := len(to)
+	for m := 0; m < 1<<uint(n); m++ {
+		// Project minterm m of the target space onto the source space.
+		src := 0
+		for i := range from {
+			if m&(1<<uint(pos[i])) != 0 {
+				src |= 1 << uint(i)
+			}
+		}
+		if t&(1<<uint(src)) != 0 {
+			out |= 1 << uint(m)
+		}
+	}
+	return out
+}
+
+// ttPermute reorders the variables of a truth table over n variables:
+// variable i of the input becomes variable perm[i] of the output.
+func ttPermute(t TT, perm []int, n int) TT {
+	var out TT
+	for m := 0; m < 1<<uint(n); m++ {
+		if t&(1<<uint(m)) == 0 {
+			continue
+		}
+		dst := 0
+		for i := 0; i < n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				dst |= 1 << uint(perm[i])
+			}
+		}
+		out |= 1 << uint(dst)
+	}
+	return out
+}
+
+// ttFlipInputs complements the variables selected by mask.
+func ttFlipInputs(t TT, mask, n int) TT {
+	var out TT
+	for m := 0; m < 1<<uint(n); m++ {
+		if t&(1<<uint(m)) != 0 {
+			out |= 1 << uint(m^mask)
+		}
+	}
+	return out
+}
+
+// ttSupport returns the mask of variables the function depends on.
+func ttSupport(t TT, n int) int {
+	sup := 0
+	for i := 0; i < n; i++ {
+		c0, c1 := ttCofactors(t, i, n)
+		if c0 != c1 {
+			sup |= 1 << uint(i)
+		}
+	}
+	return sup
+}
+
+// ttCofactors returns the negative and positive cofactors of t with
+// respect to variable i, each expressed over the same n variables
+// (with variable i now redundant).
+func ttCofactors(t TT, i, n int) (TT, TT) {
+	vm := ttVar(i, n)
+	shift := uint(1) << uint(i)
+	c1 := t & vm
+	c1 |= c1 >> shift
+	c0 := t &^ vm
+	c0 |= c0 << shift
+	mask := ttMaskN(n)
+	return c0 & mask, c1 & mask
+}
+
+// ttShrink removes variables outside the support, returning the
+// reduced table, the surviving variable indices (ascending), and the
+// reduced variable count.
+func ttShrink(t TT, n int) (TT, []int, int) {
+	sup := ttSupport(t, n)
+	if sup == (1<<uint(n))-1 {
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = i
+		}
+		return t, vars, n
+	}
+	var vars []int
+	for i := 0; i < n; i++ {
+		if sup&(1<<uint(i)) != 0 {
+			vars = append(vars, i)
+		}
+	}
+	m := len(vars)
+	var out TT
+	for dst := 0; dst < 1<<uint(m); dst++ {
+		src := 0
+		for j, v := range vars {
+			if dst&(1<<uint(j)) != 0 {
+				src |= 1 << uint(v)
+			}
+		}
+		if t&(1<<uint(src)) != 0 {
+			out |= 1 << uint(dst)
+		}
+	}
+	return out, vars, m
+}
+
+// popcount4 counts set bits in small masks.
+func popcount4(m int) int { return bits.OnesCount(uint(m)) }

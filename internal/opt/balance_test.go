@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/simulate"
+)
+
+func equivalent(t *testing.T, a, b *aig.Graph, seed int64) {
+	t.Helper()
+	p := simulate.NewPatterns(a.NumPIs(), 1024, seed)
+	va := simulate.Run(a, p).POValues(a)
+	vb := simulate.Run(b, p).POValues(b)
+	for j := range va {
+		for w := range va[j] {
+			if va[j][w] != vb[j][w] {
+				t.Fatalf("PO %d differs after balance", j)
+			}
+		}
+	}
+}
+
+func TestBalanceChain(t *testing.T) {
+	// A left-leaning 16-input AND chain has depth 15; balanced it
+	// must come out at depth 4.
+	g := aig.New("chain")
+	acc := g.AddPI("x0")
+	for i := 1; i < 16; i++ {
+		acc = g.And(acc, g.AddPI("x"))
+	}
+	g.AddPO(acc, "y")
+	if g.Depth() != 15 {
+		t.Fatalf("chain depth = %d", g.Depth())
+	}
+	b := Balance(g)
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Depth() != 4 {
+		t.Fatalf("balanced depth = %d, want 4", b.Depth())
+	}
+	equivalent(t, g, b, 3)
+}
+
+func TestBalancePreservesFunctionOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"mtp8", "cla32", "alu4", "c3540", "term1"} {
+		g, err := circuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Balance(g)
+		if err := b.Check(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.NumPIs() != g.NumPIs() || b.NumPOs() != g.NumPOs() {
+			t.Fatalf("%s: interface changed", name)
+		}
+		if b.Depth() > g.Depth() {
+			t.Errorf("%s: depth grew %d -> %d", name, g.Depth(), b.Depth())
+		}
+		equivalent(t, g, b, 5)
+	}
+}
+
+func TestBalanceIdempotentDepth(t *testing.T) {
+	g, _ := circuits.ByName("c880")
+	b1 := Balance(g)
+	b2 := Balance(b1)
+	if b2.Depth() > b1.Depth() {
+		t.Fatalf("second balance grew depth %d -> %d", b1.Depth(), b2.Depth())
+	}
+	equivalent(t, b1, b2, 7)
+}
+
+func TestQuickBalanceEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		g := circuits.RandomLogic("r", 8, 3, 120, seed)
+		b := Balance(g)
+		if b.Check() != nil || b.Depth() > g.Depth() {
+			return false
+		}
+		p := simulate.Exhaustive(8)
+		va := simulate.Run(g, p).POValues(g)
+		vb := simulate.Run(b, p).POValues(b)
+		for j := range va {
+			for w := range va[j] {
+				if va[j][w] != vb[j][w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

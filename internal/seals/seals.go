@@ -1,0 +1,128 @@
+// Package seals implements the single-selection baseline flow modelled
+// on SEALS (Meng et al., DAC 2022): each round, the error increases of
+// all candidate LACs are estimated with the batch simulation-based
+// estimator, and only the single best LAC (minimum estimated error
+// increase, ties broken by larger area gain) is applied. This is the
+// state-of-the-art baseline AccALS is compared against in the paper's
+// Figs. 5-6 and Table II; both flows share the LAC generator and
+// estimator, so measured speedups isolate the effect of multi-LAC
+// selection.
+package seals
+
+import (
+	"sort"
+	"time"
+
+	"accals/internal/aig"
+	"accals/internal/core"
+	"accals/internal/errmetric"
+	"accals/internal/estimator"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+// Run synthesises an approximate version of orig whose error under the
+// given metric does not exceed errBound, applying one LAC per round.
+func Run(orig *aig.Graph, metric errmetric.Kind, errBound float64, opt core.Options) *core.Result {
+	start := time.Now()
+	pats := opt.Patterns(orig)
+	cmp := errmetric.NewComparator(metric, orig, pats)
+	return RunWithComparator(orig, cmp, errBound, opt, start)
+}
+
+// RunWithComparator is Run with a caller-supplied comparator.
+func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound float64, opt core.Options, start time.Time) *core.Result {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	params := opt.Params
+	maxRounds := params.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 1 << 20
+	}
+
+	gNew := orig.Clone()
+	e := 0.0
+	g := gNew
+	eG := 0.0
+	result := &core.Result{}
+	noProgress := 0
+
+	for round := 0; e <= errBound && round < maxRounds; round++ {
+		g, eG = gNew, e
+		roundStart := time.Now()
+		rs := core.RoundStats{Round: round, NumAnds: g.NumAnds()}
+
+		simRes := simulate.Run(g, cmp.Patterns())
+		cands := lac.Generate(g, simRes, opt.GenCfg)
+		rs.Candidates = len(cands)
+		if len(cands) == 0 {
+			break
+		}
+		if opt.ExactEstimates {
+			estimator.EstimateAllExact(g, simRes, cmp, cands)
+		} else {
+			estimator.EstimateAll(g, simRes, cmp, cands)
+		}
+		best := selectBest(cands)
+
+		gNew = lac.Apply(g, []*lac.LAC{best})
+		e = cmp.Error(gNew)
+		// A candidate may rebuild the same function without shrinking
+		// the circuit (its gain estimate was optimistic); selection is
+		// deterministic, so repeated stagnation means convergence.
+		if gNew.NumAnds() >= g.NumAnds() && e <= eG {
+			noProgress++
+			if noProgress >= 2 {
+				gNew, e = g, eG
+				break
+			}
+		} else {
+			noProgress = 0
+		}
+		rs.AppliedLACs = 1
+		rs.Error = e
+		rs.EstimatedErr = eG + best.DeltaE
+		rs.RoundDuration = time.Since(roundStart)
+		result.Rounds = append(result.Rounds, rs)
+		result.LACsApplied++
+		if opt.Progress != nil {
+			snap := rs
+			snap.Graph = gNew
+			opt.Progress(snap)
+		}
+	}
+
+	result.Final = g
+	result.Error = eG
+	result.Runtime = time.Since(start)
+	return result
+}
+
+// selectBest returns the LAC with the minimum estimated error
+// increase, breaking ties by larger gain then target id.
+func selectBest(cands []*lac.LAC) *lac.LAC {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if less(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func less(a, b *lac.LAC) bool {
+	if a.DeltaE != b.DeltaE {
+		return a.DeltaE < b.DeltaE
+	}
+	if a.Gain != b.Gain {
+		return a.Gain > b.Gain
+	}
+	return a.Target < b.Target
+}
+
+// SortCandidates orders LACs with the flow's comparison; exported for
+// tests.
+func SortCandidates(cands []*lac.LAC) {
+	sort.SliceStable(cands, func(i, j int) bool { return less(cands[i], cands[j]) })
+}

@@ -21,6 +21,19 @@
 // read from BLIF files (see ReadBLIF). Mapped area and delay against
 // an MCNC-style standard-cell library are available through
 // AreaDelay.
+//
+// # Run control
+//
+// Long runs are controllable: SynthesizeCtx (and the SEALS/AMOSA
+// variants) accept a context.Context plus Options.Deadline and
+// Options.MaxRuntime, check them once per round, and on interruption
+// return the best circuit found so far with Result.StopReason set to
+// StopCancelled or StopDeadlineExceeded. The Ctx variants also
+// validate their inputs up front and convert internal panics into
+// typed errors (ErrTooManyInputs, ErrTooManyOutputs, ErrInvalidBound,
+// ...), so they never panic on bad input. Runs can be checkpointed and
+// resumed through Options.Progress and Options.Start; the accals
+// command wires this up behind -checkpoint/-resume.
 package accals
 
 import (
@@ -116,8 +129,10 @@ func Benchmark(name string) (*Graph, error) { return circuits.ByName(name) }
 // BenchmarkNames lists the built-in benchmark circuits.
 func BenchmarkNames() []string { return circuits.Names() }
 
-// ReadBLIF parses a combinational BLIF model.
-func ReadBLIF(r io.Reader) (*Graph, error) { return blif.Read(r) }
+// ReadBLIF parses a combinational BLIF model. It never panics on
+// malformed input: parse failures are reported as errors wrapping
+// ErrMalformedInput.
+func ReadBLIF(r io.Reader) (*Graph, error) { return readGuarded(r, blif.Read) }
 
 // WriteBLIF emits a circuit as a BLIF model.
 func WriteBLIF(w io.Writer, g *Graph) error { return blif.Write(w, g) }
@@ -143,8 +158,10 @@ func MapToCells(g *Graph) *Netlist {
 // stand-in for ABC's preprocessing, useful before synthesis.
 func Balance(g *Graph) *Graph { return opt.Balance(g) }
 
-// ReadAIGER parses a combinational AIGER file (ASCII or binary).
-func ReadAIGER(r io.Reader) (*Graph, error) { return aiger.Read(r) }
+// ReadAIGER parses a combinational AIGER file (ASCII or binary). It
+// never panics on malformed input: parse failures are reported as
+// errors wrapping ErrMalformedInput.
+func ReadAIGER(r io.Reader) (*Graph, error) { return readGuarded(r, aiger.Read) }
 
 // WriteAIGER emits the circuit in binary AIGER format.
 func WriteAIGER(w io.Writer, g *Graph) error { return aiger.WriteBinary(w, g) }

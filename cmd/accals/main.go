@@ -7,142 +7,332 @@
 //	accals -circuit mtp8 -metric er -bound 0.05
 //	accals -blif design.blif -metric nmed -bound 0.0019531 -out approx.blif
 //	accals -circuit rca32 -method seals -metric mred -bound 0.001 -v
+//
+// Long runs are interrupt-safe: SIGINT/SIGTERM stops the run after the
+// current round and the best-so-far circuit is still written to -out,
+// -aiger and -verilog. With -checkpoint the run snapshots its state
+// every -checkpoint-every rounds, and -resume restarts from the latest
+// valid snapshot:
+//
+//	accals -circuit mtp8 -bound 0.05 -checkpoint ckpt/ -max-runtime 30s
+//	accals -circuit mtp8 -bound 0.05 -checkpoint ckpt/ -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"accals/internal/aig"
 	"accals/internal/aiger"
 	"accals/internal/blif"
+	"accals/internal/checkpoint"
 	"accals/internal/circuits"
 	"accals/internal/core"
 	"accals/internal/errmetric"
 	"accals/internal/mapping"
 	"accals/internal/opt"
+	"accals/internal/runctl"
 	"accals/internal/seals"
 )
 
-func main() {
-	circuitName := flag.String("circuit", "", "built-in benchmark name (see -list)")
-	blifPath := flag.String("blif", "", "input BLIF file (alternative to -circuit)")
-	metricName := flag.String("metric", "er", "error metric: er, nmed, mred, mhd")
-	bound := flag.Float64("bound", 0.05, "error bound (fraction, e.g. 0.05 = 5%)")
-	method := flag.String("method", "accals", "synthesis method: accals, seals")
-	patterns := flag.Int("patterns", 8192, "Monte-Carlo pattern budget")
-	seed := flag.Int64("seed", 1, "random seed")
-	outPath := flag.String("out", "", "write the approximate circuit as BLIF")
-	aigerPath := flag.String("aiger", "", "write the approximate circuit as binary AIGER")
-	verilogPath := flag.String("verilog", "", "write the mapped approximate circuit as structural Verilog")
-	balance := flag.Bool("balance", false, "balance the circuit before synthesis (depth reduction)")
-	verbose := flag.Bool("v", false, "print per-round progress")
-	list := flag.Bool("list", false, "list built-in benchmarks and exit")
-	flag.Parse()
+// config holds the parsed command line. It is validated up front so
+// every rejected combination produces one actionable message instead
+// of a failure deep inside the run.
+type config struct {
+	circuit     string
+	blifPath    string
+	metricName  string
+	bound       float64
+	method      string
+	patterns    int
+	seed        int64
+	hasSeed     bool // -seed given explicitly
+	outPath     string
+	aigerPath   string
+	verilogPath string
+	balance     bool
+	verbose     bool
 
-	if *list {
+	checkpointDir   string
+	checkpointEvery int
+	resume          bool
+	maxRuntime      time.Duration
+}
+
+func parseFlags(args []string) (*config, bool, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("accals", flag.ContinueOnError)
+	fs.StringVar(&cfg.circuit, "circuit", "", "built-in benchmark name (see -list)")
+	fs.StringVar(&cfg.blifPath, "blif", "", "input BLIF file (alternative to -circuit)")
+	fs.StringVar(&cfg.metricName, "metric", "er", "error metric: er, nmed, mred, mhd")
+	fs.Float64Var(&cfg.bound, "bound", 0.05, "error bound (fraction in (0,1], e.g. 0.05 = 5%)")
+	fs.StringVar(&cfg.method, "method", "accals", "synthesis method: accals, seals")
+	fs.IntVar(&cfg.patterns, "patterns", 8192, "Monte-Carlo pattern budget")
+	fs.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	fs.StringVar(&cfg.outPath, "out", "", "write the approximate circuit as BLIF")
+	fs.StringVar(&cfg.aigerPath, "aiger", "", "write the approximate circuit as binary AIGER")
+	fs.StringVar(&cfg.verilogPath, "verilog", "", "write the mapped approximate circuit as structural Verilog")
+	fs.BoolVar(&cfg.balance, "balance", false, "balance the circuit before synthesis (depth reduction)")
+	fs.BoolVar(&cfg.verbose, "v", false, "print per-round progress")
+	fs.StringVar(&cfg.checkpointDir, "checkpoint", "", "directory for periodic run snapshots")
+	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 10, "snapshot cadence in rounds (with -checkpoint)")
+	fs.BoolVar(&cfg.resume, "resume", false, "resume from the latest snapshot in -checkpoint")
+	fs.DurationVar(&cfg.maxRuntime, "max-runtime", 0, "stop after this wall-clock budget, keeping the best so far (e.g. 30s, 10m)")
+	list := fs.Bool("list", false, "list built-in benchmarks and exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, false, err
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			cfg.hasSeed = true
+		}
+	})
+	cfg.metricName = strings.ToLower(cfg.metricName)
+	cfg.method = strings.ToLower(cfg.method)
+	return cfg, *list, nil
+}
+
+// validate rejects unusable flag combinations before any work starts.
+func (c *config) validate() error {
+	switch {
+	case c.circuit != "" && c.blifPath != "":
+		return errors.New("use either -circuit or -blif, not both")
+	case c.circuit == "" && c.blifPath == "":
+		return errors.New("no input: use -circuit <name> or -blif <file> (-list shows benchmarks)")
+	}
+	if _, err := parseMetric(c.metricName); err != nil {
+		return err
+	}
+	if c.method != "accals" && c.method != "seals" {
+		return fmt.Errorf("unknown method %q (want accals or seals)", c.method)
+	}
+	if !(c.bound > 0 && c.bound <= 1) {
+		return fmt.Errorf("-bound %v out of range: want a fraction in (0,1], e.g. 0.05 for 5%%", c.bound)
+	}
+	if c.patterns <= 0 {
+		return fmt.Errorf("-patterns %d out of range: want a positive pattern budget", c.patterns)
+	}
+	if c.checkpointEvery < 1 {
+		return fmt.Errorf("-checkpoint-every %d out of range: want at least 1", c.checkpointEvery)
+	}
+	if c.resume && c.checkpointDir == "" {
+		return errors.New("-resume needs -checkpoint <dir> to load snapshots from")
+	}
+	return nil
+}
+
+func main() {
+	cfg, list, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if list {
 		for _, n := range circuits.Names() {
 			fmt.Println(n)
 		}
 		return
 	}
-
-	g, err := loadCircuit(*circuitName, *blifPath)
-	if err != nil {
+	if err := cfg.validate(); err != nil {
 		fatal(err)
 	}
-	metric, err := parseMetric(*metricName)
-	if err != nil {
+
+	// SIGINT/SIGTERM cancels the run after the current round; the
+	// best-so-far circuit is still reported and written below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, cfg, os.Stdout); err != nil {
 		fatal(err)
 	}
-	if *balance {
-		g = opt.Balance(g)
+}
+
+// run executes one synthesis according to cfg, writing the human
+// report to w. It is the whole command behind flag parsing, factored
+// out so tests can drive it directly.
+func run(ctx context.Context, cfg *config, w io.Writer) error {
+	g, err := loadCircuit(cfg.circuit, cfg.blifPath)
+	if err != nil {
+		return err
 	}
-	if metric.IsWordLevel() && g.NumPOs() > 63 {
-		fatal(fmt.Errorf("%v requires at most 63 outputs; %s has %d", metric, g.Name, g.NumPOs()))
+	metric, err := parseMetric(cfg.metricName)
+	if err != nil {
+		return err
+	}
+	if cfg.balance {
+		g, err = opt.BalanceCtx(ctx, g)
+		if err != nil {
+			return err
+		}
+	}
+	if err := errmetric.Validate(metric, g); err != nil {
+		return err
 	}
 
-	opt := core.Options{
-		NumPatterns: *patterns,
-		PatternSeed: *seed,
-		Params:      core.Params{Seed: *seed},
+	ropt := core.Options{
+		NumPatterns: cfg.patterns,
+		PatternSeed: cfg.seed,
+		Params:      core.Params{Seed: cfg.seed, HasSeed: cfg.hasSeed},
+		MaxRuntime:  cfg.maxRuntime,
 	}
-	if *verbose {
-		opt.Progress = func(rs core.RoundStats) {
+	ropt.HasPatternSeed = cfg.hasSeed
+
+	var ckpt *checkpoint.Writer
+	if cfg.checkpointDir != "" {
+		ckpt, err = checkpoint.NewWriter(cfg.checkpointDir, cfg.checkpointEvery)
+		if err != nil {
+			return err
+		}
+	}
+	if cfg.resume {
+		snap, err := prepareResume(cfg, g, &ropt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "resuming:  round %d, error %.6f (from %s)\n",
+			ropt.Start.Round, snap.Error, cfg.checkpointDir)
+	}
+
+	progress := func(rs core.RoundStats) {
+		if cfg.verbose {
 			kind := "multi "
 			if !rs.MultiRound {
 				kind = "single"
 			}
-			fmt.Printf("round %4d [%s] lacs=%3d err=%.6f ands=%d\n",
+			fmt.Fprintf(w, "round %4d [%s] lacs=%3d err=%.6f ands=%d\n",
 				rs.Round, kind, rs.AppliedLACs, rs.Error, rs.NumAnds)
 		}
+		if ckpt != nil && rs.Graph != nil && ckpt.Due(rs.Round) {
+			s := &checkpoint.Snapshot{
+				Round:   rs.Round,
+				Error:   rs.Error,
+				Seed:    ropt.Params.Seed,
+				HasSeed: ropt.Params.HasSeed,
+				Metric:  cfg.metricName,
+				Bound:   cfg.bound,
+				Method:  cfg.method,
+			}
+			if err := s.SetGraph(rs.Graph); err == nil {
+				err = ckpt.Save(s)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "accals: checkpoint round %d: %v\n", rs.Round, err)
+			}
+		}
 	}
+	ropt.Progress = progress
 
 	var res *core.Result
-	switch strings.ToLower(*method) {
+	switch cfg.method {
 	case "accals":
-		res = core.Run(g, metric, *bound, opt)
+		res = core.RunCtx(ctx, g, metric, cfg.bound, ropt)
 	case "seals":
-		res = seals.Run(g, metric, *bound, opt)
-	default:
-		fatal(fmt.Errorf("unknown method %q (want accals or seals)", *method))
+		res = seals.RunCtx(ctx, g, metric, cfg.bound, ropt)
 	}
 
 	oa, od := mapping.AreaDelay(g)
 	aa, ad := mapping.AreaDelay(res.Final)
-	fmt.Printf("circuit:   %s (%d PIs, %d POs)\n", g.Name, g.NumPIs(), g.NumPOs())
-	fmt.Printf("method:    %s, metric %v, bound %g\n", *method, metric, *bound)
-	fmt.Printf("error:     %.6f\n", res.Error)
-	fmt.Printf("AIG nodes: %d -> %d (%.2f%%)\n", g.NumAnds(), res.Final.NumAnds(),
+	fmt.Fprintf(w, "circuit:   %s (%d PIs, %d POs)\n", g.Name, g.NumPIs(), g.NumPOs())
+	fmt.Fprintf(w, "method:    %s, metric %v, bound %g\n", cfg.method, metric, cfg.bound)
+	fmt.Fprintf(w, "error:     %.6f\n", res.Error)
+	fmt.Fprintf(w, "AIG nodes: %d -> %d (%.2f%%)\n", g.NumAnds(), res.Final.NumAnds(),
 		pct(res.Final.NumAnds(), g.NumAnds()))
-	fmt.Printf("area:      %.1f -> %.1f (%.2f%%)\n", oa, aa, 100*aa/oa)
-	fmt.Printf("delay:     %.1f -> %.1f (%.2f%%)\n", od, ad, 100*ad/od)
-	fmt.Printf("rounds:    %d (%d LACs applied)\n", len(res.Rounds), res.LACsApplied)
-	fmt.Printf("runtime:   %v\n", res.Runtime.Round(res.Runtime/1000+1))
+	fmt.Fprintf(w, "area:      %.1f -> %.1f (%.2f%%)\n", oa, aa, 100*aa/oa)
+	fmt.Fprintf(w, "delay:     %.1f -> %.1f (%.2f%%)\n", od, ad, 100*ad/od)
+	fmt.Fprintf(w, "rounds:    %d (%d LACs applied)\n", len(res.Rounds), res.LACsApplied)
+	fmt.Fprintf(w, "runtime:   %v\n", res.Runtime.Round(res.Runtime/1000+1))
+	fmt.Fprintf(w, "stopped:   %v\n", res.StopReason)
+	if res.StopReason.Interrupted() {
+		fmt.Fprintf(w, "note:      run interrupted; outputs hold the best circuit found so far\n")
+	}
 
-	if *outPath != "" {
-		writeFile(*outPath, func(f *os.File) error { return blif.Write(f, res.Final) })
+	if cfg.outPath != "" {
+		if err := writeFile(w, cfg.outPath, func(f *os.File) error { return blif.Write(f, res.Final) }); err != nil {
+			return err
+		}
 	}
-	if *aigerPath != "" {
-		writeFile(*aigerPath, func(f *os.File) error { return aiger.WriteBinary(f, res.Final) })
+	if cfg.aigerPath != "" {
+		if err := writeFile(w, cfg.aigerPath, func(f *os.File) error { return aiger.WriteBinary(f, res.Final) }); err != nil {
+			return err
+		}
 	}
-	if *verilogPath != "" {
+	if cfg.verilogPath != "" {
 		_, nl := mapping.MapNetlist(res.Final, mapping.MCNC())
-		writeFile(*verilogPath, func(f *os.File) error { return nl.WriteVerilog(f) })
+		if err := writeFile(w, cfg.verilogPath, func(f *os.File) error { return nl.WriteVerilog(f) }); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// writeFile creates path and runs the writer, exiting on error.
-func writeFile(path string, write func(*os.File) error) {
+// prepareResume loads the latest snapshot, checks it belongs to this
+// run configuration, and installs it as the warm start.
+func prepareResume(cfg *config, g *aig.Graph, ropt *core.Options) (*checkpoint.Snapshot, error) {
+	snap, err := checkpoint.Latest(cfg.checkpointDir)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Metric != cfg.metricName || snap.Bound != cfg.bound || snap.Method != cfg.method {
+		return nil, fmt.Errorf("snapshot in %s is from a different run (metric %s, bound %g, method %s); rerun with matching flags or a fresh -checkpoint dir",
+			cfg.checkpointDir, snap.Metric, snap.Bound, snap.Method)
+	}
+	if cfg.hasSeed && snap.Seed != cfg.seed {
+		return nil, fmt.Errorf("snapshot in %s was created with -seed %d, got -seed %d; matching seeds are required for an exact resume",
+			cfg.checkpointDir, snap.Seed, cfg.seed)
+	}
+	sg, err := snap.Graph()
+	if err != nil {
+		return nil, err
+	}
+	if sg.NumPIs() != g.NumPIs() || sg.NumPOs() != g.NumPOs() {
+		return nil, fmt.Errorf("snapshot circuit has %d PIs / %d POs but the input has %d / %d; wrong -checkpoint dir for this circuit?",
+			sg.NumPIs(), sg.NumPOs(), g.NumPIs(), g.NumPOs())
+	}
+	// Adopt the snapshot's seed so an unseeded resume continues the
+	// original trajectory.
+	ropt.Params.Seed = snap.Seed
+	ropt.Params.HasSeed = snap.HasSeed
+	ropt.PatternSeed = snap.Seed
+	ropt.HasPatternSeed = snap.HasSeed
+	ropt.Start = &core.StartState{Graph: sg, Round: snap.Round + 1}
+	return snap, nil
+}
+
+// writeFile creates path and runs the writer.
+func writeFile(w io.Writer, path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := write(f); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
 }
 
 func loadCircuit(name, path string) (*aig.Graph, error) {
-	switch {
-	case name != "" && path != "":
-		return nil, fmt.Errorf("use either -circuit or -blif, not both")
-	case name != "":
+	if name != "" {
 		return circuits.ByName(name)
-	case path != "":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return blif.Read(f)
-	default:
-		return nil, fmt.Errorf("no input: use -circuit <name> or -blif <file> (-list shows benchmarks)")
 	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := blif.Read(f)
+	if err != nil && errors.Is(err, runctl.ErrMalformedInput) {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, err
 }
 
 func parseMetric(s string) (errmetric.Kind, error) {

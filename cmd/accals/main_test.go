@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accals/internal/checkpoint"
+)
+
+func mustParse(t *testing.T, args ...string) *config {
+	t.Helper()
+	cfg, list, err := parseFlags(args)
+	if err != nil {
+		t.Fatalf("parseFlags(%v): %v", args, err)
+	}
+	if list {
+		t.Fatalf("parseFlags(%v): unexpected -list", args)
+	}
+	return cfg
+}
+
+func TestValidateRejectsBadCombinations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"no input", []string{}, "no input"},
+		{"both inputs", []string{"-circuit", "mtp8", "-blif", "x.blif"}, "not both"},
+		{"bad metric", []string{"-circuit", "mtp8", "-metric", "wape"}, "unknown metric"},
+		{"bad method", []string{"-circuit", "mtp8", "-method", "anneal"}, "unknown method"},
+		{"zero bound", []string{"-circuit", "mtp8", "-bound", "0"}, "out of range"},
+		{"negative bound", []string{"-circuit", "mtp8", "-bound", "-0.1"}, "out of range"},
+		{"bound above one", []string{"-circuit", "mtp8", "-bound", "1.5"}, "out of range"},
+		{"zero patterns", []string{"-circuit", "mtp8", "-patterns", "0"}, "pattern budget"},
+		{"bad cadence", []string{"-circuit", "mtp8", "-checkpoint", "d", "-checkpoint-every", "0"}, "at least 1"},
+		{"resume without dir", []string{"-circuit", "mtp8", "-resume"}, "-resume needs -checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := mustParse(t, tc.args...)
+			err := cfg.validate()
+			if err == nil {
+				t.Fatalf("validate(%v) accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate(%v) = %q, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+
+	// A sane configuration passes.
+	if err := mustParse(t, "-circuit", "mtp8", "-bound", "0.05").validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	cfg := mustParse(t, "-circuit", "nosuch")
+	if err := run(context.Background(), cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunWordLevelMetricTooManyOutputs(t *testing.T) {
+	// apex6 has 99 outputs; NMED supports at most 63.
+	cfg := mustParse(t, "-circuit", "apex6", "-metric", "nmed", "-bound", "0.01")
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), cfg, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "outputs") {
+		t.Fatalf("want too-many-outputs error, got %v", err)
+	}
+}
+
+func TestRunCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	out1 := filepath.Join(dir, "a.blif")
+	ckpt := filepath.Join(dir, "ckpt")
+
+	cfg := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7",
+		"-checkpoint", ckpt, "-checkpoint-every", "1",
+		"-out", out1)
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), cfg, &buf); err != nil {
+		t.Fatalf("initial run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "stopped:   bounded") {
+		t.Fatalf("expected a bounded stop, got:\n%s", buf.String())
+	}
+	snap, err := checkpoint.Latest(ckpt)
+	if err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	if snap.Metric != "er" || snap.Bound != 0.05 || snap.Seed != 7 {
+		t.Fatalf("snapshot metadata wrong: %+v", snap)
+	}
+	if _, err := os.Stat(out1); err != nil {
+		t.Fatalf("-out not written: %v", err)
+	}
+
+	// Resuming the finished run restarts from the last snapshot and
+	// terminates again without error.
+	out2 := filepath.Join(dir, "b.blif")
+	cfg2 := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7",
+		"-checkpoint", ckpt, "-resume",
+		"-out", out2)
+	if err := cfg2.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := run(context.Background(), cfg2, &buf2); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, buf2.String())
+	}
+	if !strings.Contains(buf2.String(), "resuming:") {
+		t.Fatalf("resume did not load a snapshot:\n%s", buf2.String())
+	}
+	if _, err := os.Stat(out2); err != nil {
+		t.Fatalf("-out not written on resume: %v", err)
+	}
+
+	// A mismatched configuration must be refused, not silently resumed.
+	cfg3 := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.10",
+		"-checkpoint", ckpt, "-resume")
+	if err := cfg3.validate(); err != nil {
+		t.Fatal(err)
+	}
+	err = run(context.Background(), cfg3, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("mismatched resume accepted: %v", err)
+	}
+
+	// So must a mismatched explicit seed.
+	cfg4 := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-seed", "8", "-checkpoint", ckpt, "-resume")
+	if err := cfg4.validate(); err != nil {
+		t.Fatal(err)
+	}
+	err = run(context.Background(), cfg4, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-seed") {
+		t.Fatalf("mismatched seed accepted: %v", err)
+	}
+}
+
+func TestRunCancelledContextStillWritesOutput(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "best.blif")
+	cfg := mustParse(t, "-circuit", "rca32", "-bound", "0.05", "-patterns", "256", "-out", out)
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := run(ctx, cfg, &buf); err != nil {
+		t.Fatalf("cancelled run errored: %v", err)
+	}
+	if !strings.Contains(buf.String(), "stopped:   cancelled") {
+		t.Fatalf("expected cancelled stop, got:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "interrupted") {
+		t.Fatalf("expected interruption note, got:\n%s", buf.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("best-so-far output not written: %v", err)
+	}
+}

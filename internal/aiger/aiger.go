@@ -14,7 +14,21 @@ import (
 	"strings"
 
 	"accals/internal/aig"
+	"accals/internal/runctl"
 )
+
+// errf builds a parse error wrapping runctl.ErrMalformedInput, so
+// callers can classify rejects with errors.Is.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("aiger: %s: %w", fmt.Sprintf(format, args...), runctl.ErrMalformedInput)
+}
+
+// MaxVars bounds the maximum variable index accepted from an AIGER
+// header. Headers are attacker-controlled (a 30-byte file can declare
+// billions of variables), so allocations must not be proportional to
+// the header's claims beyond this cap. 4M variables comfortably covers
+// every benchmark suite the paper uses.
+const MaxVars = 1 << 22
 
 // WriteASCII emits g in the ASCII aag format.
 func WriteASCII(w io.Writer, g *aig.Graph) error {
@@ -111,29 +125,43 @@ func writeDelta(bw *bufio.Writer, x uint) {
 	bw.WriteByte(byte(x))
 }
 
-// Read parses an AIGER file in either format.
+// Read parses an AIGER file in either format. Rejected inputs return
+// an error wrapping runctl.ErrMalformedInput; Read never panics on
+// arbitrary bytes.
 func Read(r io.Reader) (*aig.Graph, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
-	if err != nil {
-		return nil, fmt.Errorf("aiger: reading header: %w", err)
+	if err != nil && header == "" {
+		return nil, errf("reading header: %v", err)
 	}
 	fields := strings.Fields(header)
 	if len(fields) < 6 {
-		return nil, fmt.Errorf("aiger: short header %q", header)
+		return nil, errf("short header %q", header)
 	}
 	kind := fields[0]
 	nums := make([]int, 5)
 	for i := 0; i < 5; i++ {
 		v, err := strconv.Atoi(fields[i+1])
 		if err != nil {
-			return nil, fmt.Errorf("aiger: header field %d: %w", i, err)
+			return nil, errf("header field %d: %v", i, err)
+		}
+		if v < 0 {
+			return nil, errf("negative header field %d: %d", i, v)
 		}
 		nums[i] = v
 	}
 	m, ni, nl, no, na := nums[0], nums[1], nums[2], nums[3], nums[4]
 	if nl != 0 {
-		return nil, fmt.Errorf("aiger: %d latches unsupported (combinational only)", nl)
+		return nil, errf("%d latches unsupported (combinational only)", nl)
+	}
+	if m > MaxVars {
+		return nil, errf("header declares %d variables, limit %d", m, MaxVars)
+	}
+	if ni > m || na > m || ni+na > m {
+		return nil, errf("header counts inconsistent: M=%d I=%d A=%d", m, ni, na)
+	}
+	if no > MaxVars {
+		return nil, errf("header declares %d outputs, limit %d", no, MaxVars)
 	}
 	switch kind {
 	case "aag":
@@ -141,7 +169,7 @@ func Read(r io.Reader) (*aig.Graph, error) {
 	case "aig":
 		return readBinary(br, m, ni, no, na)
 	}
-	return nil, fmt.Errorf("aiger: unknown format %q", kind)
+	return nil, errf("unknown format %q", kind)
 }
 
 func readASCII(br *bufio.Reader, m, ni, no, na int) (*aig.Graph, error) {
@@ -158,86 +186,113 @@ func readASCII(br *bufio.Reader, m, ni, no, na int) (*aig.Graph, error) {
 	readInts := func(n int) ([]int, error) {
 		line, err := br.ReadString('\n')
 		if err != nil && line == "" {
-			return nil, err
+			return nil, errf("truncated file: %v", err)
 		}
 		fs := strings.Fields(line)
 		if len(fs) != n {
-			return nil, fmt.Errorf("aiger: expected %d fields in %q", n, line)
+			return nil, errf("expected %d fields in %q", n, line)
 		}
 		out := make([]int, n)
 		for i, f := range fs {
 			out[i], err = strconv.Atoi(f)
 			if err != nil {
-				return nil, err
+				return nil, errf("bad integer %q: %v", f, err)
+			}
+			if out[i] < 0 {
+				return nil, errf("negative literal %d", out[i])
 			}
 		}
 		return out, nil
 	}
 
-	inVar := make([]int, ni)
 	for i := 0; i < ni; i++ {
 		v, err := readInts(1)
 		if err != nil {
 			return nil, err
 		}
 		if v[0]%2 != 0 || v[0] == 0 || v[0]/2 > m {
-			return nil, fmt.Errorf("aiger: bad input literal %d", v[0])
+			return nil, errf("bad input literal %d", v[0])
 		}
-		inVar[i] = v[0] / 2
-		lits[inVar[i]] = g.AddPI(fmt.Sprintf("i%d", i))
-		defined[inVar[i]] = true
+		if defined[v[0]/2] {
+			return nil, errf("input literal %d redefines variable %d", v[0], v[0]/2)
+		}
+		lits[v[0]/2] = g.AddPI(fmt.Sprintf("i%d", i))
+		defined[v[0]/2] = true
 	}
-	outLits := make([]int, no)
+	outLits := make([]int, 0, no)
 	for i := 0; i < no; i++ {
 		v, err := readInts(1)
 		if err != nil {
 			return nil, err
 		}
-		outLits[i] = v[0]
+		if v[0]/2 > m {
+			return nil, errf("output literal %d out of range", v[0])
+		}
+		outLits = append(outLits, v[0])
 	}
 	type andRow struct{ lhs, r0, r1 int }
-	rows := make([]andRow, na)
+	rows := make([]andRow, 0, na)
+	lhsSeen := make([]bool, m+1)
 	for i := 0; i < na; i++ {
 		v, err := readInts(3)
 		if err != nil {
 			return nil, err
 		}
 		if v[0]/2 > m || v[1]/2 > m || v[2]/2 > m || v[0]%2 != 0 || v[0] == 0 {
-			return nil, fmt.Errorf("aiger: AND row %d out of range: %v", i, v)
+			return nil, errf("AND row %d out of range: %v", i, v)
 		}
-		rows[i] = andRow{v[0], v[1], v[2]}
+		if defined[v[0]/2] || lhsSeen[v[0]/2] {
+			return nil, errf("AND row %d redefines variable %d", i, v[0]/2)
+		}
+		lhsSeen[v[0]/2] = true
+		rows = append(rows, andRow{v[0], v[1], v[2]})
 	}
-	// ASCII AIGER does not require topological order; iterate until
-	// all gates resolve (single extra pass suffices for DAGs emitted
-	// in order; loop for generality).
-	resolved := make([]bool, na)
-	remaining := na
-	for remaining > 0 {
-		progress := false
-		for i, row := range rows {
-			if resolved[i] {
+	// ASCII AIGER does not require topological order; resolve gates
+	// Kahn-style (each row waits on its undefined fanin variables), so
+	// adversarially shuffled inputs stay linear instead of quadratic.
+	waiters := make(map[int][]int)
+	missing := make([]int, len(rows))
+	queue := make([]int, 0, len(rows))
+	for i, row := range rows {
+		need := 0
+		for _, rv := range [2]int{row.r0 / 2, row.r1 / 2} {
+			if defined[rv] {
 				continue
 			}
-			v0, v1 := row.r0/2, row.r1/2
-			if !defined[v0] || !defined[v1] {
-				continue
+			if !lhsSeen[rv] {
+				return nil, errf("AND row %d references undefined variable %d", i, rv)
 			}
-			a := lits[v0].NotIf(row.r0%2 == 1)
-			b := lits[v1].NotIf(row.r1%2 == 1)
-			lits[row.lhs/2] = g.And(a, b)
-			defined[row.lhs/2] = true
-			resolved[i] = true
-			remaining--
-			progress = true
+			waiters[rv] = append(waiters[rv], i)
+			need++
 		}
-		if !progress {
-			return nil, fmt.Errorf("aiger: cyclic or undefined AND gates")
+		missing[i] = need
+		if need == 0 {
+			queue = append(queue, i)
 		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		row := rows[i]
+		a := lits[row.r0/2].NotIf(row.r0%2 == 1)
+		b := lits[row.r1/2].NotIf(row.r1%2 == 1)
+		lits[row.lhs/2] = g.And(a, b)
+		defined[row.lhs/2] = true
+		done++
+		for _, j := range waiters[row.lhs/2] {
+			if missing[j]--; missing[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if done != len(rows) {
+		return nil, errf("cyclic AND gates")
 	}
 	for i, ol := range outLits {
 		v := ol / 2
-		if v > m || !defined[v] {
-			return nil, fmt.Errorf("aiger: output %d references undefined variable %d", i, v)
+		if !defined[v] {
+			return nil, errf("output %d references undefined variable %d", i, v)
 		}
 		g.AddPO(lits[v].NotIf(ol%2 == 1), fmt.Sprintf("o%d", i))
 	}
@@ -245,23 +300,32 @@ func readASCII(br *bufio.Reader, m, ni, no, na int) (*aig.Graph, error) {
 }
 
 func readBinary(br *bufio.Reader, m, ni, no, na int) (*aig.Graph, error) {
+	// The binary format has no explicit variable indices: inputs are
+	// variables 1..I and ANDs I+1..I+A, so the header must satisfy
+	// M = I + A exactly.
+	if ni+na != m {
+		return nil, errf("binary header requires M = I + A, got M=%d I=%d A=%d", m, ni, na)
+	}
 	g := aig.New("aiger")
 	lits := make([]aig.Lit, m+1)
 	lits[0] = aig.ConstFalse
 	for i := 1; i <= ni; i++ {
 		lits[i] = g.AddPI(fmt.Sprintf("i%d", i-1))
 	}
-	outLits := make([]int, no)
+	outLits := make([]int, 0, no)
 	for i := 0; i < no; i++ {
 		line, err := br.ReadString('\n')
-		if err != nil {
-			return nil, err
+		if err != nil && line == "" {
+			return nil, errf("truncated outputs: %v", err)
 		}
 		v, err := strconv.Atoi(strings.TrimSpace(line))
 		if err != nil {
-			return nil, err
+			return nil, errf("bad output literal %q: %v", strings.TrimSpace(line), err)
 		}
-		outLits[i] = v
+		if v < 0 || v/2 > m {
+			return nil, errf("output literal %d out of range", v)
+		}
+		outLits = append(outLits, v)
 	}
 	for i := 0; i < na; i++ {
 		lhs := 2 * (ni + 1 + i)
@@ -273,32 +337,40 @@ func readBinary(br *bufio.Reader, m, ni, no, na int) (*aig.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		rhs0 := lhs - int(d0)
-		rhs1 := rhs0 - int(d1)
-		if rhs0 < 0 || rhs1 < 0 {
-			return nil, fmt.Errorf("aiger: negative literal in AND %d", i)
+		// Deltas are unsigned; anything that would take rhs below zero
+		// (or above lhs, via int wrap-around of an oversized delta) is
+		// malformed.
+		if d0 == 0 || d0 > uint(lhs) {
+			return nil, errf("AND %d: delta0 %d out of range for lhs %d", i, d0, lhs)
 		}
+		rhs0 := lhs - int(d0)
+		if d1 > uint(rhs0) {
+			return nil, errf("AND %d: delta1 %d out of range for rhs0 %d", i, d1, rhs0)
+		}
+		rhs1 := rhs0 - int(d1)
 		a := lits[rhs0/2].NotIf(rhs0%2 == 1)
 		b := lits[rhs1/2].NotIf(rhs1%2 == 1)
 		lits[ni+1+i] = g.And(a, b)
 	}
 	for i, ol := range outLits {
-		if ol/2 > m {
-			return nil, fmt.Errorf("aiger: output %d out of range", i)
-		}
 		g.AddPO(lits[ol/2].NotIf(ol%2 == 1), fmt.Sprintf("o%d", i))
 	}
 	return g.Sweep(), nil
 }
 
-// readDelta reads one LEB128-style delta.
+// readDelta reads one LEB128-style delta. Encodings longer than ten
+// bytes (the maximum for a 64-bit value) are rejected rather than
+// silently wrapped.
 func readDelta(br *bufio.Reader) (uint, error) {
 	var x uint
 	var shift uint
 	for {
 		b, err := br.ReadByte()
 		if err != nil {
-			return 0, err
+			return 0, errf("truncated delta: %v", err)
+		}
+		if shift > 63 {
+			return 0, errf("delta encoding too long")
 		}
 		x |= uint(b&0x7f) << shift
 		if b&0x80 == 0 {

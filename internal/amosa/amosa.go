@@ -14,6 +14,7 @@
 package amosa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
 
@@ -35,8 +37,11 @@ type Options struct {
 	// PoolSize bounds the candidate LAC pool (smallest estimated
 	// error increases first). Defaults to 200.
 	PoolSize int
-	// Seed drives all randomness. Defaults to 1.
+	// Seed drives all randomness. A zero seed means "use the default
+	// (1)" unless HasSeed is set.
 	Seed int64
+	// HasSeed marks Seed as explicit, making a zero seed usable.
+	HasSeed bool
 	// NumPatterns is the Monte-Carlo sample size for error evaluation.
 	NumPatterns int
 	// InitialTemp and Cooling control the annealing schedule.
@@ -44,6 +49,13 @@ type Options struct {
 	Cooling     float64
 	// ArchiveLimit soft-bounds the archive size. Defaults to 50.
 	ArchiveLimit int
+	// Deadline, when non-zero, stops the annealer at that wall-clock
+	// time; the archive collected so far is returned with StopReason
+	// DeadlineExceeded. Checked once per iteration.
+	Deadline time.Time
+	// MaxRuntime, when positive, bounds wall-clock time from the run's
+	// start, like Deadline.
+	MaxRuntime time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -53,7 +65,7 @@ func (o Options) withDefaults() Options {
 	if o.PoolSize == 0 {
 		o.PoolSize = 200
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.HasSeed {
 		o.Seed = 1
 	}
 	if o.NumPatterns == 0 {
@@ -89,14 +101,27 @@ type Result struct {
 	Archive []Point
 	// Evaluations counts circuit evaluations performed.
 	Evaluations int
+	// StopReason records why the run ended: runctl.MaxRounds when the
+	// iteration budget completed normally, runctl.Stagnated when the
+	// candidate pool was empty, runctl.Cancelled or DeadlineExceeded
+	// when interrupted (the archive collected so far is still valid).
+	StopReason runctl.StopReason
 	// Runtime is the wall-clock optimisation time.
 	Runtime time.Duration
 }
 
 // Run explores approximate versions of orig under the given metric.
 func Run(orig *aig.Graph, metric errmetric.Kind, opt Options) *Result {
+	return RunCtx(context.Background(), orig, metric, opt)
+}
+
+// RunCtx is Run with a context: cancelling ctx (or reaching
+// Options.Deadline/MaxRuntime) stops the annealer at the next
+// iteration boundary, returning the archive collected so far.
+func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Options) *Result {
 	start := time.Now()
 	opt = opt.withDefaults()
+	ctl := runctl.NewController(ctx, opt.Deadline, opt.MaxRuntime, start)
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	pats := simulate.NewPatterns(orig.NumPIs(), opt.NumPatterns, opt.Seed)
@@ -115,8 +140,9 @@ func Run(orig *aig.Graph, metric errmetric.Kind, opt Options) *Result {
 		pool = pool[:opt.PoolSize]
 	}
 
-	r := &Result{}
+	r := &Result{StopReason: runctl.MaxRounds}
 	if len(pool) == 0 {
+		r.StopReason = runctl.Stagnated
 		r.Runtime = time.Since(start)
 		return r
 	}
@@ -142,6 +168,10 @@ func Run(orig *aig.Graph, metric errmetric.Kind, opt Options) *Result {
 
 	temp := opt.InitialTemp
 	for it := 0; it < opt.Iterations; it++ {
+		if reason, stop := ctl.Stop(); stop {
+			r.StopReason = reason
+			break
+		}
 		cand := perturb(cur, len(pool), conflicts, rng)
 		if cand == nil {
 			temp *= opt.Cooling

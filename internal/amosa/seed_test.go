@@ -1,0 +1,16 @@
+package amosa
+
+import "testing"
+
+// TestExplicitZeroSeed checks that Seed == 0 with HasSeed set survives
+// withDefaults instead of being remapped to the default seed.
+func TestExplicitZeroSeed(t *testing.T) {
+	o := Options{Seed: 0, HasSeed: true}.withDefaults()
+	if o.Seed != 0 {
+		t.Fatalf("explicit zero seed remapped to %d", o.Seed)
+	}
+	o = Options{Seed: 0}.withDefaults()
+	if o.Seed != 1 {
+		t.Fatalf("implicit zero seed became %d, want default 1", o.Seed)
+	}
+}

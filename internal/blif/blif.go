@@ -15,7 +15,14 @@ import (
 	"strings"
 
 	"accals/internal/aig"
+	"accals/internal/runctl"
 )
+
+// errf builds a parse error wrapping runctl.ErrMalformedInput, so
+// callers can classify rejects with errors.Is.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("blif: %s: %w", fmt.Sprintf(format, args...), runctl.ErrMalformedInput)
+}
 
 // cover is one parsed .names block.
 type cover struct {
@@ -80,7 +87,7 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		case ".names":
 			flushCover()
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("blif: line %d: .names needs at least an output", lineNo)
+				return nil, errf("line %d: .names needs at least an output", lineNo)
 			}
 			cur = &cover{
 				inputs: fields[1 : len(fields)-1],
@@ -90,10 +97,10 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		case ".end":
 			flushCover()
 		case ".latch", ".gate", ".mlatch", ".subckt":
-			return nil, fmt.Errorf("blif: line %d: unsupported construct %s (combinational .names only)", lineNo, fields[0])
+			return nil, errf("line %d: unsupported construct %s (combinational .names only)", lineNo, fields[0])
 		default:
 			if cur == nil {
-				return nil, fmt.Errorf("blif: line %d: cube outside .names", lineNo)
+				return nil, errf("line %d: cube outside .names", lineNo)
 			}
 			// Cube row: "<in-part> <out-val>" or just "<out-val>" for
 			// constant functions.
@@ -101,23 +108,23 @@ func Read(r io.Reader) (*aig.Graph, error) {
 			var outVal byte
 			if len(fields) == 1 {
 				if len(cur.inputs) != 0 {
-					return nil, fmt.Errorf("blif: line %d: cube arity mismatch", lineNo)
+					return nil, errf("line %d: cube arity mismatch", lineNo)
 				}
 				outVal = fields[0][0]
 			} else if len(fields) == 2 {
 				inPart = fields[0]
 				outVal = fields[1][0]
 			} else {
-				return nil, fmt.Errorf("blif: line %d: malformed cube", lineNo)
+				return nil, errf("line %d: malformed cube", lineNo)
 			}
 			if len(inPart) != len(cur.inputs) {
-				return nil, fmt.Errorf("blif: line %d: cube width %d does not match %d inputs", lineNo, len(inPart), len(cur.inputs))
+				return nil, errf("line %d: cube width %d does not match %d inputs", lineNo, len(inPart), len(cur.inputs))
 			}
 			if outVal != '0' && outVal != '1' {
-				return nil, fmt.Errorf("blif: line %d: output value %q", lineNo, outVal)
+				return nil, errf("line %d: output value %q", lineNo, outVal)
 			}
 			if len(cur.cubes) > 0 && cur.outVal != outVal {
-				return nil, fmt.Errorf("blif: line %d: mixed on-set and off-set rows", lineNo)
+				return nil, errf("line %d: mixed on-set and off-set rows", lineNo)
 			}
 			cur.outVal = outVal
 			cur.cubes = append(cur.cubes, inPart)
@@ -126,6 +133,9 @@ func Read(r io.Reader) (*aig.Graph, error) {
 	flushCover()
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if pending != "" {
+		return nil, errf("dangling line continuation at end of input")
 	}
 
 	return build(model, inputs, outputs, covers)
@@ -138,7 +148,7 @@ func build(model string, inputs, outputs []string, covers []*cover) (*aig.Graph,
 	signal := make(map[string]aig.Lit, len(inputs)+len(covers))
 	for _, in := range inputs {
 		if _, dup := signal[in]; dup {
-			return nil, fmt.Errorf("blif: duplicate input %q", in)
+			return nil, errf("duplicate input %q", in)
 		}
 		signal[in] = g.AddPI(in)
 	}
@@ -146,10 +156,10 @@ func build(model string, inputs, outputs []string, covers []*cover) (*aig.Graph,
 	byOutput := make(map[string]*cover, len(covers))
 	for _, c := range covers {
 		if _, dup := byOutput[c.output]; dup {
-			return nil, fmt.Errorf("blif: line %d: signal %q defined twice", c.line, c.output)
+			return nil, errf("line %d: signal %q defined twice", c.line, c.output)
 		}
 		if _, isPI := signal[c.output]; isPI {
-			return nil, fmt.Errorf("blif: line %d: signal %q redefines an input", c.line, c.output)
+			return nil, errf("line %d: signal %q redefines an input", c.line, c.output)
 		}
 		byOutput[c.output] = c
 	}
@@ -162,10 +172,10 @@ func build(model string, inputs, outputs []string, covers []*cover) (*aig.Graph,
 		}
 		c, ok := byOutput[name]
 		if !ok {
-			return 0, fmt.Errorf("blif: signal %q has no driver", name)
+			return 0, errf("signal %q has no driver", name)
 		}
 		if stack[name] {
-			return 0, fmt.Errorf("blif: combinational cycle through %q", name)
+			return 0, errf("combinational cycle through %q", name)
 		}
 		stack[name] = true
 		ins := make([]aig.Lit, len(c.inputs))
@@ -190,7 +200,7 @@ func build(model string, inputs, outputs []string, covers []*cover) (*aig.Graph,
 					term = g.And(term, ins[i].Not())
 				case '-':
 				default:
-					return 0, fmt.Errorf("blif: line %d: cube literal %q", c.line, cube[i])
+					return 0, errf("line %d: cube literal %q", c.line, cube[i])
 				}
 			}
 			sum = g.Or(sum, term)

@@ -1,0 +1,156 @@
+// Package checkpoint persists approximate-synthesis run state so that
+// long runs survive interruption. A Writer saves a Snapshot every N
+// rounds using an atomic write-then-rename, and Latest recovers the
+// highest-round valid snapshot from a directory, skipping torn or
+// corrupt files. The graph travels inside the snapshot as BLIF text,
+// which keeps snapshots self-contained, diffable, and independent of
+// internal node numbering.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"accals/internal/aig"
+	"accals/internal/blif"
+)
+
+// Snapshot is one recoverable point of a synthesis run. Round is the
+// global round counter (rounds completed before this snapshot was
+// taken), so a resumed run continues at Round+1 and per-round RNG
+// derivation replays identically.
+type Snapshot struct {
+	Round   int     `json:"round"`
+	Error   float64 `json:"error"`
+	Seed    int64   `json:"seed"`
+	HasSeed bool    `json:"has_seed,omitempty"`
+	Metric  string  `json:"metric"`
+	Bound   float64 `json:"bound"`
+	Method  string  `json:"method"`
+	BLIF    string  `json:"blif"`
+
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// Graph parses the embedded BLIF back into an AIG.
+func (s *Snapshot) Graph() (*aig.Graph, error) {
+	g, err := blif.Read(strings.NewReader(s.BLIF))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: embedded BLIF: %w", err)
+	}
+	return g, nil
+}
+
+// SetGraph serialises g into the snapshot as BLIF text.
+func (s *Snapshot) SetGraph(g *aig.Graph) error {
+	var sb strings.Builder
+	if err := blif.Write(&sb, g); err != nil {
+		return fmt.Errorf("checkpoint: serialise graph: %w", err)
+	}
+	s.BLIF = sb.String()
+	return nil
+}
+
+// Writer saves snapshots into a directory at a configurable cadence.
+type Writer struct {
+	dir   string
+	every int
+}
+
+// NewWriter prepares dir (creating it if needed) and returns a Writer
+// that considers a snapshot due every `every` rounds. every < 1 is
+// normalised to 1 (snapshot after every round).
+func NewWriter(dir string, every int) (*Writer, error) {
+	if every < 1 {
+		every = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Writer{dir: dir, every: every}, nil
+}
+
+// Dir returns the directory snapshots are written to.
+func (w *Writer) Dir() string { return w.dir }
+
+// Due reports whether a snapshot should be taken after round (rounds
+// are counted from 0, so with every=10 rounds 9, 19, ... are due).
+func (w *Writer) Due(round int) bool {
+	return (round+1)%w.every == 0
+}
+
+// Save writes s atomically: the JSON body goes to a temp file in the
+// same directory, is synced, and is then renamed into place, so a
+// crash mid-write can never leave a torn ckpt-*.json behind.
+func (w *Writer) Save(s *Snapshot) error {
+	if s.SavedAt.IsZero() {
+		s.SavedAt = time.Now()
+	}
+	body, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(w.dir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	final := filepath.Join(w.dir, fmt.Sprintf("ckpt-%08d.json", s.Round))
+	if err := os.Rename(tmpName, final); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Latest scans dir for the highest-round snapshot that decodes and
+// whose embedded BLIF parses. Corrupt or torn files are skipped, not
+// fatal. It returns os.ErrNotExist (wrapped) when the directory holds
+// no usable snapshot.
+func Latest(dir string) (*Snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".json") {
+			names = append(names, n)
+		}
+	}
+	// Zero-padded round numbers make lexical order round order; walk
+	// from the newest back to the first snapshot that validates.
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, n := range names {
+		body, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			continue
+		}
+		var s Snapshot
+		if err := json.Unmarshal(body, &s); err != nil {
+			continue
+		}
+		if _, err := s.Graph(); err != nil {
+			continue
+		}
+		return &s, nil
+	}
+	return nil, fmt.Errorf("checkpoint: no usable snapshot in %s: %w", dir, os.ErrNotExist)
+}

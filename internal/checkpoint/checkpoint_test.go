@@ -1,0 +1,133 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accals/internal/circuits"
+)
+
+func TestDueCadence(t *testing.T) {
+	w, err := NewWriter(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, round := range []int{0, 1, 8, 10, 18, 100} {
+		if w.Due(round) {
+			t.Errorf("round %d unexpectedly due with every=10", round)
+		}
+	}
+	for _, round := range []int{9, 19, 99, 109} {
+		if !w.Due(round) {
+			t.Errorf("round %d not due with every=10", round)
+		}
+	}
+	// every < 1 normalises to "every round".
+	w1, err := NewWriter(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		if !w1.Due(round) {
+			t.Errorf("round %d not due with every=1", round)
+		}
+	}
+}
+
+func TestSaveAndLatestRoundTrip(t *testing.T) {
+	g, err := circuits.ByName("rca32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, round := range []int{4, 9, 14} {
+		s := &Snapshot{
+			Round:  round,
+			Error:  0.01 * float64(round),
+			Seed:   42,
+			Metric: "er",
+			Bound:  0.05,
+			Method: "accals",
+		}
+		if err := s.SetGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 14 {
+		t.Fatalf("Latest picked round %d, want 14", got.Round)
+	}
+	if got.Metric != "er" || got.Bound != 0.05 || got.Seed != 42 || got.Method != "accals" {
+		t.Fatalf("metadata mangled: %+v", got)
+	}
+	rg, err := got.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.NumPIs() != g.NumPIs() || rg.NumPOs() != g.NumPOs() {
+		t.Fatalf("interface changed: got %d/%d PIs/POs, want %d/%d",
+			rg.NumPIs(), rg.NumPOs(), g.NumPIs(), g.NumPOs())
+	}
+	if err := rg.Check(); err != nil {
+		t.Fatalf("recovered graph fails Check: %v", err)
+	}
+}
+
+func TestLatestSkipsCorruptSnapshots(t *testing.T) {
+	g, err := circuits.ByName("rca32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Snapshot{Round: 5, Metric: "er", Bound: 0.1, Method: "accals"}
+	if err := good.SetGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	// Higher-round files that are torn JSON or carry broken BLIF must
+	// be skipped in favour of the round-5 snapshot.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-00000009.json"), []byte(`{"round": 9, "blif`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-00000008.json"), []byte(`{"round": 8, "blif": ".latch a b\n"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 5 {
+		t.Fatalf("Latest picked round %d, want 5 (corrupt files must be skipped)", got.Round)
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	_, err := Latest(t.TempDir())
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want wrapped os.ErrNotExist, got %v", err)
+	}
+	if _, err := Latest(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing directory must error")
+	}
+}

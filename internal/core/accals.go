@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
 
@@ -24,8 +26,12 @@ type Options struct {
 	// circuit has too many inputs for exhaustive simulation.
 	// Defaults to DefaultPatterns.
 	NumPatterns int
-	// PatternSeed seeds the Monte-Carlo pattern generator.
+	// PatternSeed seeds the Monte-Carlo pattern generator. A zero seed
+	// means "use the default (12345)" unless HasPatternSeed is set.
 	PatternSeed int64
+	// HasPatternSeed marks PatternSeed as explicit, making a zero
+	// pattern seed usable.
+	HasPatternSeed bool
 	// InputProbs, when non-nil, gives the probability of each primary
 	// input being 1, realising a non-uniform input distribution (the
 	// paper's flows assume uniform inputs but the framework supports
@@ -38,6 +44,30 @@ type Options struct {
 	// Progress, when non-nil, receives each round's statistics as the
 	// run proceeds.
 	Progress func(RoundStats)
+	// Deadline, when non-zero, stops the run at that wall-clock time,
+	// returning the best circuit so far with StopReason
+	// DeadlineExceeded. Checked once per round.
+	Deadline time.Time
+	// MaxRuntime, when positive, bounds the run's wall-clock time from
+	// its start; like Deadline it returns the best-so-far circuit with
+	// StopReason DeadlineExceeded.
+	MaxRuntime time.Duration
+	// Start, when non-nil, warm-starts the run from a checkpointed
+	// state instead of a fresh copy of the original circuit.
+	Start *StartState
+}
+
+// StartState warm-starts a run from a previously checkpointed circuit
+// (see internal/checkpoint). The graph must have the same PI/PO
+// interface as the original; its error is re-measured against the
+// reference comparator, so the pattern configuration should match the
+// interrupted run's for the resumed trajectory to be meaningful.
+type StartState struct {
+	// Graph is the approximate circuit to resume from.
+	Graph *aig.Graph
+	// Round is the round number the resumed run starts at (one past
+	// the checkpointed round).
+	Round int
 }
 
 // estimate dispatches to the configured estimator.
@@ -59,7 +89,7 @@ func (o Options) Patterns(g *aig.Graph) *simulate.Patterns {
 		n = DefaultPatterns
 	}
 	seed := o.PatternSeed
-	if seed == 0 {
+	if seed == 0 && !o.HasPatternSeed {
 		seed = 12345
 	}
 	if o.InputProbs != nil {
@@ -68,35 +98,82 @@ func (o Options) Patterns(g *aig.Graph) *simulate.Patterns {
 	return simulate.NewPatterns(g.NumPIs(), n, seed)
 }
 
+// roundSeed derives the per-round RNG seed from the run seed. Deriving
+// a fresh generator per round (rather than streaming one generator
+// through the whole run) is what makes checkpoint/resume exact: round
+// k of a resumed run draws the same random LAC sets as round k of an
+// uninterrupted one. The mix is SplitMix64's finalizer.
+func roundSeed(seed int64, round int) int64 {
+	x := uint64(seed) + uint64(round+1)*0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return int64(x)
+}
+
 // Run synthesises an approximate version of orig whose error under the
 // given metric does not exceed errBound, using the AccALS multi-LAC
 // selection framework (Algorithm 1).
 func Run(orig *aig.Graph, metric errmetric.Kind, errBound float64, opt Options) *Result {
+	return RunCtx(context.Background(), orig, metric, errBound, opt)
+}
+
+// RunCtx is Run with a context: cancelling ctx (or passing a context
+// with a deadline) stops the run at the next round boundary, returning
+// the best circuit accepted so far with StopReason Cancelled or
+// DeadlineExceeded.
+func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, errBound float64, opt Options) *Result {
 	start := time.Now()
 	pats := opt.Patterns(orig)
 	cmp := errmetric.NewComparator(metric, orig, pats)
-	return RunWithComparator(orig, cmp, errBound, opt, start)
+	return RunWithComparatorCtx(ctx, orig, cmp, errBound, opt, start)
 }
 
 // RunWithComparator is Run with a caller-supplied comparator, allowing
 // experiments to share the reference simulation across flows.
 func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound float64, opt Options, start time.Time) *Result {
+	return RunWithComparatorCtx(context.Background(), orig, cmp, errBound, opt, start)
+}
+
+// RunWithComparatorCtx is RunCtx with a caller-supplied comparator.
+func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.Comparator, errBound float64, opt Options, start time.Time) *Result {
 	if start.IsZero() {
 		start = time.Now()
 	}
 	params := opt.Params.fillDefaults(orig.NumAnds())
 	genCfg := opt.GenCfg
-	rng := rand.New(rand.NewSource(params.Seed))
+	ctl := runctl.NewController(ctx, opt.Deadline, opt.MaxRuntime, start)
 
 	gNew := orig.Clone()
 	e := 0.0
+	round0 := 0
+	if opt.Start != nil && opt.Start.Graph != nil {
+		gNew = opt.Start.Graph.Clone()
+		e = cmp.Error(gNew)
+		round0 = opt.Start.Round
+	}
 	g := gNew
-	eG := 0.0
+	eG := e
 	result := &Result{}
 	noProgress := 0
+	reason := runctl.Bounded
 
-	for round := 0; e <= errBound && round < params.MaxRounds; round++ {
+	for round := round0; ; round++ {
+		if e > errBound {
+			reason = runctl.Bounded
+			break
+		}
+		// gNew is within the bound: accept it as the new best.
 		g, eG = gNew, e
+		if round >= params.MaxRounds {
+			reason = runctl.MaxRounds
+			break
+		}
+		if r, stop := ctl.Stop(); stop {
+			reason = r
+			break
+		}
+		rng := rand.New(rand.NewSource(roundSeed(params.Seed, round)))
 		roundStart := time.Now()
 		rs := RoundStats{Round: round, NumAnds: g.NumAnds()}
 
@@ -104,6 +181,7 @@ func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound floa
 		cands := lac.Generate(g, simRes, genCfg)
 		rs.Candidates = len(cands)
 		if len(cands) == 0 {
+			reason = runctl.Stagnated
 			break
 		}
 		opt.estimate(g, simRes, cmp, cands)
@@ -206,6 +284,7 @@ func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound floa
 			noProgress++
 			if noProgress >= 4 {
 				gNew, e = g, eG
+				reason = runctl.Stagnated
 				break
 			}
 		} else {
@@ -215,6 +294,7 @@ func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound floa
 
 	result.Final = g
 	result.Error = eG
+	result.StopReason = reason
 	result.Runtime = time.Since(start)
 	return result
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+)
+
+// TestSingleLACFallbackNearBound forces the paper's improvement
+// technique 1 by making the trigger threshold l_e*errBound effectively
+// zero: every round after the error first moves off zero must fall
+// back to single-LAC selection (MultiRound false, exactly one LAC).
+func TestSingleLACFallbackNearBound(t *testing.T) {
+	g := circuits.ArrayMult(8)
+	opt := Options{
+		NumPatterns: 512,
+		Params:      Params{LE: 1e-9},
+	}
+	res := Run(g, errmetric.ER, 0.05, opt)
+
+	sawError := false
+	fallbacks := 0
+	for _, rs := range res.Rounds {
+		if sawError && rs.MultiRound {
+			t.Fatalf("round %d ran multi-LAC selection although error %v was already above l_e*bound",
+				rs.Round, rs.Error)
+		}
+		if !rs.MultiRound {
+			fallbacks++
+			if rs.AppliedLACs != 1 {
+				t.Fatalf("single-LAC fallback round %d applied %d LACs", rs.Round, rs.AppliedLACs)
+			}
+		}
+		if rs.Error > 0 {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Skip("run never left zero error; fallback not exercisable on this configuration")
+	}
+	if fallbacks == 0 {
+		t.Fatal("l_e = 1e-9 never triggered the single-LAC fallback")
+	}
+}
+
+// TestNegativeSetRevert forces improvement technique 2 by making the
+// revert threshold l_d effectively zero: any round whose measured
+// error exceeds its estimate must be redone with the single best LAC.
+func TestNegativeSetRevert(t *testing.T) {
+	g := circuits.ArrayMult(8)
+	opt := Options{
+		NumPatterns: 512,
+		Params:      Params{LD: 1e-9},
+	}
+	res := Run(g, errmetric.ER, 0.05, opt)
+
+	reverts := 0
+	for _, rs := range res.Rounds {
+		if rs.Reverted {
+			reverts++
+			if !rs.MultiRound {
+				t.Fatalf("round %d reverted but was not a multi-LAC round", rs.Round)
+			}
+			if rs.AppliedLACs != 1 {
+				t.Fatalf("reverted round %d kept %d LACs, want the single best", rs.Round, rs.AppliedLACs)
+			}
+		}
+	}
+	if reverts == 0 {
+		t.Fatal("l_d = 1e-9 never triggered the negative-set revert")
+	}
+	if res.Error > 0.05 {
+		t.Fatalf("final error %v exceeds the bound", res.Error)
+	}
+}
+
+// TestDisableImprovementsSuppressesGuards checks the ablation switch:
+// with DisableImprovements neither guard may fire even at extreme
+// thresholds.
+func TestDisableImprovementsSuppressesGuards(t *testing.T) {
+	g := circuits.ArrayMult(8)
+	opt := Options{
+		NumPatterns: 512,
+		Params:      Params{LE: 1e-9, LD: 1e-9, DisableImprovements: true},
+	}
+	res := Run(g, errmetric.ER, 0.05, opt)
+	for _, rs := range res.Rounds {
+		if !rs.MultiRound {
+			t.Fatalf("round %d used the single-LAC fallback despite DisableImprovements", rs.Round)
+		}
+		if rs.Reverted {
+			t.Fatalf("round %d reverted despite DisableImprovements", rs.Round)
+		}
+	}
+	if res.Error > 0.05 {
+		t.Fatalf("final error %v exceeds the bound", res.Error)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"accals/internal/aig"
+	"accals/internal/runctl"
 )
 
 // Params holds the AccALS hyper-parameters. Zero values are replaced
@@ -42,8 +43,18 @@ type Params struct {
 	// RSel is the reference selected-LAC count r_sel.
 	RSel int
 	// Seed drives the random LAC set selection and the MIS restarts.
+	// Each round derives its own generator from (Seed, round), so a
+	// resumed run replays exactly the same random choices as an
+	// uninterrupted one. A zero Seed means "use the default seed (1)"
+	// unless HasSeed is set.
 	Seed int64
+	// HasSeed marks Seed as explicit, making a zero seed usable.
+	// Without it, Seed == 0 is the historical "default, please" sentinel
+	// and is remapped to 1.
+	HasSeed bool
 	// MaxRounds caps the number of synthesis rounds as a safety net.
+	// Round numbers are global across resumed runs: resuming at round
+	// 50 with MaxRounds 60 runs at most 10 more rounds.
 	MaxRounds int
 
 	// Ablation switches (all false in the paper's configuration; used
@@ -106,7 +117,7 @@ func (p Params) fillDefaults(numAnds int) Params {
 	if p.RSel == 0 {
 		p.RSel = d.RSel
 	}
-	if p.Seed == 0 {
+	if p.Seed == 0 && !p.HasSeed {
 		p.Seed = d.Seed
 	}
 	if p.MaxRounds == 0 {
@@ -139,6 +150,9 @@ type RoundStats struct {
 	Graph *aig.Graph
 }
 
+// StopReason records why a run ended; see accals/internal/runctl.
+type StopReason = runctl.StopReason
+
 // Result is the outcome of a synthesis run.
 type Result struct {
 	// Final is the synthesised approximate circuit; its error is
@@ -147,6 +161,12 @@ type Result struct {
 	Final *aig.Graph
 	// Error is the final circuit's measured error.
 	Error float64
+	// StopReason records why the run ended: runctl.Bounded (the next
+	// step would exceed the error bound), runctl.MaxRounds,
+	// runctl.Stagnated, runctl.Cancelled or runctl.DeadlineExceeded.
+	// For the interrupted reasons Final still holds the best circuit
+	// accepted so far, whose error is within the bound.
+	StopReason StopReason
 	// Rounds records per-round statistics.
 	Rounds []RoundStats
 	// LACsApplied is the total number of LACs applied.

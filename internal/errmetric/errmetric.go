@@ -12,6 +12,7 @@ import (
 	"math/bits"
 
 	"accals/internal/aig"
+	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
 
@@ -72,10 +73,12 @@ type Comparator struct {
 
 // NewComparator simulates the reference graph ref under the pattern set
 // and returns a comparator for the chosen metric. For word-level
-// metrics the reference must have at most 63 outputs.
+// metrics the reference must have at most 63 outputs; violations panic
+// with an error wrapping runctl.ErrTooManyOutputs (use
+// NewComparatorChecked for an error-returning variant).
 func NewComparator(kind Kind, ref *aig.Graph, p *simulate.Patterns) *Comparator {
-	if kind.IsWordLevel() && ref.NumPOs() > 63 {
-		panic(fmt.Sprintf("errmetric: %v limited to 63 outputs, circuit %q has %d", kind, ref.Name, ref.NumPOs()))
+	if err := Validate(kind, ref); err != nil {
+		panic(err)
 	}
 	res := simulate.Run(ref, p)
 	c := &Comparator{
@@ -89,6 +92,27 @@ func NewComparator(kind Kind, ref *aig.Graph, p *simulate.Patterns) *Comparator 
 		c.exactVals = extractValues(c.exactPOs, p)
 	}
 	return c
+}
+
+// Validate reports whether the reference circuit is usable with the
+// metric: word-level metrics (NMED/MRED) interpret the outputs as one
+// unsigned integer and are limited to 63 outputs. The returned error
+// wraps runctl.ErrTooManyOutputs.
+func Validate(kind Kind, ref *aig.Graph) error {
+	if kind.IsWordLevel() && ref.NumPOs() > 63 {
+		return fmt.Errorf("errmetric: %v limited to 63 outputs, circuit %q has %d: %w", kind, ref.Name, ref.NumPOs(), runctl.ErrTooManyOutputs)
+	}
+	return nil
+}
+
+// NewComparatorChecked is NewComparator with an error return instead of
+// a panic on invalid (kind, reference) combinations.
+func NewComparatorChecked(kind Kind, ref *aig.Graph, p *simulate.Patterns) (c *Comparator, err error) {
+	defer runctl.Guard(&err)
+	if err := Validate(kind, ref); err != nil {
+		return nil, err
+	}
+	return NewComparator(kind, ref, p), nil
 }
 
 // Kind returns the metric the comparator evaluates.
@@ -105,7 +129,7 @@ func (c *Comparator) ExactPOs() []simulate.Vec { return c.exactPOs }
 // as the reference.
 func (c *Comparator) Error(approx *aig.Graph) float64 {
 	if approx.NumPOs() != c.numPOs {
-		panic("errmetric: PO count mismatch")
+		panic(fmt.Errorf("errmetric: approximate circuit has %d POs, reference has %d: %w", approx.NumPOs(), c.numPOs, runctl.ErrInterfaceMismatch))
 	}
 	res := simulate.Run(approx, c.patterns)
 	return c.ErrorFromPOs(res.POValues(approx))

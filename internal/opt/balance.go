@@ -7,15 +7,31 @@
 package opt
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"accals/internal/aig"
+	"accals/internal/runctl"
 )
 
 // Balance returns a functionally equivalent graph in which maximal
 // single-fanout AND chains are rebuilt as level-balanced trees
 // (smallest-level operands combined first, Huffman style).
 func Balance(g *aig.Graph) *aig.Graph {
+	ng, _ := BalanceCtx(context.Background(), g)
+	return ng
+}
+
+// balanceCheckStride is how many nodes BalanceCtx processes between
+// cancellation checks.
+const balanceCheckStride = 1 << 12
+
+// BalanceCtx is Balance with cooperative cancellation: on very large
+// graphs the pass checks ctx every few thousand nodes and returns
+// (nil, ctx.Err()) when cancelled or past the deadline.
+func BalanceCtx(ctx context.Context, g *aig.Graph) (*aig.Graph, error) {
+	ctl := runctl.NewController(ctx, time.Time{}, 0, time.Time{})
 	ng := aig.New(g.Name)
 	refs := g.RefCounts()
 	copyLit := make([]aig.Lit, g.NumNodes())
@@ -37,6 +53,11 @@ func Balance(g *aig.Graph) *aig.Graph {
 	}
 
 	for id := 0; id < g.NumNodes(); id++ {
+		if id%balanceCheckStride == balanceCheckStride-1 {
+			if reason, stop := ctl.Stop(); stop {
+				return nil, reason.Err()
+			}
+		}
 		switch n := g.NodeAt(id); n.Kind {
 		case aig.KindConst:
 			copyLit[id] = aig.ConstFalse
@@ -60,7 +81,7 @@ func Balance(g *aig.Graph) *aig.Graph {
 	for i, l := range g.POs() {
 		ng.AddPO(copyLit[l.Node()].NotIf(l.IsCompl()), g.POName(i))
 	}
-	return ng.Sweep()
+	return ng.Sweep(), nil
 }
 
 // conjLeaves collects the operand literals of the maximal conjunction

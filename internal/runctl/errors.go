@@ -1,0 +1,57 @@
+package runctl
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// Typed sentinel errors for input-driven failure modes. Internal
+// packages panic with errors wrapping these sentinels at their
+// contract boundaries; the public API converts the panics back into
+// errors with Guard, so callers can test with errors.Is.
+var (
+	// ErrTooManyInputs: the circuit has more primary inputs than a
+	// pattern generator supports (e.g. >20 for exhaustive simulation).
+	ErrTooManyInputs = errors.New("too many primary inputs")
+	// ErrTooManyOutputs: the circuit has more primary outputs than a
+	// word-level error metric supports (>63 for NMED/MRED).
+	ErrTooManyOutputs = errors.New("too many primary outputs")
+	// ErrMalformedInput: a parser rejected its input (BLIF/AIGER), or
+	// an API argument is structurally invalid (nil or empty circuit).
+	ErrMalformedInput = errors.New("malformed input")
+	// ErrInterfaceMismatch: two circuits that must share a PI/PO
+	// interface do not (approximate vs. reference, patterns vs. graph).
+	ErrInterfaceMismatch = errors.New("circuit interface mismatch")
+	// ErrInvalidBound: an error bound outside the metric's valid range.
+	ErrInvalidBound = errors.New("invalid error bound")
+	// ErrInternal: an internal invariant violation surfaced at the API
+	// boundary instead of crashing the process.
+	ErrInternal = errors.New("internal error")
+)
+
+// Guard converts a panic into an error assigned to *err; use it as
+//
+//	defer runctl.Guard(&err)
+//
+// at public API boundaries. Panic values that are errors (the typed
+// contract panics raised by internal packages) are preserved verbatim,
+// so sentinel matching with errors.Is keeps working; any other panic
+// value is wrapped in ErrInternal.
+func Guard(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if re, ok := r.(runtime.Error); ok {
+		// Index/nil/conversion panics are invariant violations, not
+		// contract errors, even though they satisfy the error interface.
+		*err = fmt.Errorf("%w: %v", ErrInternal, re)
+		return
+	}
+	if e, ok := r.(error); ok {
+		*err = e
+		return
+	}
+	*err = fmt.Errorf("%w: %v", ErrInternal, r)
+}

@@ -10,6 +10,7 @@
 package seals
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -18,20 +19,34 @@ import (
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
 
 // Run synthesises an approximate version of orig whose error under the
 // given metric does not exceed errBound, applying one LAC per round.
 func Run(orig *aig.Graph, metric errmetric.Kind, errBound float64, opt core.Options) *core.Result {
+	return RunCtx(context.Background(), orig, metric, errBound, opt)
+}
+
+// RunCtx is Run with a context: cancelling ctx (or reaching
+// Options.Deadline/MaxRuntime) stops the run at the next round
+// boundary, returning the best circuit so far with StopReason
+// Cancelled or DeadlineExceeded.
+func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, errBound float64, opt core.Options) *core.Result {
 	start := time.Now()
 	pats := opt.Patterns(orig)
 	cmp := errmetric.NewComparator(metric, orig, pats)
-	return RunWithComparator(orig, cmp, errBound, opt, start)
+	return RunWithComparatorCtx(ctx, orig, cmp, errBound, opt, start)
 }
 
 // RunWithComparator is Run with a caller-supplied comparator.
 func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound float64, opt core.Options, start time.Time) *core.Result {
+	return RunWithComparatorCtx(context.Background(), orig, cmp, errBound, opt, start)
+}
+
+// RunWithComparatorCtx is RunCtx with a caller-supplied comparator.
+func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.Comparator, errBound float64, opt core.Options, start time.Time) *core.Result {
 	if start.IsZero() {
 		start = time.Now()
 	}
@@ -40,16 +55,36 @@ func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound floa
 	if maxRounds == 0 {
 		maxRounds = 1 << 20
 	}
+	ctl := runctl.NewController(ctx, opt.Deadline, opt.MaxRuntime, start)
 
 	gNew := orig.Clone()
 	e := 0.0
+	round0 := 0
+	if opt.Start != nil && opt.Start.Graph != nil {
+		gNew = opt.Start.Graph.Clone()
+		e = cmp.Error(gNew)
+		round0 = opt.Start.Round
+	}
 	g := gNew
-	eG := 0.0
+	eG := e
 	result := &core.Result{}
 	noProgress := 0
+	reason := runctl.Bounded
 
-	for round := 0; e <= errBound && round < maxRounds; round++ {
+	for round := round0; ; round++ {
+		if e > errBound {
+			reason = runctl.Bounded
+			break
+		}
 		g, eG = gNew, e
+		if round >= maxRounds {
+			reason = runctl.MaxRounds
+			break
+		}
+		if r, stop := ctl.Stop(); stop {
+			reason = r
+			break
+		}
 		roundStart := time.Now()
 		rs := core.RoundStats{Round: round, NumAnds: g.NumAnds()}
 
@@ -57,6 +92,7 @@ func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound floa
 		cands := lac.Generate(g, simRes, opt.GenCfg)
 		rs.Candidates = len(cands)
 		if len(cands) == 0 {
+			reason = runctl.Stagnated
 			break
 		}
 		if opt.ExactEstimates {
@@ -75,6 +111,7 @@ func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound floa
 			noProgress++
 			if noProgress >= 2 {
 				gNew, e = g, eG
+				reason = runctl.Stagnated
 				break
 			}
 		} else {
@@ -95,6 +132,7 @@ func RunWithComparator(orig *aig.Graph, cmp *errmetric.Comparator, errBound floa
 
 	result.Final = g
 	result.Error = eG
+	result.StopReason = reason
 	result.Runtime = time.Since(start)
 	return result
 }

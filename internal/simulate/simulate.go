@@ -10,10 +10,12 @@
 package simulate
 
 import (
+	"fmt"
 	"math/bits"
 	"math/rand"
 
 	"accals/internal/aig"
+	"accals/internal/runctl"
 )
 
 // Vec holds bit-parallel signal values, one bit per pattern.
@@ -49,7 +51,7 @@ func NewPatterns(nPIs, nRandom int, seed int64) *Patterns {
 // keep memory bounded; use Random beyond that.
 func Exhaustive(nPIs int) *Patterns {
 	if nPIs > 20 {
-		panic("simulate: exhaustive pattern set limited to 20 inputs")
+		panic(fmt.Errorf("simulate: exhaustive pattern set limited to 20 inputs, got %d: %w", nPIs, runctl.ErrTooManyInputs))
 	}
 	n := 1 << nPIs
 	p := newPatterns(nPIs, n)
@@ -89,7 +91,7 @@ func Random(nPIs, nPatterns int, seed int64) *Patterns {
 // respect to the biased distribution.
 func Biased(nPIs int, probs []float64, nPatterns int, seed int64) *Patterns {
 	if len(probs) != nPIs {
-		panic("simulate: probability vector length mismatch")
+		panic(fmt.Errorf("simulate: probability vector length %d does not match %d inputs: %w", len(probs), nPIs, runctl.ErrInterfaceMismatch))
 	}
 	if nPatterns < 1 {
 		nPatterns = 1
@@ -115,7 +117,7 @@ func Explicit(nPIs int, vectors [][]bool) *Patterns {
 	p := newPatterns(nPIs, len(vectors))
 	for pat, vec := range vectors {
 		if len(vec) != nPIs {
-			panic("simulate: vector width mismatch")
+			panic(fmt.Errorf("simulate: vector width %d does not match %d inputs: %w", len(vec), nPIs, runctl.ErrInterfaceMismatch))
 		}
 		for pi, v := range vec {
 			if v {
@@ -171,7 +173,7 @@ type Result struct {
 // The graph's PI count must match the pattern set.
 func Run(g *aig.Graph, p *Patterns) *Result {
 	if g.NumPIs() != p.numPIs {
-		panic("simulate: PI count mismatch")
+		panic(fmt.Errorf("simulate: circuit has %d PIs but patterns were built for %d: %w", g.NumPIs(), p.numPIs, runctl.ErrInterfaceMismatch))
 	}
 	vals := make([]Vec, g.NumNodes())
 	vals[0] = make(Vec, p.words) // constant false: all zeros

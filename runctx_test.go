@@ -1,0 +1,217 @@
+package accals_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"accals"
+)
+
+// TestCancelMidSynthesis cancels the context from the Progress
+// callback after the first completed round and checks that the run
+// stops with StopCancelled while still returning a structurally valid
+// best-so-far circuit within the bound.
+func TestCancelMidSynthesis(t *testing.T) {
+	g, err := accals.Benchmark("mtp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	rounds := 0
+	opt := accals.Options{
+		NumPatterns: 512,
+		Progress: func(rs accals.RoundStats) {
+			rounds++
+			cancel() // stop after the first round completes
+		},
+	}
+	res, err := accals.SynthesizeCtx(ctx, g, accals.ER, 0.05, opt)
+	if err != nil {
+		t.Fatalf("SynthesizeCtx: %v", err)
+	}
+	if res.StopReason != accals.StopCancelled {
+		t.Fatalf("StopReason = %v, want %v", res.StopReason, accals.StopCancelled)
+	}
+	if res.Final == nil {
+		t.Fatal("cancelled run returned nil Final")
+	}
+	if err := res.Final.Check(); err != nil {
+		t.Fatalf("best-so-far circuit fails Check: %v", err)
+	}
+	if res.Final.NumPIs() != g.NumPIs() || res.Final.NumPOs() != g.NumPOs() {
+		t.Fatal("best-so-far circuit changed the PI/PO interface")
+	}
+	if res.Error > 0.05 {
+		t.Fatalf("best-so-far error %v exceeds the bound", res.Error)
+	}
+	if rounds == 0 {
+		t.Fatal("run cancelled before any round completed")
+	}
+}
+
+// TestMaxRuntimeDeadline gives the run a runtime budget that is
+// already spent and expects an immediate DeadlineExceeded stop.
+func TestMaxRuntimeDeadline(t *testing.T) {
+	g, err := accals.Benchmark("mtp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := accals.Options{NumPatterns: 256, MaxRuntime: time.Nanosecond}
+	res, err := accals.SynthesizeCtx(context.Background(), g, accals.ER, 0.05, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != accals.StopDeadlineExceeded {
+		t.Fatalf("StopReason = %v, want %v", res.StopReason, accals.StopDeadlineExceeded)
+	}
+	if res.Final == nil || res.Final.Check() != nil {
+		t.Fatal("deadline stop must still return a valid circuit")
+	}
+
+	// The SEALS baseline honours the same options.
+	res, err = accals.SynthesizeSEALSCtx(context.Background(), g, accals.ER, 0.05, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != accals.StopDeadlineExceeded {
+		t.Fatalf("SEALS StopReason = %v, want %v", res.StopReason, accals.StopDeadlineExceeded)
+	}
+}
+
+// TestUninterruptedRunStopReason checks the normal-completion reasons.
+func TestUninterruptedRunStopReason(t *testing.T) {
+	g, err := accals.Benchmark("rca32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := accals.SynthesizeCtx(context.Background(), g, accals.ER, 0.05, accals.Options{NumPatterns: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch res.StopReason {
+	case accals.StopBounded, accals.StopMaxRounds, accals.StopStagnated:
+	default:
+		t.Fatalf("uninterrupted run stopped with %v", res.StopReason)
+	}
+	if res.StopReason.Interrupted() {
+		t.Fatalf("%v must not count as interrupted", res.StopReason)
+	}
+	if accals.StopCancelled.Err() != context.Canceled {
+		t.Fatal("StopCancelled.Err() should be context.Canceled")
+	}
+}
+
+// TestSynthesizeCtxTypedErrors exercises the input-validation paths.
+func TestSynthesizeCtxTypedErrors(t *testing.T) {
+	ctx := context.Background()
+
+	if _, err := accals.SynthesizeCtx(ctx, nil, accals.ER, 0.05, accals.Options{}); !errors.Is(err, accals.ErrMalformedInput) {
+		t.Fatalf("nil circuit: got %v, want ErrMalformedInput", err)
+	}
+
+	empty := accals.New("empty")
+	empty.AddPI("a")
+	if _, err := accals.SynthesizeCtx(ctx, empty, accals.ER, 0.05, accals.Options{}); !errors.Is(err, accals.ErrMalformedInput) {
+		t.Fatalf("no outputs: got %v, want ErrMalformedInput", err)
+	}
+
+	g, err := accals.Benchmark("mtp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := accals.SynthesizeCtx(ctx, g, accals.ER, -0.1, accals.Options{}); !errors.Is(err, accals.ErrInvalidBound) {
+		t.Fatalf("negative bound: got %v, want ErrInvalidBound", err)
+	}
+
+	// A word-level metric on a 64-output circuit must be refused.
+	wide := accals.New("wide")
+	a := wide.AddPI("a")
+	for i := 0; i < 64; i++ {
+		wide.AddPO(a, fmt.Sprintf("y%d", i))
+	}
+	if _, err := accals.SynthesizeCtx(ctx, wide, accals.NMED, 0.01, accals.Options{}); !errors.Is(err, accals.ErrTooManyOutputs) {
+		t.Fatalf("64 outputs under NMED: got %v, want ErrTooManyOutputs", err)
+	}
+	// The same circuit is fine under the bit-level error rate.
+	if _, err := accals.SynthesizeCtx(ctx, wide, accals.ER, 0.01, accals.Options{NumPatterns: 64}); err != nil {
+		t.Fatalf("64 outputs under ER rejected: %v", err)
+	}
+
+	if _, err := accals.SynthesizeAMOSACtx(ctx, nil, accals.ER, accals.AMOSAOptions{}); !errors.Is(err, accals.ErrMalformedInput) {
+		t.Fatalf("AMOSA nil circuit: got %v, want ErrMalformedInput", err)
+	}
+}
+
+// TestErrorCheckedTyped verifies the non-panicking error measurement.
+func TestErrorCheckedTyped(t *testing.T) {
+	g, err := accals.Benchmark("rca32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := accals.ErrorChecked(g, g, accals.ER, 256, 1)
+	if err != nil || e != 0 {
+		t.Fatalf("self comparison: e=%v err=%v", e, err)
+	}
+
+	other, err := accals.Benchmark("mtp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := accals.ErrorChecked(g, other, accals.ER, 256, 1); !errors.Is(err, accals.ErrInterfaceMismatch) {
+		t.Fatalf("interface mismatch: got %v, want ErrInterfaceMismatch", err)
+	}
+
+	wide := accals.New("wide")
+	a := wide.AddPI("a")
+	for i := 0; i < 64; i++ {
+		wide.AddPO(a, fmt.Sprintf("y%d", i))
+	}
+	if _, err := accals.ErrorChecked(wide, wide, accals.NMED, 64, 1); !errors.Is(err, accals.ErrTooManyOutputs) {
+		t.Fatalf("64 outputs: got %v, want ErrTooManyOutputs", err)
+	}
+}
+
+// TestReadersNeverPanic feeds the hostile inputs from the fuzz corpus
+// through the public readers.
+func TestReadersNeverPanic(t *testing.T) {
+	for _, s := range []string{
+		"", ".latch a b\n", ".names a\n1 1 1\n",
+		"aag -1 -1 0 0 0\n", "aag 99999999999 0 0 0 0\n",
+		"aig 1 0 0 0 1\n", "aig 3 1 0 1 2\n4\n\xff\xff\xff\xff\xff",
+	} {
+		if _, err := accals.ReadBLIF(strings.NewReader(s)); err == nil && s != "" {
+			// empty input yields an empty model; anything else here
+			// must fail — but the real assertion is "no panic".
+			t.Logf("BLIF accepted %q", s)
+		}
+		if _, err := accals.ReadAIGER(strings.NewReader(s)); err == nil {
+			t.Errorf("AIGER accepted %q", s)
+		}
+	}
+}
+
+// TestBalanceCtxCancelled checks the cancellable preprocessing pass.
+func TestBalanceCtxCancelled(t *testing.T) {
+	g, err := accals.Benchmark("mtp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := accals.BalanceCtx(context.Background(), g)
+	if err != nil || ng == nil {
+		t.Fatalf("BalanceCtx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Small graphs may finish between cancellation checks; all that is
+	// required is a nil-graph-iff-error contract.
+	ng, err = accals.BalanceCtx(ctx, g)
+	if (ng == nil) != (err != nil) {
+		t.Fatalf("inconsistent result: graph=%v err=%v", ng, err)
+	}
+}

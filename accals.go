@@ -48,6 +48,7 @@ import (
 	"accals/internal/core"
 	"accals/internal/errmetric"
 	"accals/internal/mapping"
+	"accals/internal/obs"
 	"accals/internal/opt"
 	"accals/internal/seals"
 )
@@ -114,6 +115,10 @@ type AMOSAOptions = amosa.Options
 // AMOSAResult is the archive returned by the evolutionary baseline.
 type AMOSAResult = amosa.Result
 
+// AMOSAIterStats is the per-iteration snapshot passed to
+// AMOSAOptions.Progress.
+type AMOSAIterStats = amosa.IterStats
+
 // SynthesizeAMOSA runs the archived multi-objective simulated
 // annealing baseline, returning a Pareto archive of (error, area)
 // trade-offs rather than a single circuit.
@@ -168,6 +173,39 @@ func WriteAIGER(w io.Writer, g *Graph) error { return aiger.WriteBinary(w, g) }
 
 // WriteAIGERASCII emits the circuit in ASCII AIGER (aag) format.
 func WriteAIGERASCII(w io.Writer, g *Graph) error { return aiger.WriteASCII(w, g) }
+
+// Recorder collects a synthesis run's instrumentation: per-phase
+// spans, Prometheus-style metrics and a live status snapshot. Attach
+// one via Options.Recorder (or AMOSAOptions.Recorder); a nil Recorder
+// disables observability at near-zero cost. See the internal obs
+// package and the accals command's -trace/-metrics-addr flags.
+type Recorder = obs.Recorder
+
+// NewRecorder returns a live Recorder with the standard synthesis
+// metric series pre-registered.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// Tracer is a span sink for a Recorder (JSONL or Chrome trace_event
+// format); attach one with Recorder.AddTracer.
+type Tracer = obs.Tracer
+
+// TraceFormat selects a Tracer's output encoding.
+type TraceFormat = obs.TraceFormat
+
+// Trace output encodings: newline-delimited JSON events, or a Chrome
+// trace_event array loadable in chrome://tracing and Perfetto.
+const (
+	TraceJSONL  = obs.TraceJSONL
+	TraceChrome = obs.TraceChrome
+)
+
+// NewTracer writes one trace event per finished span to w in the
+// given format. Call Close (or Recorder.Finish) to flush.
+func NewTracer(w io.Writer, format TraceFormat) *Tracer { return obs.NewTracer(w, format) }
+
+// RunSummary aggregates a Recorder's metrics at end of run: per-phase
+// time breakdown, guard activation counts and duel win rates.
+type RunSummary = obs.Summary
 
 // EquivalenceResult reports a formal equivalence check.
 type EquivalenceResult = cec.Result

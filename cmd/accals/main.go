@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 	"accals/internal/core"
 	"accals/internal/errmetric"
 	"accals/internal/mapping"
+	"accals/internal/obs"
 	"accals/internal/opt"
 	"accals/internal/runctl"
 	"accals/internal/seals"
@@ -65,6 +68,21 @@ type config struct {
 	checkpointEvery int
 	resume          bool
 	maxRuntime      time.Duration
+
+	tracePath       string
+	traceChromePath string
+	metricsAddr     string
+	pprofAddr       string
+	summaryPath     string
+	progressEvery   time.Duration
+}
+
+// wantsObs reports whether any flag requires a live obs.Recorder. With
+// none set the flows run with a nil recorder (pure no-op path).
+func (c *config) wantsObs() bool {
+	return c.tracePath != "" || c.traceChromePath != "" ||
+		c.metricsAddr != "" || c.pprofAddr != "" ||
+		c.summaryPath != "" || c.progressEvery > 0
 }
 
 func parseFlags(args []string) (*config, bool, error) {
@@ -86,6 +104,12 @@ func parseFlags(args []string) (*config, bool, error) {
 	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 10, "snapshot cadence in rounds (with -checkpoint)")
 	fs.BoolVar(&cfg.resume, "resume", false, "resume from the latest snapshot in -checkpoint")
 	fs.DurationVar(&cfg.maxRuntime, "max-runtime", 0, "stop after this wall-clock budget, keeping the best so far (e.g. 30s, 10m)")
+	fs.StringVar(&cfg.tracePath, "trace", "", "write per-phase span events as JSONL to this file")
+	fs.StringVar(&cfg.traceChromePath, "trace-chrome", "", "write a Chrome trace_event file (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus), /status (JSON) and /debug/vars on this address (e.g. :9090, 127.0.0.1:0)")
+	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve /debug/pprof/ on this address")
+	fs.StringVar(&cfg.summaryPath, "summary", "", "write an end-of-run JSON summary (phase times, guard counts, duel win rates) to this file")
+	fs.DurationVar(&cfg.progressEvery, "progress-every", 0, "print a one-line progress summary to stderr at this interval (e.g. 5s; 0 disables)")
 	list := fs.Bool("list", false, "list built-in benchmarks and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, false, err
@@ -125,6 +149,9 @@ func (c *config) validate() error {
 	}
 	if c.resume && c.checkpointDir == "" {
 		return errors.New("-resume needs -checkpoint <dir> to load snapshots from")
+	}
+	if c.progressEvery < 0 {
+		return fmt.Errorf("-progress-every %v out of range: want a non-negative interval", c.progressEvery)
 	}
 	return nil
 }
@@ -184,6 +211,14 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 	}
 	ropt.HasPatternSeed = cfg.hasSeed
 
+	rec, closeObs, err := setupObs(cfg, w)
+	if err != nil {
+		return err
+	}
+	defer closeObs()
+	rec.SetRunInfo(cfg.method, g.Name, cfg.metricName, cfg.bound, g.NumAnds())
+	ropt.Recorder = rec
+
 	var ckpt *checkpoint.Writer
 	if cfg.checkpointDir != "" {
 		ckpt, err = checkpoint.NewWriter(cfg.checkpointDir, cfg.checkpointEvery)
@@ -196,10 +231,14 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if reg := rec.Registry(); reg != nil && snap.Metrics != nil {
+			reg.RestoreCounters(snap.Metrics)
+		}
 		fmt.Fprintf(w, "resuming:  round %d, error %.6f (from %s)\n",
 			ropt.Start.Round, snap.Error, cfg.checkpointDir)
 	}
 
+	lastProgress := time.Now()
 	progress := func(rs core.RoundStats) {
 		if cfg.verbose {
 			kind := "multi "
@@ -208,6 +247,11 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			}
 			fmt.Fprintf(w, "round %4d [%s] lacs=%3d err=%.6f ands=%d\n",
 				rs.Round, kind, rs.AppliedLACs, rs.Error, rs.NumAnds)
+		}
+		if cfg.progressEvery > 0 && time.Since(lastProgress) >= cfg.progressEvery {
+			lastProgress = time.Now()
+			fmt.Fprintf(os.Stderr, "accals: round %d err=%.6f ands=%d lacs=%d noprog=%d\n",
+				rs.Round, rs.Error, rs.NumAnds, rs.AppliedLACs, rs.NoProgress)
 		}
 		if ckpt != nil && rs.Graph != nil && ckpt.Due(rs.Round) {
 			s := &checkpoint.Snapshot{
@@ -218,6 +262,9 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 				Metric:  cfg.metricName,
 				Bound:   cfg.bound,
 				Method:  cfg.method,
+			}
+			if reg := rec.Registry(); reg != nil {
+				s.Metrics = reg.CounterSnapshot()
 			}
 			if err := s.SetGraph(rs.Graph); err == nil {
 				err = ckpt.Save(s)
@@ -253,6 +300,32 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		fmt.Fprintf(w, "note:      run interrupted; outputs hold the best circuit found so far\n")
 	}
 
+	if cfg.summaryPath != "" {
+		sum := runSummary{
+			Circuit:        g.Name,
+			Method:         cfg.method,
+			Metric:         cfg.metricName,
+			Bound:          cfg.bound,
+			Error:          res.Error,
+			InitialAnds:    g.NumAnds(),
+			FinalAnds:      res.Final.NumAnds(),
+			Rounds:         len(res.Rounds),
+			LACsApplied:    res.LACsApplied,
+			RuntimeSeconds: res.Runtime.Seconds(),
+			StopReason:     res.StopReason.String(),
+			IndpWinRate:    res.IndpRatio(),
+			Obs:            rec.Summary(),
+		}
+		err := writeFile(w, cfg.summaryPath, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(sum)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	if cfg.outPath != "" {
 		if err := writeFile(w, cfg.outPath, func(f *os.File) error { return blif.Write(f, res.Final) }); err != nil {
 			return err
@@ -269,7 +342,107 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	// Surface trace-sink write failures (ENOSPC, closed pipe) instead of
+	// silently shipping a truncated trace.
+	return closeObs()
+}
+
+// runSummary is the -summary JSON document: the run's headline numbers
+// plus the recorder's aggregate (phase time breakdown, guard counts,
+// duel win rates), shaped for concatenation by experiment harnesses.
+type runSummary struct {
+	Circuit        string      `json:"circuit"`
+	Method         string      `json:"method"`
+	Metric         string      `json:"metric"`
+	Bound          float64     `json:"bound"`
+	Error          float64     `json:"error"`
+	InitialAnds    int         `json:"initial_ands"`
+	FinalAnds      int         `json:"final_ands"`
+	Rounds         int         `json:"rounds"`
+	LACsApplied    int         `json:"lacs_applied"`
+	RuntimeSeconds float64     `json:"runtime_seconds"`
+	StopReason     string      `json:"stop_reason"`
+	IndpWinRate    float64     `json:"indp_win_rate"`
+	Obs            obs.Summary `json:"obs"`
+}
+
+// setupObs wires the observability flags into a recorder with trace
+// sinks and introspection servers attached. The returned close
+// function is idempotent, flushes the trace files, shuts the servers
+// down, and reports the first trace write error. With no obs flag set
+// it returns a nil recorder (the flows' no-op path).
+func setupObs(cfg *config, w io.Writer) (*obs.Recorder, func() error, error) {
+	if !cfg.wantsObs() {
+		return nil, func() error { return nil }, nil
+	}
+	rec := obs.NewRecorder()
+	var (
+		tracers []*obs.Tracer
+		files   []*os.File
+		servers []*obs.Server
+	)
+	var once sync.Once
+	var closeErr error
+	closeAll := func() error {
+		once.Do(func() {
+			for _, t := range tracers {
+				if err := t.Close(); err != nil && closeErr == nil {
+					closeErr = fmt.Errorf("trace: %w", err)
+				}
+			}
+			for _, f := range files {
+				if err := f.Close(); err != nil && closeErr == nil {
+					closeErr = fmt.Errorf("trace: %w", err)
+				}
+			}
+			for _, s := range servers {
+				_ = s.Close()
+			}
+		})
+		return closeErr
+	}
+	addTracer := func(path string, format obs.TraceFormat) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		t := obs.NewTracer(f, format)
+		tracers = append(tracers, t)
+		rec.AddTracer(t)
+		return nil
+	}
+	if cfg.tracePath != "" {
+		if err := addTracer(cfg.tracePath, obs.TraceJSONL); err != nil {
+			_ = closeAll()
+			return nil, nil, err
+		}
+	}
+	if cfg.traceChromePath != "" {
+		if err := addTracer(cfg.traceChromePath, obs.TraceChrome); err != nil {
+			_ = closeAll()
+			return nil, nil, err
+		}
+	}
+	if cfg.metricsAddr != "" {
+		srv, err := obs.Serve(cfg.metricsAddr, rec.MetricsHandler())
+		if err != nil {
+			_ = closeAll()
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		fmt.Fprintf(w, "metrics:   http://%s/metrics\n", srv.Addr())
+	}
+	if cfg.pprofAddr != "" {
+		srv, err := obs.Serve(cfg.pprofAddr, obs.PprofHandler())
+		if err != nil {
+			_ = closeAll()
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		fmt.Fprintf(w, "pprof:     http://%s/debug/pprof/\n", srv.Addr())
+	}
+	return rec, closeAll, nil
 }
 
 // prepareResume loads the latest snapshot, checks it belongs to this

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -177,5 +178,150 @@ func TestRunCancelledContextStillWritesOutput(t *testing.T) {
 	}
 	if _, err := os.Stat(out); err != nil {
 		t.Fatalf("best-so-far output not written: %v", err)
+	}
+}
+
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	chromePath := filepath.Join(dir, "trace.json")
+	summaryPath := filepath.Join(dir, "summary.json")
+
+	cfg := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7",
+		"-trace", tracePath, "-trace-chrome", chromePath,
+		"-summary", summaryPath, "-metrics-addr", "127.0.0.1:0")
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "metrics:   http://") {
+		t.Errorf("report does not announce the metrics address:\n%s", buf.String())
+	}
+
+	// The JSONL trace must hold one event per line, each with a known
+	// phase, and cover every per-round phase the run exercised.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev struct {
+			TUs   int64  `json:"t_us"`
+			DurUs int64  `json:"dur_us"`
+			Phase string `json:"phase"`
+			Round int    `json:"round"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		phases[ev.Phase]++
+	}
+	rounds := phases["round"]
+	if rounds == 0 {
+		t.Fatalf("no round spans in trace: %v", phases)
+	}
+	for _, p := range []string{"simulate", "generate", "estimate"} {
+		if phases[p] != rounds {
+			t.Errorf("phase %q has %d spans, want one per round (%d): %v", p, phases[p], rounds, phases)
+		}
+	}
+
+	// The Chrome export must be one valid JSON array of complete events.
+	var chromeEvents []map[string]any
+	chromeRaw, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(chromeRaw, &chromeEvents); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	if len(chromeEvents) == 0 || chromeEvents[0]["ph"] != "X" {
+		t.Fatalf("chrome trace malformed: %v", chromeEvents)
+	}
+
+	// The summary must agree with the trace on the round count.
+	var sum struct {
+		Circuit string `json:"circuit"`
+		Rounds  int    `json:"rounds"`
+		Obs     struct {
+			Phases map[string]struct {
+				Count uint64 `json:"count"`
+			} `json:"phases"`
+			LACsApplied int64 `json:"lacs_applied"`
+		} `json:"obs"`
+	}
+	sumRaw, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(sumRaw, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Circuit != "mtp8" {
+		t.Errorf("summary circuit %q, want mtp8", sum.Circuit)
+	}
+	if int(sum.Obs.Phases["round"].Count) != rounds {
+		t.Errorf("summary counts %d rounds, trace has %d", sum.Obs.Phases["round"].Count, rounds)
+	}
+	if sum.Obs.LACsApplied == 0 {
+		t.Error("summary reports zero applied LACs for a shrinking run")
+	}
+}
+
+func TestResumeRestoresMetricCounters(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	sumPath := filepath.Join(dir, "resumed-summary.json")
+
+	base := []string{
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7",
+		"-checkpoint", ckpt, "-checkpoint-every", "1",
+	}
+	cfg := mustParse(t, append(base, "-summary", filepath.Join(dir, "s1.json"))...)
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), cfg, &bytes.Buffer{}); err != nil {
+		t.Fatalf("initial run: %v", err)
+	}
+	snap, err := checkpoint.Latest(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := snap.Metrics["accals_rounds_total"]
+	if saved == 0 {
+		t.Fatalf("snapshot carries no metrics: %v", snap.Metrics)
+	}
+
+	cfg2 := mustParse(t, append(base, "-resume", "-summary", sumPath)...)
+	if err := cfg2.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), cfg2, &bytes.Buffer{}); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	var sum struct {
+		Obs struct {
+			Rounds int64 `json:"rounds"`
+		} `json:"obs"`
+	}
+	raw, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatal(err)
+	}
+	// The resumed run's cumulative round counter must include the
+	// rounds completed before the snapshot, not restart from zero.
+	if sum.Obs.Rounds < int64(saved) {
+		t.Fatalf("resumed summary counts %d rounds, snapshot already had %v", sum.Obs.Rounds, saved)
 	}
 }

@@ -51,7 +51,7 @@ func scaleWith(mult *accals.Graph, img []uint8) []uint8 {
 		vectors[k] = in
 	}
 	p := simulate.Explicit(16, vectors)
-	res := simulate.Run(mult, p)
+	res := simulate.MustRun(mult, p)
 	pos := res.POValues(mult)
 	out := make([]uint8, len(img))
 	for k := range img {

@@ -16,8 +16,8 @@ func equivalent(t *testing.T, a, b *aig.Graph, seed int64) {
 		t.Fatalf("interface mismatch: %d/%d vs %d/%d", a.NumPIs(), a.NumPOs(), b.NumPIs(), b.NumPOs())
 	}
 	p := simulate.NewPatterns(a.NumPIs(), 512, seed)
-	va := simulate.Run(a, p).POValues(a)
-	vb := simulate.Run(b, p).POValues(b)
+	va := simulate.MustRun(a, p).POValues(a)
+	vb := simulate.MustRun(b, p).POValues(b)
 	for j := range va {
 		for w := range va[j] {
 			if va[j][w] != vb[j][w] {

@@ -24,6 +24,7 @@ import (
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/obs"
 	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
@@ -56,6 +57,31 @@ type Options struct {
 	// MaxRuntime, when positive, bounds wall-clock time from the run's
 	// start, like Deadline.
 	MaxRuntime time.Duration
+	// Progress, when non-nil, is invoked once per annealing iteration
+	// with a self-contained snapshot of the iteration's outcome. The
+	// snapshot shares no mutable state with the annealer, so callers may
+	// retain or mutate it freely.
+	Progress func(IterStats)
+	// Recorder receives the run's instrumentation (phase spans,
+	// evaluation counters, live gauges). Nil disables observability at
+	// the cost of one nil check per call.
+	Recorder *obs.Recorder
+}
+
+// IterStats describes one annealing iteration for the Progress
+// callback. Iterations where no feasible move existed (or the move was
+// rejected) report Accepted false with the unchanged current solution.
+type IterStats struct {
+	// Index is the 0-based iteration number.
+	Index int
+	// Error and Ands describe the annealer's current solution after the
+	// iteration's accept/reject decision.
+	Error float64
+	Ands  int
+	// Accepted reports whether the proposed move was taken.
+	Accepted bool
+	// ArchiveSize is the non-dominated archive size after the iteration.
+	ArchiveSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -123,13 +149,26 @@ func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Opt
 	opt = opt.withDefaults()
 	ctl := runctl.NewController(ctx, opt.Deadline, opt.MaxRuntime, start)
 	rng := rand.New(rand.NewSource(opt.Seed))
+	rec := opt.Recorder
 
 	pats := simulate.NewPatterns(orig.NumPIs(), opt.NumPatterns, opt.Seed)
+	patCount := pats.NumPatterns()
 	cmp := errmetric.NewComparator(metric, orig, pats)
-	res := simulate.Run(orig, pats)
+	simSpan := rec.StartPhase(0, obs.PhaseSimulate)
+	res, serr := simulate.Run(orig, pats)
+	simSpan.End()
+	if serr != nil {
+		r := &Result{StopReason: runctl.Failed, Runtime: time.Since(start)}
+		rec.Finish(r.StopReason.String())
+		return r
+	}
+	rec.CountSimPatterns(patCount)
 
+	genSpan := rec.StartPhase(0, obs.PhaseGenerate)
 	pool := lac.Generate(orig, res, lac.Config{EnableResub: true})
-	estimator.EstimateAll(orig, res, cmp, pool)
+	genSpan.End()
+	rec.CountCandidates(len(pool))
+	estimator.EstimateAllRec(orig, res, cmp, pool, rec)
 	sort.SliceStable(pool, func(i, j int) bool {
 		if pool[i].DeltaE != pool[j].DeltaE {
 			return pool[i].DeltaE < pool[j].DeltaE
@@ -144,6 +183,7 @@ func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Opt
 	if len(pool) == 0 {
 		r.StopReason = runctl.Stagnated
 		r.Runtime = time.Since(start)
+		rec.Finish(r.StopReason.String())
 		return r
 	}
 
@@ -156,9 +196,16 @@ func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Opt
 		for i, idx := range sel {
 			chosen[i] = pool[idx]
 		}
+		applySpan := rec.StartSpan(obs.PhaseApply)
 		g := lac.Apply(orig, chosen)
+		applySpan.End()
+		measureSpan := rec.StartSpan(obs.PhaseMeasure)
+		e := cmp.Error(g)
+		measureSpan.End()
+		rec.CountEvaluation()
+		rec.CountSimPatterns(patCount)
 		r.Evaluations++
-		return cmp.Error(g), g.NumAnds()
+		return e, g.NumAnds()
 	}
 
 	// Start from a single random LAC.
@@ -172,37 +219,38 @@ func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Opt
 			r.StopReason = reason
 			break
 		}
-		cand := perturb(cur, len(pool), conflicts, rng)
-		if cand == nil {
-			temp *= opt.Cooling
-			continue
-		}
-		candErr, candAnds := evaluate(cand)
-		if candErr > opt.ErrBound {
-			temp *= opt.Cooling
-			continue
-		}
-		accept := false
-		switch {
-		case dominates(candErr, candAnds, curErr, curAnds):
-			accept = true
-		case dominates(curErr, curAnds, candErr, candAnds):
-			// Accept a dominated move with annealing probability.
-			amount := (candErr - curErr) + float64(candAnds-curAnds)/math.Max(float64(orig.NumAnds()), 1)
-			accept = rng.Float64() < math.Exp(-amount/math.Max(temp, 1e-9))
-		default:
-			accept = true // mutually non-dominated
-		}
-		if accept {
-			cur, curErr, curAnds = cand, candErr, candAnds
-			archive = insertArchive(archive, Point{Error: candErr, Ands: candAnds, LACs: poolSubset(pool, cand)}, opt.ArchiveLimit)
+		rec.BeginRound(it)
+		accepted := false
+		if cand := perturb(cur, len(pool), conflicts, rng); cand != nil {
+			candErr, candAnds := evaluate(cand)
+			if candErr <= opt.ErrBound {
+				switch {
+				case dominates(candErr, candAnds, curErr, curAnds):
+					accepted = true
+				case dominates(curErr, curAnds, candErr, candAnds):
+					// Accept a dominated move with annealing probability.
+					amount := (candErr - curErr) + float64(candAnds-curAnds)/math.Max(float64(orig.NumAnds()), 1)
+					accepted = rng.Float64() < math.Exp(-amount/math.Max(temp, 1e-9))
+				default:
+					accepted = true // mutually non-dominated
+				}
+			}
+			if accepted {
+				cur, curErr, curAnds = cand, candErr, candAnds
+				archive = insertArchive(archive, Point{Error: candErr, Ands: candAnds, LACs: poolSubset(pool, cand)}, opt.ArchiveLimit)
+			}
 		}
 		temp *= opt.Cooling
+		rec.EndRound(it, curErr, curAnds, 0, 0)
+		if opt.Progress != nil {
+			opt.Progress(IterStats{Index: it, Error: curErr, Ands: curAnds, Accepted: accepted, ArchiveSize: len(archive)})
+		}
 	}
 
 	sort.Slice(archive, func(i, j int) bool { return archive[i].Error < archive[j].Error })
 	r.Archive = archive
 	r.Runtime = time.Since(start)
+	rec.Finish(r.StopReason.String())
 	return r
 }
 

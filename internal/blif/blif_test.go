@@ -35,7 +35,7 @@ func TestReadSimpleModel(t *testing.T) {
 		t.Fatalf("interface: %s %d/%d", g.Name, g.NumPIs(), g.NumPOs())
 	}
 	p := simulate.Exhaustive(3)
-	r := simulate.Run(g, p)
+	r := simulate.MustRun(g, p)
 	pos := r.POValues(g)
 	for pat := 0; pat < 8; pat++ {
 		n := pat&1 + pat>>1&1 + pat>>2&1
@@ -65,7 +65,7 @@ func TestReadOutOfOrderAndOffSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := simulate.Exhaustive(2)
-	pos := simulate.Run(g, p).POValues(g)
+	pos := simulate.MustRun(g, p).POValues(g)
 	for pat := 0; pat < 4; pat++ {
 		want := pat == 3
 		if got := simulate.Bit(pos[0], pat); got != want {
@@ -128,8 +128,8 @@ func TestRoundTripPreservesFunction(t *testing.T) {
 			t.Fatalf("%s: interface changed", name)
 		}
 		p := simulate.NewPatterns(g.NumPIs(), 512, 99)
-		v1 := simulate.Run(g, p).POValues(g)
-		v2 := simulate.Run(g2, p).POValues(g2)
+		v1 := simulate.MustRun(g, p).POValues(g)
+		v2 := simulate.MustRun(g2, p).POValues(g2)
 		for j := range v1 {
 			for w := range v1[j] {
 				if v1[j][w] != v2[j][w] {

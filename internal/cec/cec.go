@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"accals/internal/aig"
+	"accals/internal/obs"
 	"accals/internal/sat"
 )
 
@@ -34,6 +35,23 @@ type Result struct {
 // circuits must have the same number of inputs and outputs (matched
 // by position). budget caps solver conflicts (0 = unlimited).
 func Check(a, b *aig.Graph, budget int64) (*Result, error) {
+	return CheckRec(a, b, budget, nil)
+}
+
+// CheckRec is Check with instrumentation: the check runs under the
+// recorder's cec-phase span and the solver's conflict count feeds the
+// SAT-conflict counter. rec may be nil.
+func CheckRec(a, b *aig.Graph, budget int64, rec *obs.Recorder) (*Result, error) {
+	sp := rec.StartSpan(obs.PhaseCEC)
+	res, err := check(a, b, budget)
+	sp.End()
+	if res != nil {
+		rec.AddSATConflicts(res.Conflicts)
+	}
+	return res, err
+}
+
+func check(a, b *aig.Graph, budget int64) (*Result, error) {
 	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
 		return nil, fmt.Errorf("cec: interface mismatch: %d/%d vs %d/%d",
 			a.NumPIs(), a.NumPOs(), b.NumPIs(), b.NumPOs())

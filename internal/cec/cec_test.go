@@ -81,8 +81,8 @@ func TestDetectsDifferenceWithCounterexample(t *testing.T) {
 	// The counterexample must actually expose a difference.
 	vec := [][]bool{r.Counterexample}
 	p := simulate.Explicit(g.NumPIs(), vec)
-	va := simulate.Run(g, p).POValues(g)
-	vb := simulate.Run(approx, p).POValues(approx)
+	va := simulate.MustRun(g, p).POValues(g)
+	vb := simulate.MustRun(approx, p).POValues(approx)
 	differs := false
 	for j := range va {
 		if simulate.Bit(va[j], 0) != simulate.Bit(vb[j], 0) {
@@ -115,7 +115,7 @@ func TestMiterSimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := simulate.NewPatterns(m.NumPIs(), 4096, 5)
-	res := simulate.Run(m, p)
+	res := simulate.MustRun(m, p)
 	if got := simulate.PopCount(res.POValues(m)[0]); got != 0 {
 		t.Fatalf("miter of equivalent adders fired on %d patterns", got)
 	}

@@ -34,6 +34,12 @@ type Snapshot struct {
 	Method  string  `json:"method"`
 	BLIF    string  `json:"blif"`
 
+	// Metrics carries the run's cumulative observability counters
+	// (obs.Registry.CounterSnapshot), so a resumed run's metrics
+	// continue from the interrupted run instead of restarting at zero.
+	// Absent in snapshots taken without a recorder.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
 	SavedAt time.Time `json:"saved_at"`
 }
 

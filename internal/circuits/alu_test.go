@@ -56,7 +56,7 @@ func TestALU4Addition(t *testing.T) {
 		}
 	}
 	p := simulate.Explicit(g.NumPIs(), vecs)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	pos := res.POValues(g)
 	for k := range vecs {
 		var f uint
@@ -145,7 +145,7 @@ func TestC1908CorrectsSingleBitErrors(t *testing.T) {
 		cases = append(cases, caseInfo{orig: data, flipped: bit})
 	}
 	p := simulate.Explicit(g.NumPIs(), vecs)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	pos := res.POValues(g)
 	for k, c := range cases {
 		var corrected uint
@@ -175,7 +175,7 @@ func TestC880AndC3540Sanity(t *testing.T) {
 		}
 		// No constant outputs under random stimulus.
 		p := simulate.Random(g.NumPIs(), 4096, 3)
-		res := simulate.Run(g, p)
+		res := simulate.MustRun(g, p)
 		constant := 0
 		for _, v := range res.POValues(g) {
 			c := simulate.PopCount(v)

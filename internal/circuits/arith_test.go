@@ -20,7 +20,7 @@ func outVals(t *testing.T, g *aig.Graph) []uint64 {
 		t.Fatalf("%s: too many PIs for exhaustive check", g.Name)
 	}
 	p := simulate.Exhaustive(g.NumPIs())
-	r := simulate.Run(g, p)
+	r := simulate.MustRun(g, p)
 	pos := r.POValues(g)
 	vals := make([]uint64, p.NumPatterns())
 	for j, v := range pos {

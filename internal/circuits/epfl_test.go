@@ -38,7 +38,7 @@ func TestEPFLStandInsSane(t *testing.T) {
 		}
 		// Under random stimulus most outputs must toggle.
 		p := simulate.Random(g.NumPIs(), 1024, 7)
-		res := simulate.Run(g, p)
+		res := simulate.MustRun(g, p)
 		constant := 0
 		for _, v := range res.POValues(g) {
 			n := simulate.PopCount(v)

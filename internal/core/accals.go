@@ -9,6 +9,7 @@ import (
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/obs"
 	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
@@ -42,8 +43,15 @@ type Options struct {
 	// by the estimator ablation).
 	ExactEstimates bool
 	// Progress, when non-nil, receives each round's statistics as the
-	// run proceeds.
+	// run proceeds. The snapshot is independent of the run's state —
+	// the embedded Graph is a deep copy — so the callback may retain
+	// or mutate it freely without affecting the synthesis.
 	Progress func(RoundStats)
+	// Recorder, when non-nil, receives the run's instrumentation:
+	// per-phase spans, LAC/guard/duel counters and the live status
+	// snapshot served by the introspection server. A nil recorder is
+	// a no-op and costs one nil check per instrumentation point.
+	Recorder *obs.Recorder
 	// Deadline, when non-zero, stops the run at that wall-clock time,
 	// returning the best circuit so far with StopReason
 	// DeadlineExceeded. Checked once per round.
@@ -70,12 +78,13 @@ type StartState struct {
 	Round int
 }
 
-// estimate dispatches to the configured estimator.
+// estimate dispatches to the configured estimator, threading the
+// run's recorder through for the estimate-phase span.
 func (o Options) estimate(g *aig.Graph, simRes *simulate.Result, cmp *errmetric.Comparator, cands []*lac.LAC) float64 {
 	if o.ExactEstimates {
-		return estimator.EstimateAllExact(g, simRes, cmp, cands)
+		return estimator.EstimateAllExactRec(g, simRes, cmp, cands, o.Recorder)
 	}
-	return estimator.EstimateAll(g, simRes, cmp, cands)
+	return estimator.EstimateAllRec(g, simRes, cmp, cands, o.Recorder)
 }
 
 // DefaultPatterns is the default Monte-Carlo sample size.
@@ -157,6 +166,19 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	result := &Result{}
 	noProgress := 0
 	reason := runctl.Bounded
+	rec := opt.Recorder
+	patCount := cmp.Patterns().NumPatterns()
+
+	// measure evaluates a candidate circuit's true error under the
+	// measure-phase span (the comparator resimulates the full pattern
+	// set per call).
+	measure := func(round int, gg *aig.Graph) float64 {
+		sp := rec.StartPhase(round, obs.PhaseMeasure)
+		e := cmp.Error(gg)
+		sp.End()
+		rec.CountSimPatterns(patCount)
+		return e
+	}
 
 	for round := round0; ; round++ {
 		if e > errBound {
@@ -175,12 +197,29 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		}
 		rng := rand.New(rand.NewSource(roundSeed(params.Seed, round)))
 		roundStart := time.Now()
+		rec.BeginRound(round)
+		roundSpan := rec.StartPhase(round, obs.PhaseRound)
 		rs := RoundStats{Round: round, NumAnds: g.NumAnds()}
 
-		simRes := simulate.Run(g, cmp.Patterns())
+		sp := rec.StartPhase(round, obs.PhaseSimulate)
+		simRes, serr := simulate.Run(g, cmp.Patterns())
+		sp.End()
+		if serr != nil {
+			// Only reachable through a warm start whose interface
+			// slipped validation; keep the best accepted circuit.
+			roundSpan.End()
+			reason = runctl.Failed
+			break
+		}
+		rec.CountSimPatterns(patCount)
+
+		sp = rec.StartPhase(round, obs.PhaseGenerate)
 		cands := lac.Generate(g, simRes, genCfg)
+		sp.End()
 		rs.Candidates = len(cands)
+		rec.CountCandidates(len(cands))
 		if len(cands) == 0 {
+			roundSpan.End()
 			reason = runctl.Stagnated
 			break
 		}
@@ -190,31 +229,38 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		if e > params.LE*errBound && !params.DisableImprovements {
 			// Improvement technique 1: single-LAC selection close to
 			// the error bound.
+			rec.GuardSingleLAC()
 			applied := cands[:1]
+			sp = rec.StartPhase(round, obs.PhaseApply)
 			gNew = lac.Apply(g, applied)
-			e = cmp.Error(gNew)
+			sp.End()
+			e = measure(round, gNew)
 			rs.AppliedLACs = 1
 			rs.Error = e
 			rs.EstimatedErr = estimatedError(eG, applied)
+			rs.NoProgress = noProgress
 			rs.RoundDuration = time.Since(roundStart)
+			roundSpan.End()
 			result.Rounds = append(result.Rounds, rs)
 			result.LACsApplied++
-			if opt.Progress != nil {
-				snap := rs
-				snap.Graph = gNew
-				opt.Progress(snap)
-			}
+			rec.CountApplied(1)
+			rec.EndRound(round, e, gNew.NumAnds(), noProgress, 1)
+			emitProgress(opt.Progress, rs, gNew)
 			continue
 		}
 
 		rs.MultiRound = true
+		sp = rec.StartPhase(round, obs.PhaseConflictGraph)
 		lTop := obtainTopSet(cands, e, errBound, params.RRef)
 		rs.TopSize = len(lTop)
 		lSol, _ := findSolveLACConf(lTop)
+		sp.End()
 		rs.SolSize = len(lSol)
 		var lIndp, lRand []*lac.LAC
 		if !params.DisableIndp {
+			sp = rec.StartPhase(round, obs.PhaseMIS)
 			lIndp = selectIndpLACs(lSol, g, e, errBound, params)
+			sp.End()
 		}
 		if !params.DisableRandom {
 			lRand = selectRandomLACs(lSol, e, errBound, params, rng)
@@ -230,24 +276,31 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		switch {
 		case lIndp == nil:
 			applied = lRand
+			sp = rec.StartPhase(round, obs.PhaseApply)
 			gNew = lac.Apply(g, applied)
-			e = cmp.Error(gNew)
+			sp.End()
+			e = measure(round, gNew)
 		case lRand == nil:
 			applied = lIndp
+			sp = rec.StartPhase(round, obs.PhaseApply)
 			gNew = lac.Apply(g, applied)
-			e = cmp.Error(gNew)
+			sp.End()
+			e = measure(round, gNew)
 			rs.PickedIndp = true
 		default:
+			sp = rec.StartPhase(round, obs.PhaseApply)
 			g1 := lac.Apply(g, lIndp)
-			e1 := cmp.Error(g1)
 			g2 := lac.Apply(g, lRand)
-			e2 := cmp.Error(g2)
+			sp.End()
+			e1 := measure(round, g1)
+			e2 := measure(round, g2)
 			if e1 < e2 || (e1 == e2 && len(lIndp) >= len(lRand)) {
 				gNew, e, applied = g1, e1, lIndp
 				rs.PickedIndp = true
 			} else {
 				gNew, e, applied = g2, e2, lRand
 			}
+			rec.DuelOutcome(rs.PickedIndp)
 		}
 		rs.EstimatedErr = estimatedError(eG, applied)
 
@@ -260,35 +313,42 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		if e > 0 && !params.DisableImprovements {
 			beta := (e - rs.EstimatedErr) / e
 			if beta > params.LD || (e > errBound && len(applied) > 1) {
+				rec.GuardNegativeRevert()
+				rec.CountReverted(len(applied))
 				rs.Reverted = true
+				sp = rec.StartPhase(round, obs.PhaseRevert)
 				applied = cands[:1]
 				gNew = lac.Apply(g, applied)
 				e = cmp.Error(gNew)
+				sp.End()
+				rec.CountSimPatterns(patCount)
 			}
 		}
 
+		// Stagnation guard state: optimistic gain estimates can
+		// produce rounds that neither shrink the circuit nor move the
+		// error; a few such rounds in a row means convergence. The
+		// counter is updated before the stats are published so
+		// RoundStats.NoProgress explains an upcoming Stagnated stop.
+		if gNew.NumAnds() >= g.NumAnds() && e <= eG {
+			noProgress++
+		} else {
+			noProgress = 0
+		}
+		rs.NoProgress = noProgress
 		rs.AppliedLACs = len(applied)
 		rs.Error = e
 		rs.RoundDuration = time.Since(roundStart)
+		roundSpan.End()
 		result.Rounds = append(result.Rounds, rs)
 		result.LACsApplied += len(applied)
-		if opt.Progress != nil {
-			snap := rs
-			snap.Graph = gNew
-			opt.Progress(snap)
-		}
-		// Stagnation guard: optimistic gain estimates can produce
-		// rounds that neither shrink the circuit nor move the error;
-		// a few such rounds in a row means convergence.
-		if gNew.NumAnds() >= g.NumAnds() && e <= eG {
-			noProgress++
-			if noProgress >= 4 {
-				gNew, e = g, eG
-				reason = runctl.Stagnated
-				break
-			}
-		} else {
-			noProgress = 0
+		rec.CountApplied(len(applied))
+		rec.EndRound(round, e, gNew.NumAnds(), noProgress, len(applied))
+		emitProgress(opt.Progress, rs, gNew)
+		if noProgress >= StagnationRounds {
+			gNew, e = g, eG
+			reason = runctl.Stagnated
+			break
 		}
 	}
 
@@ -296,5 +356,19 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	result.Error = eG
 	result.StopReason = reason
 	result.Runtime = time.Since(start)
+	rec.Finish(reason.String())
 	return result
+}
+
+// emitProgress delivers one round's statistics to the Progress
+// callback. The snapshot is decoupled from the run: the graph is
+// deep-copied, so a callback that retains or mutates it cannot
+// corrupt the synthesis state.
+func emitProgress(progress func(RoundStats), rs RoundStats, g *aig.Graph) {
+	if progress == nil {
+		return
+	}
+	snap := rs
+	snap.Graph = g.Clone()
+	progress(snap)
 }

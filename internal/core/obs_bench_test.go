@@ -1,0 +1,37 @@
+package core
+
+// Benchmarks quantifying the observability overhead of the synthesis
+// loop. The acceptance target is a nil-recorder run within ~2% of the
+// pre-instrumentation baseline; compare ObsOff with ObsOn to see the
+// live-recorder cost:
+//
+//	go test -run=^$ -bench=BenchmarkRunObs -count=10 ./internal/core/ | benchstat
+
+import (
+	"testing"
+
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+	"accals/internal/obs"
+)
+
+func benchSynthesis(b *testing.B, rec *obs.Recorder) {
+	g := circuits.ArrayMult(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(g, errmetric.ER, 0.03, Options{
+			NumPatterns: 1024,
+			PatternSeed: 7,
+			Params:      Params{Seed: 7, HasSeed: true},
+			Recorder:    rec,
+		})
+		if res.Error > 0.03 {
+			b.Fatalf("bound violated: %v", res.Error)
+		}
+	}
+}
+
+func BenchmarkRunObsOff(b *testing.B) { benchSynthesis(b, nil) }
+
+func BenchmarkRunObsOn(b *testing.B) { benchSynthesis(b, obs.NewRecorder()) }

@@ -126,22 +126,34 @@ func (p Params) fillDefaults(numAnds int) Params {
 	return p
 }
 
+// StagnationRounds is the number of consecutive rounds without
+// progress (no size reduction and no error movement) after which the
+// AccALS flow stops with StopReason Stagnated. RoundStats.NoProgress
+// exposes the live counter, so a Stagnated stop is explainable from
+// the round trajectory.
+const StagnationRounds = 4
+
 // RoundStats records what happened in one synthesis round, feeding the
 // paper's statistical analysis (Fig. 4).
 type RoundStats struct {
-	Round         int
-	Candidates    int
-	TopSize       int
-	SolSize       int
-	IndpSize      int
-	RandSize      int
-	AppliedLACs   int
-	PickedIndp    bool
-	MultiRound    bool // false when the single-LAC fallback ran
-	Reverted      bool // improvement technique 2 fired
-	Error         float64
-	EstimatedErr  float64
-	NumAnds       int
+	Round        int
+	Candidates   int
+	TopSize      int
+	SolSize      int
+	IndpSize     int
+	RandSize     int
+	AppliedLACs  int
+	PickedIndp   bool
+	MultiRound   bool // false when the single-LAC fallback ran
+	Reverted     bool // improvement technique 2 fired
+	Error        float64
+	EstimatedErr float64
+	NumAnds      int
+	// NoProgress is the stagnation-guard state after this round: the
+	// number of consecutive rounds (including this one) that neither
+	// shrank the circuit nor moved the error. The run stops with
+	// StopReason Stagnated when it reaches StagnationRounds.
+	NoProgress    int
 	RoundDuration time.Duration
 	// Graph is the circuit produced by this round. It is only set on
 	// the copy passed to the Progress callback (so trajectory

@@ -80,7 +80,7 @@ func NewComparator(kind Kind, ref *aig.Graph, p *simulate.Patterns) *Comparator 
 	if err := Validate(kind, ref); err != nil {
 		panic(err)
 	}
-	res := simulate.Run(ref, p)
+	res := simulate.MustRun(ref, p)
 	c := &Comparator{
 		kind:     kind,
 		patterns: p,
@@ -131,7 +131,7 @@ func (c *Comparator) Error(approx *aig.Graph) float64 {
 	if approx.NumPOs() != c.numPOs {
 		panic(fmt.Errorf("errmetric: approximate circuit has %d POs, reference has %d: %w", approx.NumPOs(), c.numPOs, runctl.ErrInterfaceMismatch))
 	}
-	res := simulate.Run(approx, c.patterns)
+	res := simulate.MustRun(approx, c.patterns)
 	return c.ErrorFromPOs(res.POValues(approx))
 }
 

@@ -100,7 +100,7 @@ func TestErrorFromPOsXor(t *testing.T) {
 	p := simulate.Exhaustive(2)
 	for _, k := range []Kind{ER, NMED, MRED} {
 		cmp := NewComparator(k, exact, p)
-		res := simulate.Run(approx, p)
+		res := simulate.MustRun(approx, p)
 		base := res.POValues(approx)
 		direct := cmp.ErrorFromPOs(base)
 
@@ -122,7 +122,7 @@ func TestERAgainstBruteForceOnMultiplier(t *testing.T) {
 	// verify ER/NMED against a direct per-pattern computation.
 	g := circuits.ArrayMult(3)
 	p := simulate.Exhaustive(6)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	pos := res.POValues(g)
 
 	// Build flipped base: PO0 forced to const 0.

@@ -48,7 +48,7 @@ func TestMHDBoundedByER(t *testing.T) {
 	// has at least one, at most all, differing bits).
 	g := circuits.ArrayMult(3)
 	p := simulate.Exhaustive(6)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	pos := res.POValues(g)
 	approxPOs := make([]simulate.Vec, len(pos))
 	for i := range pos {
@@ -72,7 +72,7 @@ func TestMHDFlipPath(t *testing.T) {
 	exact, approx := buildPair()
 	p := simulate.Exhaustive(2)
 	cmp := NewComparator(MHD, exact, p)
-	res := simulate.Run(approx, p)
+	res := simulate.MustRun(approx, p)
 	base := res.POValues(approx)
 	flip := make([]simulate.Vec, 2)
 	flip[1] = simulate.Vec{0b1000}
@@ -87,7 +87,7 @@ func TestErrorWithFlipsMatchesFullEval(t *testing.T) {
 	// full flip masks.
 	g := circuits.ArrayMult(3)
 	p := simulate.Exhaustive(6)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	pos := res.POValues(g)
 	for _, kind := range []Kind{NMED, MRED} {
 		cmp := NewComparator(kind, g, p)
@@ -129,7 +129,7 @@ func TestErrorWithFlipsSamplingPath(t *testing.T) {
 	}
 	p := simulate.Random(24, 40000, 3)
 	cmp := NewComparator(NMED, big, p)
-	res := simulate.Run(big, p)
+	res := simulate.MustRun(big, p)
 	pos := res.POValues(big)
 	base := cmp.NewBaseEval(pos)
 	flips := make([]simulate.Vec, 4)
@@ -154,7 +154,7 @@ func TestErrorWithFlipsPanicsOnER(t *testing.T) {
 	g := circuits.ArrayMult(3)
 	p := simulate.Exhaustive(6)
 	cmp := NewComparator(ER, g, p)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	base := &BaseEval{POs: res.POValues(g)}
 	defer func() {
 		if recover() == nil {

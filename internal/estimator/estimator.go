@@ -19,6 +19,7 @@ import (
 	"accals/internal/aig"
 	"accals/internal/errmetric"
 	"accals/internal/lac"
+	"accals/internal/obs"
 	"accals/internal/simulate"
 )
 
@@ -27,6 +28,15 @@ import (
 // the current error of g with respect to the comparator's reference.
 // res must be the simulation of g under the comparator's pattern set.
 func EstimateAll(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC) float64 {
+	return EstimateAllRec(g, res, cmp, lacs, nil)
+}
+
+// EstimateAllRec is EstimateAll with instrumentation: the batch
+// estimation runs under an estimate-phase span and the candidate
+// count feeds the evaluated-LAC counter. rec may be nil.
+func EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, rec *obs.Recorder) float64 {
+	sp := rec.StartSpan(obs.PhaseEstimate)
+	defer sp.End()
 	curPOs := res.POValues(g)
 	curErr := cmp.ErrorFromPOs(curPOs)
 	if len(lacs) == 0 {
@@ -249,6 +259,14 @@ func (p *propagator) propagateToFanin(outMask simulate.Vec, to, sibling aig.Lit)
 // than EstimateAll and exists for validation and for the estimator
 // ablation study.
 func EstimateAllExact(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC) float64 {
+	return EstimateAllExactRec(g, res, cmp, lacs, nil)
+}
+
+// EstimateAllExactRec is EstimateAllExact with instrumentation under
+// the estimate-phase span. rec may be nil.
+func EstimateAllExactRec(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, rec *obs.Recorder) float64 {
+	sp := rec.StartSpan(obs.PhaseEstimate)
+	defer sp.End()
 	curPOs := res.POValues(g)
 	curErr := cmp.ErrorFromPOs(curPOs)
 	for _, l := range lacs {

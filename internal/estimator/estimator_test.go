@@ -15,7 +15,7 @@ func setup(t *testing.T, g *aig.Graph, kind errmetric.Kind) (*simulate.Result, *
 	t.Helper()
 	p := simulate.NewPatterns(g.NumPIs(), 1024, 3)
 	cmp := errmetric.NewComparator(kind, g, p)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	cands := lac.Generate(g, res, lac.Config{EnableResub: true})
 	if len(cands) == 0 {
 		t.Fatal("no candidates generated")
@@ -41,12 +41,12 @@ func TestExactDeltaEMatchesFullApply(t *testing.T) {
 func TestResimulateWithMatchesFullSimulation(t *testing.T) {
 	g := circuits.CLA(6)
 	p := simulate.Exhaustive(g.NumPIs())
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	cands := lac.Generate(g, res, lac.Config{EnableResub: true})
 	for _, l := range cands[:20] {
 		fast := ResimulateWith(g, res, l)
 		applied := lac.Apply(g, []*lac.LAC{l})
-		full := simulate.Run(applied, p).POValues(applied)
+		full := simulate.MustRun(applied, p).POValues(applied)
 		for j := range fast {
 			for w := range fast[j] {
 				if fast[j][w] != full[j][w] {
@@ -77,7 +77,7 @@ func TestEstimateExactOnTrees(t *testing.T) {
 	p := simulate.Exhaustive(4)
 	for _, kind := range []errmetric.Kind{errmetric.ER, errmetric.NMED, errmetric.MRED} {
 		cmp := errmetric.NewComparator(kind, g, p)
-		res := simulate.Run(g, p)
+		res := simulate.MustRun(g, p)
 		cands := lac.Generate(g, res, lac.Config{EnableResub: true})
 		EstimateAll(g, res, cmp, cands)
 		for _, l := range cands {
@@ -121,7 +121,7 @@ func TestEstimateAllERMatchesWordLevelPath(t *testing.T) {
 	g := treeCircuit()
 	p := simulate.Exhaustive(4)
 	cmp := errmetric.NewComparator(errmetric.ER, g, p)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	cands := lac.Generate(g, res, lac.Config{EnableResub: true})
 	EstimateAll(g, res, cmp, cands)
 	for _, l := range cands {
@@ -144,7 +144,7 @@ func TestEstimateDeadLACHasZeroDelta(t *testing.T) {
 	g.AddPO(x, "y")
 	p := simulate.Exhaustive(2)
 	cmp := errmetric.NewComparator(errmetric.ER, g, p)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	// Wire LAC replacing x by itself-equivalent AND(a,b) via resub on
 	// (a, b): zero deviation.
 	l := &lac.LAC{Target: x.Node(), SNs: []int{a.Node(), b.Node()}, Fn: lac.Fn{Kind: lac.FnAnd}}
@@ -158,7 +158,7 @@ func TestEstimateMHDExactOnTrees(t *testing.T) {
 	g := treeCircuit()
 	p := simulate.Exhaustive(4)
 	cmp := errmetric.NewComparator(errmetric.MHD, g, p)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	cands := lac.Generate(g, res, lac.Config{EnableResub: true})
 	EstimateAll(g, res, cmp, cands)
 	for _, l := range cands {
@@ -173,7 +173,7 @@ func TestRunUnderMHD(t *testing.T) {
 	g := circuits.ArrayMult(4)
 	p := simulate.Exhaustive(g.NumPIs())
 	cmp := errmetric.NewComparator(errmetric.MHD, g, p)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	cands := lac.Generate(g, res, lac.Config{EnableResub: true})
 	cur := EstimateAll(g, res, cmp, cands)
 	if cur != 0 {

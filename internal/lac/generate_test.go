@@ -11,7 +11,7 @@ import (
 func genOn(t *testing.T, g *aig.Graph, cfg Config) []*LAC {
 	t.Helper()
 	p := simulate.NewPatterns(g.NumPIs(), 512, 1)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	return Generate(g, res, cfg)
 }
 
@@ -188,7 +188,7 @@ func TestGenerateSkipsNoopResubs(t *testing.T) {
 	// be a structural self-rebuild.
 	g := circuits.ArrayMult(4)
 	p := simulate.NewPatterns(g.NumPIs(), 512, 1)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	cands := Generate(g, res, Config{EnableResub: true, EnableResub3: true})
 	for _, l := range cands {
 		switch l.Fn.Kind {
@@ -211,7 +211,7 @@ func TestGenerateTripleCandidatesValid(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := simulate.NewPatterns(g.NumPIs(), 512, 1)
-		res := simulate.Run(g, p)
+		res := simulate.MustRun(g, p)
 		cands := Generate(g, res, Config{EnableResub: true, EnableResub3: true, MaxPerTarget: 12})
 		for _, l := range cands {
 			if l.Fn.Kind != FnMux && l.Fn.Kind != FnMaj {

@@ -65,7 +65,7 @@ func TestApplyWireLAC(t *testing.T) {
 	}
 	// y = x1 | !x1 = 1 for all inputs.
 	p := simulate.Exhaustive(4)
-	r := simulate.Run(ng, p)
+	r := simulate.MustRun(ng, p)
 	if simulate.PopCount(r.POValues(ng)[0]) != 16 {
 		t.Fatal("y should be constant true after wire LAC")
 	}
@@ -119,7 +119,7 @@ func TestApplyResubLACs(t *testing.T) {
 	}
 	ng := Apply(g, []*LAC{l})
 	p := simulate.Exhaustive(3)
-	r := simulate.Run(ng, p)
+	r := simulate.MustRun(ng, p)
 	v := r.POValues(ng)[0]
 	for pat := 0; pat < 8; pat++ {
 		av := pat&1 != 0
@@ -164,7 +164,7 @@ func TestApplyEmptyIsClone(t *testing.T) {
 func TestDeviation(t *testing.T) {
 	g, x1, x2 := fixture()
 	p := simulate.Exhaustive(4)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 
 	// Const-0 on x1: deviation = patterns where x1 = a&b = 1 -> 4.
 	l0 := &LAC{Target: x1.Node(), Fn: Fn{Kind: FnConst0}}
@@ -189,7 +189,7 @@ func TestNewValueMatchesApply(t *testing.T) {
 	// rebuilt circuit at the substituted node's PO.
 	g, x1, x2 := fixture()
 	p := simulate.Exhaustive(4)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	pis := g.PIs()
 	lacs := []*LAC{
 		{Target: x2.Node(), Fn: Fn{Kind: FnConst0}},
@@ -204,7 +204,7 @@ func TestNewValueMatchesApply(t *testing.T) {
 	for _, l := range lacs {
 		nv := l.NewValue(res)
 		ng := Apply(g, []*LAC{l})
-		nres := simulate.Run(ng, p)
+		nres := simulate.MustRun(ng, p)
 		got := nres.LitValue(ng.PO(2)) // PO 2 taps the target node
 		for w := range nv {
 			if nv[w] != got[w] {

@@ -20,13 +20,13 @@ func TestQuickERBoundedByDeviation(t *testing.T) {
 			return true
 		}
 		p := simulate.Exhaustive(nPI)
-		res := simulate.Run(g, p)
+		res := simulate.MustRun(g, p)
 		cands := Generate(g, res, Config{EnableResub: true})
 		exactPOs := res.POValues(g)
 		for _, l := range cands {
 			_, dev := l.Deviation(res)
 			ng := Apply(g, []*LAC{l})
-			nres := simulate.Run(ng, p)
+			nres := simulate.MustRun(ng, p)
 			npos := nres.POValues(ng)
 			diff := 0
 			for pat := 0; pat < p.NumPatterns(); pat++ {
@@ -55,7 +55,7 @@ func TestQuickMultiLACApplyValid(t *testing.T) {
 	f := func(seed int64, pick uint16) bool {
 		g := circuits.RandomLogic("r", 8, 3, 80, seed)
 		p := simulate.Exhaustive(8)
-		res := simulate.Run(g, p)
+		res := simulate.MustRun(g, p)
 		cands := Generate(g, res, Config{EnableResub: true})
 		if len(cands) == 0 {
 			return true
@@ -118,7 +118,7 @@ func TestQuickDeviationMatchesDefinition(t *testing.T) {
 	f := func(seed int64) bool {
 		g := circuits.RandomLogic("r", 7, 2, 50, seed)
 		p := simulate.Exhaustive(7)
-		res := simulate.Run(g, p)
+		res := simulate.MustRun(g, p)
 		cands := Generate(g, res, Config{EnableResub: true, MaxPerTarget: 3})
 		for _, l := range cands {
 			mask, count := l.Deviation(res)

@@ -17,7 +17,7 @@ func checkNetlistEquivalent(t *testing.T, g *aig.Graph, nl *Netlist, trials int,
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	p := simulate.NewPatterns(g.NumPIs(), trials, seed)
-	res := simulate.Run(g, p)
+	res := simulate.MustRun(g, p)
 	pos := res.POValues(g)
 	for trial := 0; trial < trials && trial < p.NumPatterns(); trial++ {
 		in := map[string]bool{}

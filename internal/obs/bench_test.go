@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkSpanNilRecorder measures the disabled-observability hot
+// path: one span start/end pair on a nil recorder. This is the cost
+// every instrumented call site pays when observability is off, and it
+// must stay within noise of a bare function call.
+func BenchmarkSpanNilRecorder(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartPhase(i, PhaseSimulate).End()
+	}
+}
+
+// BenchmarkCountersNilRecorder measures the counter hot path with
+// observability off.
+func BenchmarkCountersNilRecorder(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.CountCandidates(100)
+		r.CountApplied(4)
+		r.DuelOutcome(i&1 == 0)
+	}
+}
+
+// BenchmarkSpanLiveRecorder measures the enabled hot path: span
+// timing plus one histogram observation.
+func BenchmarkSpanLiveRecorder(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartPhase(i, PhaseSimulate).End()
+	}
+}
+
+// BenchmarkCountersLiveRecorder measures live counter updates.
+func BenchmarkCountersLiveRecorder(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.CountCandidates(100)
+		r.CountApplied(4)
+		r.DuelOutcome(i&1 == 0)
+	}
+}
+
+// BenchmarkWritePrometheus measures a full scrape of the standard
+// registry.
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRecorder()
+	for p := Phase(0); p < numPhases; p++ {
+		r.StartPhase(0, p).End()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Registry().WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

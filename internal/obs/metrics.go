@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric label pair. Series within a family are
+// distinguished by their rendered label sets.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// renderLabels renders a label set as `{k="v",...}` (empty string for
+// no labels). Labels are sorted by key so the same set always renders
+// to the same series identity.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// atomicFloat is a float64 updated with atomic compare-and-swap on its
+// bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds v; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(v float64) {
+	if c == nil || v <= 0 {
+		return
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DurationBuckets is the fixed histogram bucket layout used for all
+// phase-duration series: exponential upper bounds from 10µs to 10s,
+// in seconds. A fixed layout keeps series from different runs (and
+// resumed runs) directly comparable and mergeable.
+var DurationBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics: bucket i counts observations ≤ bounds[i], plus an
+// implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // one per bound; +Inf is count-sum of all
+	count   atomic.Uint64
+	sum     atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Find the first bound >= v; increment that bucket only (per-bucket
+	// counts; cumulative sums are produced at render time).
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.buckets) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// metric kind markers for the text exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one metric name with help text and its labelled series.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	order  []string // series label strings in creation order
+	series map[string]any
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Series handles are created once and then updated
+// lock-free; the registry lock is only taken on creation and render.
+type Registry struct {
+	mu       sync.Mutex
+	ordered  []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) lookup(name, help, kind string, labels []Label, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]any)}
+		r.families[name] = f
+		r.ordered = append(r.ordered, name)
+	}
+	ls := renderLabels(labels)
+	if s, ok := f.series[ls]; ok {
+		return s
+	}
+	s := mk()
+	f.series[ls] = s
+	f.order = append(f.order, ls)
+	return s
+}
+
+// Counter returns (creating if needed) the counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (creating if needed) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (creating if needed) the histogram series
+// name{labels} with the given fixed bucket upper bounds (nil means
+// DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	return r.lookup(name, help, kindHistogram, labels, func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// fmtValue renders a sample value the way Prometheus expects.
+func fmtValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// labelJoin merges a rendered label set with one extra label (used for
+// histogram `le`).
+func labelJoin(ls, extra string) string {
+	if ls == "" {
+		return "{" + extra + "}"
+	}
+	return ls[:len(ls)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.ordered {
+		f := r.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, ls := range f.order {
+			switch m := f.series[ls].(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fmtValue(m.Value())); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fmtValue(m.Value())); err != nil {
+					return err
+				}
+			case *Histogram:
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.buckets[i].Load()
+					le := labelJoin(ls, fmt.Sprintf("le=%q", fmtValue(b)))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+						return err
+					}
+				}
+				le := labelJoin(ls, `le="+Inf"`)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, m.Count()); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, ls, m.Sum()); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, m.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CounterSnapshot returns the current value of every counter series,
+// keyed by its full rendered identity (name plus label set). Used by
+// checkpointing so a resumed run's cumulative metrics continue from
+// where the interrupted run left off.
+func (r *Registry) CounterSnapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, name := range r.ordered {
+		f := r.families[name]
+		for _, ls := range f.order {
+			if c, ok := f.series[ls].(*Counter); ok {
+				out[name+ls] = c.Value()
+			}
+		}
+	}
+	return out
+}
+
+// RestoreCounters adds the snapshotted values onto matching counter
+// series. Series that no longer exist are ignored, so snapshots from
+// older builds restore the subset that still applies.
+func (r *Registry) RestoreCounters(snap map[string]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.ordered {
+		f := r.families[name]
+		for _, ls := range f.order {
+			if c, ok := f.series[ls].(*Counter); ok {
+				if v, ok := snap[name+ls]; ok {
+					c.Add(v)
+				}
+			}
+		}
+	}
+}

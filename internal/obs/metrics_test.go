@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := reg.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+	// Same (name, labels) returns the same series.
+	if reg.Counter("c_total", "help") != c {
+		t.Fatal("counter identity lost")
+	}
+	// Nil handles are safe no-ops.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(1)
+	var ng *Gauge
+	ng.Set(1)
+	if nc.Value() != 0 || ng.Value() != 0 {
+		t.Fatal("nil metric not zero")
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="10"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("accals_lacs_total", "LACs by disposition.", L("kind", "applied")).Add(12)
+	reg.Counter("accals_lacs_total", "LACs by disposition.", L("kind", "reverted")).Add(3)
+	reg.Gauge("accals_error", "Current error.").Set(0.0125)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP accals_lacs_total LACs by disposition.",
+		"# TYPE accals_lacs_total counter",
+		`accals_lacs_total{kind="applied"} 12`,
+		`accals_lacs_total{kind="reverted"} 3`,
+		"# TYPE accals_error gauge",
+		"accals_error 0.0125",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear exactly once per family.
+	if n := strings.Count(out, "# TYPE accals_lacs_total"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+}
+
+func TestCounterSnapshotRestore(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "", L("k", "x")).Add(5)
+	reg.Counter("b_total", "").Add(2)
+	reg.Gauge("g", "").Set(9)
+	snap := reg.CounterSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v, want 2 counters", snap)
+	}
+	if snap[`a_total{k="x"}`] != 5 || snap["b_total"] != 2 {
+		t.Fatalf("snapshot values wrong: %v", snap)
+	}
+
+	// A fresh registry resumes cumulatively from the snapshot.
+	reg2 := NewRegistry()
+	a := reg2.Counter("a_total", "", L("k", "x"))
+	b := reg2.Counter("b_total", "")
+	reg2.RestoreCounters(snap)
+	a.Add(1)
+	if a.Value() != 6 || b.Value() != 2 {
+		t.Fatalf("restored values = %v, %v; want 6, 2", a.Value(), b.Value())
+	}
+	// Unknown keys in the snapshot are ignored.
+	reg2.RestoreCounters(map[string]float64{"nope_total": 99})
+}
+
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	h := reg.Histogram("h_seconds", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+				var sb strings.Builder
+				if j%100 == 0 {
+					_ = reg.WritePrometheus(&sb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	// Every method must be callable on a nil recorder.
+	r.SetRunInfo("accals", "mtp8", "er", 0.05, 100)
+	r.BeginRound(1)
+	sp := r.StartPhase(1, PhaseSimulate)
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span duration = %v, want 0", d)
+	}
+	r.StartSpan(PhaseEstimate).End()
+	r.CountCandidates(10)
+	r.CountApplied(3)
+	r.CountReverted(1)
+	r.GuardSingleLAC()
+	r.GuardNegativeRevert()
+	r.DuelOutcome(true)
+	r.CountSimPatterns(1024)
+	r.AddSATConflicts(5)
+	r.CountEvaluation()
+	r.EndRound(1, 0.01, 90, 0, 3)
+	r.AddTracer(nil)
+	r.Finish("bounded")
+	if s := r.Status(); s.Running {
+		t.Fatal("nil recorder status should be zero")
+	}
+	if reg := r.Registry(); reg != nil {
+		t.Fatal("nil recorder registry should be nil")
+	}
+	if s := r.Summary(); s.Rounds != 0 {
+		t.Fatal("nil recorder summary should be zero")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := []string{"simulate", "generate", "estimate", "conflict-graph",
+		"mis", "apply", "measure", "revert", "cec", "round"}
+	ps := Phases()
+	if len(ps) != len(want) {
+		t.Fatalf("got %d phases, want %d", len(ps), len(want))
+	}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("phase %d = %q, want %q", i, p, want[i])
+		}
+	}
+	if Phase(200).String() != "unknown" {
+		t.Error("out-of-range phase should stringify as unknown")
+	}
+}
+
+func TestRecorderRoundLifecycle(t *testing.T) {
+	r := NewRecorder()
+	r.SetRunInfo("accals", "mtp8", "er", 0.05, 337)
+	r.BeginRound(0)
+	r.StartSpan(PhaseSimulate).End()
+	r.CountCandidates(50)
+	r.CountApplied(4)
+	r.DuelOutcome(true)
+	r.EndRound(0, 0.001, 330, 0, 4)
+	r.BeginRound(1)
+	r.GuardSingleLAC()
+	r.CountApplied(1)
+	r.EndRound(1, 0.002, 329, 1, 1)
+
+	s := r.Status()
+	if !s.Running {
+		t.Fatal("run should be live")
+	}
+	if s.Round != 1 || s.NumAnds != 329 || s.LACsApplied != 5 || s.NoProgress != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+	if s.GuardSingle != 1 || s.DuelIndp != 1 || s.DuelRandom != 0 {
+		t.Fatalf("status tallies = %+v", s)
+	}
+	if s.Method != "accals" || s.Circuit != "mtp8" || s.InitialAnds != 337 {
+		t.Fatalf("run info = %+v", s)
+	}
+
+	r.Finish("bounded")
+	s = r.Status()
+	if s.Running || s.StopReason != "bounded" {
+		t.Fatalf("finished status = %+v", s)
+	}
+
+	sum := r.Summary()
+	if sum.Rounds != 2 || sum.LACsEvaluated != 50 || sum.LACsApplied != 5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.GuardSingleLAC != 1 || sum.DuelIndpWinRate != 1 {
+		t.Fatalf("summary guard/duel = %+v", sum)
+	}
+	if ph, ok := sum.Phases["simulate"]; !ok || ph.Count != 1 {
+		t.Fatalf("summary phases = %+v", sum.Phases)
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	r := NewRecorder()
+	sp := r.StartPhase(3, PhaseMIS)
+	time.Sleep(2 * time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Fatalf("span duration = %v, want >= 1ms", d)
+	}
+	var sb strings.Builder
+	if err := r.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `accals_phase_duration_seconds_count{phase="mis"} 1`) {
+		t.Fatalf("mis phase not recorded:\n%s", sb.String())
+	}
+}

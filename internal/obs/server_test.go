@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRecorder()
+	r.SetRunInfo("accals", "mtp8", "er", 0.05, 337)
+	r.BeginRound(4)
+	r.CountApplied(7)
+	r.GuardSingleLAC()
+	r.EndRound(4, 0.012, 300, 0, 7)
+
+	srv, err := Serve("127.0.0.1:0", r.MetricsHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, metrics := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"accals_round 4",
+		"accals_error 0.012",
+		"accals_and_count 300",
+		`accals_guard_activations_total{guard="single_lac"} 1`,
+		`accals_lacs_total{kind="applied"} 7`,
+		"# TYPE accals_phase_duration_seconds histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	code, status := get(t, base+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status status %d", code)
+	}
+	var s Status
+	if err := json.Unmarshal([]byte(status), &s); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, status)
+	}
+	if s.Round != 4 || s.NumAnds != 300 || !s.Running || s.GuardSingle != 1 {
+		t.Fatalf("/status = %+v", s)
+	}
+
+	code, vars := get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(vars, "memstats") {
+		t.Fatalf("/debug/vars status %d:\n%.120s", code, vars)
+	}
+}
+
+func TestPprofServer(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", PprofHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, fmt.Sprintf("http://%s/debug/pprof/", srv.Addr()))
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index status %d:\n%.120s", code, body)
+	}
+}

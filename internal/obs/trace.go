@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceFormat selects the wire format of a Tracer.
+type TraceFormat int
+
+const (
+	// TraceJSONL emits one self-contained JSON object per line per
+	// span: {"t_us":…,"dur_us":…,"phase":"simulate","round":3}. t_us is
+	// microseconds since the tracer was created, so events from one run
+	// share a time base.
+	TraceJSONL TraceFormat = iota
+	// TraceChrome emits the Chrome trace_event JSON array format
+	// understood by chrome://tracing and https://ui.perfetto.dev: one
+	// complete ("ph":"X") event per span.
+	TraceChrome
+)
+
+// Tracer writes span events to an io.Writer in one of the supported
+// formats. It is safe for concurrent use. Close flushes the format
+// trailer (the closing bracket of the Chrome array); closing is
+// idempotent and a nil Tracer is a no-op.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format TraceFormat
+	start  time.Time
+	wrote  bool
+	closed bool
+	err    error
+}
+
+// NewTracer returns a tracer writing to w in the given format.
+func NewTracer(w io.Writer, format TraceFormat) *Tracer {
+	return &Tracer{w: w, format: format, start: time.Now()}
+}
+
+// jsonlEvent is the JSONL wire format of one span.
+type jsonlEvent struct {
+	TUS   int64  `json:"t_us"`
+	DurUS int64  `json:"dur_us"`
+	Phase string `json:"phase"`
+	Round int    `json:"round"`
+}
+
+// chromeEvent is the Chrome trace_event wire format of one span.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// emit records one finished span.
+func (t *Tracer) emit(phase Phase, round int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.err != nil {
+		return
+	}
+	ts := start.Sub(t.start).Microseconds()
+	var body []byte
+	var err error
+	switch t.format {
+	case TraceChrome:
+		body, err = json.Marshal(chromeEvent{
+			Name: phase.String(),
+			Cat:  "accals",
+			Ph:   "X",
+			TS:   ts,
+			Dur:  dur.Microseconds(),
+			PID:  1,
+			TID:  1,
+			Args: map[string]any{"round": round},
+		})
+		if err == nil {
+			if !t.wrote {
+				_, err = io.WriteString(t.w, "[\n")
+			} else {
+				_, err = io.WriteString(t.w, ",\n")
+			}
+		}
+	default:
+		body, err = json.Marshal(jsonlEvent{
+			TUS:   ts,
+			DurUS: dur.Microseconds(),
+			Phase: phase.String(),
+			Round: round,
+		})
+	}
+	if err == nil {
+		_, err = t.w.Write(body)
+	}
+	if err == nil && t.format == TraceJSONL {
+		_, err = io.WriteString(t.w, "\n")
+	}
+	t.wrote = true
+	t.err = err
+}
+
+// Close writes the format trailer. It does not close the underlying
+// writer. It returns the first write error encountered over the
+// tracer's lifetime, so callers can surface silently dropped events.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.format == TraceChrome && t.err == nil {
+		if !t.wrote {
+			_, t.err = io.WriteString(t.w, "[")
+		}
+		if t.err == nil {
+			_, t.err = io.WriteString(t.w, "\n]\n")
+		}
+	}
+	if t.err != nil {
+		return fmt.Errorf("obs: trace write failed: %w", t.err)
+	}
+	return nil
+}

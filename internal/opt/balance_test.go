@@ -12,8 +12,8 @@ import (
 func equivalent(t *testing.T, a, b *aig.Graph, seed int64) {
 	t.Helper()
 	p := simulate.NewPatterns(a.NumPIs(), 1024, seed)
-	va := simulate.Run(a, p).POValues(a)
-	vb := simulate.Run(b, p).POValues(b)
+	va := simulate.MustRun(a, p).POValues(a)
+	vb := simulate.MustRun(b, p).POValues(b)
 	for j := range va {
 		for w := range va[j] {
 			if va[j][w] != vb[j][w] {
@@ -83,8 +83,8 @@ func TestQuickBalanceEquivalence(t *testing.T) {
 			return false
 		}
 		p := simulate.Exhaustive(8)
-		va := simulate.Run(g, p).POValues(g)
-		vb := simulate.Run(b, p).POValues(b)
+		va := simulate.MustRun(g, p).POValues(g)
+		vb := simulate.MustRun(b, p).POValues(b)
 		for j := range va {
 			for w := range va[j] {
 				if va[j][w] != vb[j][w] {

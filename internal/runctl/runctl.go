@@ -36,6 +36,11 @@ const (
 	// or the context's deadline; the result holds the best circuit
 	// accepted so far.
 	DeadlineExceeded
+	// Failed: the run aborted on a precondition violation discovered
+	// mid-flight (for example a warm-start circuit whose interface
+	// does not match the pattern set). The result still holds the best
+	// circuit accepted so far.
+	Failed
 )
 
 // String returns a stable lower-case name for the reason.
@@ -53,6 +58,8 @@ func (r StopReason) String() string {
 		return "cancelled"
 	case DeadlineExceeded:
 		return "deadline-exceeded"
+	case Failed:
+		return "failed"
 	}
 	return "unknown"
 }

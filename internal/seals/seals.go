@@ -19,9 +19,16 @@ import (
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/obs"
 	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
+
+// stagnationRounds is the number of consecutive no-progress rounds
+// after which the greedy single-LAC flow stops. Selection is
+// deterministic, so SEALS converges faster than AccALS's
+// core.StagnationRounds threshold.
+const stagnationRounds = 2
 
 // Run synthesises an approximate version of orig whose error under the
 // given metric does not exceed errBound, applying one LAC per round.
@@ -56,6 +63,8 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		maxRounds = 1 << 20
 	}
 	ctl := runctl.NewController(ctx, opt.Deadline, opt.MaxRuntime, start)
+	rec := opt.Recorder
+	patCount := cmp.Patterns().NumPatterns()
 
 	gNew := orig.Clone()
 	e := 0.0
@@ -87,30 +96,51 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		}
 		roundStart := time.Now()
 		rs := core.RoundStats{Round: round, NumAnds: g.NumAnds()}
+		rec.BeginRound(round)
+		roundSpan := rec.StartPhase(round, obs.PhaseRound)
 
-		simRes := simulate.Run(g, cmp.Patterns())
+		simSpan := rec.StartPhase(round, obs.PhaseSimulate)
+		simRes, serr := simulate.Run(g, cmp.Patterns())
+		simSpan.End()
+		if serr != nil {
+			roundSpan.End()
+			reason = runctl.Failed
+			break
+		}
+		rec.CountSimPatterns(patCount)
+
+		genSpan := rec.StartPhase(round, obs.PhaseGenerate)
 		cands := lac.Generate(g, simRes, opt.GenCfg)
+		genSpan.End()
 		rs.Candidates = len(cands)
+		rec.CountCandidates(len(cands))
 		if len(cands) == 0 {
+			roundSpan.End()
 			reason = runctl.Stagnated
 			break
 		}
 		if opt.ExactEstimates {
-			estimator.EstimateAllExact(g, simRes, cmp, cands)
+			estimator.EstimateAllExactRec(g, simRes, cmp, cands, rec)
 		} else {
-			estimator.EstimateAll(g, simRes, cmp, cands)
+			estimator.EstimateAllRec(g, simRes, cmp, cands, rec)
 		}
 		best := selectBest(cands)
 
+		applySpan := rec.StartPhase(round, obs.PhaseApply)
 		gNew = lac.Apply(g, []*lac.LAC{best})
+		applySpan.End()
+		measureSpan := rec.StartPhase(round, obs.PhaseMeasure)
 		e = cmp.Error(gNew)
+		measureSpan.End()
+		rec.CountSimPatterns(patCount)
 		// A candidate may rebuild the same function without shrinking
 		// the circuit (its gain estimate was optimistic); selection is
 		// deterministic, so repeated stagnation means convergence.
 		if gNew.NumAnds() >= g.NumAnds() && e <= eG {
 			noProgress++
-			if noProgress >= 2 {
+			if noProgress >= stagnationRounds {
 				gNew, e = g, eG
+				roundSpan.End()
 				reason = runctl.Stagnated
 				break
 			}
@@ -120,12 +150,16 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		rs.AppliedLACs = 1
 		rs.Error = e
 		rs.EstimatedErr = eG + best.DeltaE
+		rs.NoProgress = noProgress
 		rs.RoundDuration = time.Since(roundStart)
 		result.Rounds = append(result.Rounds, rs)
 		result.LACsApplied++
+		rec.CountApplied(1)
+		roundSpan.End()
+		rec.EndRound(round, e, gNew.NumAnds(), noProgress, 1)
 		if opt.Progress != nil {
 			snap := rs
-			snap.Graph = gNew
+			snap.Graph = gNew.Clone()
 			opt.Progress(snap)
 		}
 	}
@@ -134,6 +168,7 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	result.Error = eG
 	result.StopReason = reason
 	result.Runtime = time.Since(start)
+	rec.Finish(reason.String())
 	return result
 }
 

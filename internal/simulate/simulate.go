@@ -170,10 +170,12 @@ type Result struct {
 }
 
 // Run simulates g under the pattern set and returns per-node values.
-// The graph's PI count must match the pattern set.
-func Run(g *aig.Graph, p *Patterns) *Result {
+// The graph's PI count must match the pattern set; a mismatch is
+// reported as an error wrapping runctl.ErrInterfaceMismatch (callers
+// that construct the patterns from the same graph can use MustRun).
+func Run(g *aig.Graph, p *Patterns) (*Result, error) {
 	if g.NumPIs() != p.numPIs {
-		panic(fmt.Errorf("simulate: circuit has %d PIs but patterns were built for %d: %w", g.NumPIs(), p.numPIs, runctl.ErrInterfaceMismatch))
+		return nil, fmt.Errorf("simulate: circuit has %d PIs but patterns were built for %d: %w", g.NumPIs(), p.numPIs, runctl.ErrInterfaceMismatch)
 	}
 	vals := make([]Vec, g.NumNodes())
 	vals[0] = make(Vec, p.words) // constant false: all zeros
@@ -210,7 +212,20 @@ func Run(g *aig.Graph, p *Patterns) *Result {
 		v[len(v)-1] &= p.lastMask
 		vals[id] = v
 	}
-	return &Result{Patterns: p, NodeVals: vals}
+	return &Result{Patterns: p, NodeVals: vals}, nil
+}
+
+// MustRun is Run for call sites whose pattern set was built from the
+// same graph, where a PI-count mismatch is a programming error: it
+// panics (wrapping runctl.ErrInterfaceMismatch) instead of returning
+// an error. Public API boundaries convert that panic into a typed
+// error via runctl.Guard.
+func MustRun(g *aig.Graph, p *Patterns) *Result {
+	r, err := Run(g, p)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // LitValue returns the packed values of literal l, allocating a new

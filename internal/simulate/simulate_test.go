@@ -1,10 +1,12 @@
 package simulate
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"accals/internal/aig"
+	"accals/internal/runctl"
 )
 
 func TestExhaustivePatterns(t *testing.T) {
@@ -71,7 +73,7 @@ func TestRunMatchesDirectEvaluation(t *testing.T) {
 	g.AddPO(y.Not(), "ny")
 
 	p := Exhaustive(3)
-	r := Run(g, p)
+	r := MustRun(g, p)
 	pos := r.POValues(g)
 	for pat := 0; pat < 8; pat++ {
 		av := pat&1 != 0
@@ -92,7 +94,7 @@ func TestLitValueMasksTailBits(t *testing.T) {
 	a := g.AddPI("a")
 	g.AddPO(a.Not(), "y")
 	p := Random(1, 10, 3) // 10 patterns: tail bits beyond 10 must stay 0
-	r := Run(g, p)
+	r := MustRun(g, p)
 	v := r.LitValue(g.PO(0))
 	if v[0]&^p.LastMask() != 0 {
 		t.Fatalf("complemented literal leaked bits beyond the pattern count: %x", v[0])
@@ -125,7 +127,7 @@ func TestConstantNodeSimulatesToZero(t *testing.T) {
 	g.AddPO(aig.ConstFalse, "zero")
 	g.AddPO(aig.ConstTrue, "one")
 	p := Exhaustive(1)
-	r := Run(g, p)
+	r := MustRun(g, p)
 	pos := r.POValues(g)
 	if PopCount(pos[0]) != 0 {
 		t.Error("constant false simulated nonzero")
@@ -177,4 +179,24 @@ func TestExplicitPatterns(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestRunReportsInterfaceMismatch(t *testing.T) {
+	g := aig.New("t")
+	a := g.AddPI("a")
+	g.AddPO(a, "y")
+	p := Exhaustive(3) // patterns for 3 PIs, circuit has 1
+	r, err := Run(g, p)
+	if r != nil || err == nil {
+		t.Fatalf("Run on mismatched interface: result %v, err %v", r, err)
+	}
+	if !errors.Is(err, runctl.ErrInterfaceMismatch) {
+		t.Fatalf("error %v does not wrap runctl.ErrInterfaceMismatch", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRun on mismatched interface did not panic")
+		}
+	}()
+	MustRun(g, p)
 }

@@ -1,0 +1,138 @@
+package accals_test
+
+// Progress-callback semantics shared by every flow: the callback fires
+// exactly once per completed round, in round order, and each snapshot
+// is self-contained — its Graph is a deep copy, so retaining or
+// mutating it must not perturb the run.
+
+import (
+	"testing"
+
+	"accals"
+)
+
+// runWithProgress synthesises mtp8 and collects every Progress
+// snapshot. mutate, when set, vandalises each received graph to prove
+// the run does not share state with the callback.
+func runWithProgress(t *testing.T, seals, mutate bool) (*accals.Result, []accals.RoundStats) {
+	t.Helper()
+	g, err := accals.Benchmark("mtp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []accals.RoundStats
+	opt := accals.Options{
+		NumPatterns: 512,
+		PatternSeed: 7,
+		Params:      accals.Params{Seed: 7, HasSeed: true},
+		Progress: func(rs accals.RoundStats) {
+			if mutate && rs.Graph != nil {
+				rs.Graph.AddPI("vandal")
+				rs.Graph.AddPO(accals.ConstTrue, "vandal_out")
+			}
+			snaps = append(snaps, rs)
+		},
+	}
+	var res *accals.Result
+	if seals {
+		res = accals.SynthesizeSEALS(g, accals.ER, 0.05, opt)
+	} else {
+		res = accals.Synthesize(g, accals.ER, 0.05, opt)
+	}
+	return res, snaps
+}
+
+func testProgressSemantics(t *testing.T, seals bool) {
+	res, snaps := runWithProgress(t, seals, false)
+
+	// Exactly one callback per recorded round, in the same order.
+	if len(snaps) != len(res.Rounds) {
+		t.Fatalf("%d progress callbacks for %d rounds", len(snaps), len(res.Rounds))
+	}
+	for i, rs := range res.Rounds {
+		if snaps[i].Round != rs.Round {
+			t.Errorf("callback %d reports round %d, result has %d", i, snaps[i].Round, rs.Round)
+		}
+		if snaps[i].Error != rs.Error || snaps[i].NumAnds != rs.NumAnds {
+			t.Errorf("callback %d snapshot diverges from Result.Rounds[%d]", i, i)
+		}
+		if rs.Graph != nil {
+			t.Errorf("Result.Rounds[%d] retains a graph; only snapshots should carry one", i)
+		}
+	}
+	// Snapshots carry graphs, and distinct rounds carry distinct copies.
+	for i, s := range snaps {
+		if s.Graph == nil {
+			t.Fatalf("callback %d has no graph", i)
+		}
+	}
+	if len(snaps) >= 2 && snaps[0].Graph == snaps[1].Graph {
+		t.Error("consecutive snapshots share one graph pointer")
+	}
+
+	// Mutating the received snapshots must not change the trajectory:
+	// a vandalising run replays identically to a clean one.
+	res2, snaps2 := runWithProgress(t, seals, true)
+	if res2.Error != res.Error || res2.Final.NumAnds() != res.Final.NumAnds() ||
+		len(res2.Rounds) != len(res.Rounds) {
+		t.Fatalf("mutating progress snapshots changed the run: error %v vs %v, ands %d vs %d, rounds %d vs %d",
+			res2.Error, res.Error, res2.Final.NumAnds(), res.Final.NumAnds(),
+			len(res2.Rounds), len(res.Rounds))
+	}
+	for i := range snaps2 {
+		if snaps2[i].Error != snaps[i].Error || snaps2[i].Round != snaps[i].Round {
+			t.Fatalf("round %d diverged under snapshot mutation", i)
+		}
+	}
+	// The final circuit kept its interface despite the vandalism.
+	if res2.Final.NumPIs() != res.Final.NumPIs() || res2.Final.NumPOs() != res.Final.NumPOs() {
+		t.Fatal("snapshot mutation leaked into the final circuit's interface")
+	}
+}
+
+func TestProgressSemanticsAccALS(t *testing.T) { testProgressSemantics(t, false) }
+
+func TestProgressSemanticsSEALS(t *testing.T) { testProgressSemantics(t, true) }
+
+func TestProgressSemanticsAMOSA(t *testing.T) {
+	g, err := accals.Benchmark("mtp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 60
+	var snaps []accals.AMOSAIterStats
+	opt := accals.AMOSAOptions{
+		ErrBound:    0.05,
+		Iterations:  iters,
+		NumPatterns: 512,
+		Seed:        7,
+		HasSeed:     true,
+		Progress:    func(s accals.AMOSAIterStats) { snaps = append(snaps, s) },
+	}
+	res := accals.SynthesizeAMOSA(g, accals.ER, opt)
+	if len(snaps) != iters {
+		t.Fatalf("%d progress callbacks for %d iterations", len(snaps), iters)
+	}
+	accepted := 0
+	for i, s := range snaps {
+		if s.Index != i {
+			t.Fatalf("callback %d reports index %d", i, s.Index)
+		}
+		if s.ArchiveSize < 1 {
+			t.Fatalf("callback %d reports empty archive", i)
+		}
+		if s.Accepted {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Error("annealer accepted no move in 60 iterations")
+	}
+	if len(res.Archive) == 0 {
+		t.Error("empty archive after annealing")
+	}
+	// The last snapshot's archive size matches the final result.
+	if last := snaps[len(snaps)-1]; last.ArchiveSize != len(res.Archive) {
+		t.Errorf("final snapshot archive size %d, result has %d", last.ArchiveSize, len(res.Archive))
+	}
+}

@@ -56,6 +56,7 @@ type config struct {
 	bound       float64
 	method      string
 	patterns    int
+	workers     int
 	seed        int64
 	hasSeed     bool // -seed given explicitly
 	outPath     string
@@ -94,6 +95,7 @@ func parseFlags(args []string) (*config, bool, error) {
 	fs.Float64Var(&cfg.bound, "bound", 0.05, "error bound (fraction in (0,1], e.g. 0.05 = 5%)")
 	fs.StringVar(&cfg.method, "method", "accals", "synthesis method: accals, seals")
 	fs.IntVar(&cfg.patterns, "patterns", 8192, "Monte-Carlo pattern budget")
+	fs.IntVar(&cfg.workers, "workers", 0, "evaluation worker count (0 = one per CPU, 1 = sequential); results are identical at any setting")
 	fs.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.outPath, "out", "", "write the approximate circuit as BLIF")
 	fs.StringVar(&cfg.aigerPath, "aiger", "", "write the approximate circuit as binary AIGER")
@@ -143,6 +145,9 @@ func (c *config) validate() error {
 	}
 	if c.patterns <= 0 {
 		return fmt.Errorf("-patterns %d out of range: want a positive pattern budget", c.patterns)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers %d out of range: want 0 (all CPUs) or a positive worker count", c.workers)
 	}
 	if c.checkpointEvery < 1 {
 		return fmt.Errorf("-checkpoint-every %d out of range: want at least 1", c.checkpointEvery)
@@ -208,6 +213,7 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		PatternSeed: cfg.seed,
 		Params:      core.Params{Seed: cfg.seed, HasSeed: cfg.hasSeed},
 		MaxRuntime:  cfg.maxRuntime,
+		Workers:     cfg.workers,
 	}
 	ropt.HasPatternSeed = cfg.hasSeed
 

@@ -40,6 +40,7 @@ func TestValidateRejectsBadCombinations(t *testing.T) {
 		{"zero patterns", []string{"-circuit", "mtp8", "-patterns", "0"}, "pattern budget"},
 		{"bad cadence", []string{"-circuit", "mtp8", "-checkpoint", "d", "-checkpoint-every", "0"}, "at least 1"},
 		{"resume without dir", []string{"-circuit", "mtp8", "-resume"}, "-resume needs -checkpoint"},
+		{"negative workers", []string{"-circuit", "mtp8", "-workers", "-2"}, "worker count"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -57,6 +58,33 @@ func TestValidateRejectsBadCombinations(t *testing.T) {
 	// A sane configuration passes.
 	if err := mustParse(t, "-circuit", "mtp8", "-bound", "0.05").validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := mustParse(t, "-circuit", "mtp8", "-workers", "4").validate(); err != nil {
+		t.Fatalf("valid -workers rejected: %v", err)
+	}
+}
+
+// TestRunWorkersMatchSequential runs the whole command at -workers 1
+// and 4 and checks the reports (error, final size, rounds) are
+// identical. The wall-clock runtime line is the only part of the
+// report allowed to differ.
+func TestRunWorkersMatchSequential(t *testing.T) {
+	out := func(workers string) string {
+		var buf bytes.Buffer
+		cfg := mustParse(t, "-circuit", "mtp8", "-bound", "0.03", "-patterns", "1024", "-seed", "7", "-workers", workers)
+		if err := run(context.Background(), cfg, &buf); err != nil {
+			t.Fatalf("-workers %s: %v", workers, err)
+		}
+		var stable []string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if !strings.HasPrefix(line, "runtime:") {
+				stable = append(stable, line)
+			}
+		}
+		return strings.Join(stable, "\n")
+	}
+	if a, b := out("1"), out("4"); a != b {
+		t.Fatalf("-workers 1 and -workers 4 reports differ:\n%s\n---\n%s", a, b)
 	}
 }
 

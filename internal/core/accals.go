@@ -10,9 +10,22 @@ import (
 	"accals/internal/estimator"
 	"accals/internal/lac"
 	"accals/internal/obs"
+	"accals/internal/par"
 	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
+
+// pendingSim is an in-flight prefetched base simulation: the next
+// round's circuit simulated on a background goroutine while the main
+// loop finishes the current round's bookkeeping. done is closed when
+// res/err are ready; the channel close is the happens-before edge that
+// hands the runner back to the main loop.
+type pendingSim struct {
+	g    *aig.Graph
+	res  *simulate.Result
+	err  error
+	done chan struct{}
+}
 
 // Options configures a synthesis run (shared by AccALS and the
 // baseline flows).
@@ -63,6 +76,13 @@ type Options struct {
 	// Start, when non-nil, warm-starts the run from a checkpointed
 	// state instead of a fresh copy of the original circuit.
 	Start *StartState
+	// Workers is the parallel evaluation engine's worker budget: 0 (or
+	// negative) means one worker per CPU, 1 forces the exact legacy
+	// sequential path, any other value is used as-is. Results are
+	// bit-identical at every setting — sharding boundaries are fixed
+	// and merges use exactly associative operations — so Workers only
+	// trades wall-clock time for cores.
+	Workers int
 }
 
 // StartState warm-starts a run from a previously checkpointed circuit
@@ -78,13 +98,14 @@ type StartState struct {
 	Round int
 }
 
-// estimate dispatches to the configured estimator, threading the
-// run's recorder through for the estimate-phase span.
-func (o Options) estimate(g *aig.Graph, simRes *simulate.Result, cmp *errmetric.Comparator, cands []*lac.LAC) float64 {
+// estimate dispatches to the configured estimation mode on the run's
+// Estimator, threading the recorder through for the estimate-phase
+// span.
+func (o Options) estimate(est *estimator.Estimator, g *aig.Graph, simRes *simulate.Result, cmp *errmetric.Comparator, cands []*lac.LAC) float64 {
 	if o.ExactEstimates {
-		return estimator.EstimateAllExactRec(g, simRes, cmp, cands, o.Recorder)
+		return est.EstimateAllExactRec(g, simRes, cmp, cands, o.Recorder)
 	}
-	return estimator.EstimateAllRec(g, simRes, cmp, cands, o.Recorder)
+	return est.EstimateAllRec(g, simRes, cmp, cands, o.Recorder)
 }
 
 // DefaultPatterns is the default Monte-Carlo sample size.
@@ -169,15 +190,46 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	rec := opt.Recorder
 	patCount := cmp.Patterns().NumPatterns()
 
-	// measure evaluates a candidate circuit's true error under the
-	// measure-phase span (the comparator resimulates the full pattern
-	// set per call).
-	measure := func(round int, gg *aig.Graph) float64 {
+	// The parallel evaluation engine: a sharded simulation runner and
+	// a sharded estimator sharing the run's worker budget. Workers: 1
+	// is the exact legacy sequential path; any other count produces
+	// bit-identical results (fixed shard boundaries, order-free
+	// merges), so the trajectory below never depends on Workers.
+	runner := simulate.NewRunner(opt.Workers)
+	est := estimator.New(opt.Workers)
+	parallel := runner.Workers() > 1
+	rec.SetWorkers(runner.Workers())
+
+	// measure evaluates a candidate LAC set's true error under the
+	// measure-phase span. Rather than building and fully resimulating
+	// the candidate circuit, the targets are overlaid on the round's
+	// base simulation and only their fanout cones recomputed
+	// (estimator.ResimulateWithSet) — bit-identical to
+	// cmp.Error(lac.Apply(base, set)) because Rebuild preserves output
+	// functions. The comparator is shared by the duel's concurrent
+	// measurements; its evaluation paths are read-only.
+	measure := func(round int, base *aig.Graph, simRes *simulate.Result, set []*lac.LAC) float64 {
 		sp := rec.StartPhase(round, obs.PhaseMeasure)
-		e := cmp.Error(gg)
+		e := cmp.ErrorFromPOs(estimator.ResimulateWithSet(base, simRes, set))
 		sp.End()
 		rec.CountSimPatterns(patCount)
 		return e
+	}
+
+	// pend is the prefetched base simulation of the next round's
+	// circuit, overlapped with end-of-round bookkeeping (progress
+	// clone, checkpointing). The next simulate phase joins it; any
+	// break path joins it after the loop.
+	var pend *pendingSim
+	startPrefetch := func(round int) {
+		if !parallel || e > errBound || round+1 >= params.MaxRounds || noProgress >= StagnationRounds {
+			return
+		}
+		pend = &pendingSim{g: gNew, done: make(chan struct{})}
+		go func(p *pendingSim) {
+			p.res, p.err = runner.Run(p.g, cmp.Patterns())
+			close(p.done)
+		}(pend)
 	}
 
 	for round := round0; ; round++ {
@@ -202,7 +254,22 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		rs := RoundStats{Round: round, NumAnds: g.NumAnds()}
 
 		sp := rec.StartPhase(round, obs.PhaseSimulate)
-		simRes, serr := simulate.Run(g, cmp.Patterns())
+		var simRes *simulate.Result
+		var serr error
+		if pend != nil {
+			<-pend.done
+			if pend.g == g {
+				simRes, serr = pend.res, pend.err
+			} else {
+				// Defensive: the prefetched circuit is not this
+				// round's base; recycle and simulate the actual one.
+				runner.Release(pend.res)
+			}
+			pend = nil
+		}
+		if simRes == nil && serr == nil {
+			simRes, serr = runner.RunRec(g, cmp.Patterns(), rec)
+		}
 		sp.End()
 		if serr != nil {
 			// Only reachable through a warm start whose interface
@@ -223,7 +290,7 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			reason = runctl.Stagnated
 			break
 		}
-		opt.estimate(g, simRes, cmp, cands)
+		opt.estimate(est, g, simRes, cmp, cands)
 		sortByDeltaE(cands)
 
 		if e > params.LE*errBound && !params.DisableImprovements {
@@ -234,7 +301,9 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			sp = rec.StartPhase(round, obs.PhaseApply)
 			gNew = lac.Apply(g, applied)
 			sp.End()
-			e = measure(round, gNew)
+			e = measure(round, g, simRes, applied)
+			runner.Release(simRes)
+			startPrefetch(round)
 			rs.AppliedLACs = 1
 			rs.Error = e
 			rs.EstimatedErr = estimatedError(eG, applied)
@@ -276,32 +345,32 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		switch {
 		case lIndp == nil:
 			applied = lRand
-			sp = rec.StartPhase(round, obs.PhaseApply)
-			gNew = lac.Apply(g, applied)
-			sp.End()
-			e = measure(round, gNew)
+			e = measure(round, g, simRes, applied)
 		case lRand == nil:
 			applied = lIndp
-			sp = rec.StartPhase(round, obs.PhaseApply)
-			gNew = lac.Apply(g, applied)
-			sp.End()
-			e = measure(round, gNew)
+			e = measure(round, g, simRes, applied)
 			rs.PickedIndp = true
 		default:
-			sp = rec.StartPhase(round, obs.PhaseApply)
-			g1 := lac.Apply(g, lIndp)
-			g2 := lac.Apply(g, lRand)
-			sp.End()
-			e1 := measure(round, g1)
-			e2 := measure(round, g2)
+			// The duel: measure both candidate sets concurrently on
+			// the shared base simulation. Only the winner's circuit is
+			// built — measurement needs the output vectors, not the
+			// rewritten graph.
+			var e1, e2 float64
+			par.Do(parallel,
+				func() { e1 = measure(round, g, simRes, lIndp) },
+				func() { e2 = measure(round, g, simRes, lRand) },
+			)
 			if e1 < e2 || (e1 == e2 && len(lIndp) >= len(lRand)) {
-				gNew, e, applied = g1, e1, lIndp
+				e, applied = e1, lIndp
 				rs.PickedIndp = true
 			} else {
-				gNew, e, applied = g2, e2, lRand
+				e, applied = e2, lRand
 			}
 			rec.DuelOutcome(rs.PickedIndp)
 		}
+		sp = rec.StartPhase(round, obs.PhaseApply)
+		gNew = lac.Apply(g, applied)
+		sp.End()
 		rs.EstimatedErr = estimatedError(eG, applied)
 
 		// Improvement technique 2: detect a negative LAC set by the
@@ -319,7 +388,7 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 				sp = rec.StartPhase(round, obs.PhaseRevert)
 				applied = cands[:1]
 				gNew = lac.Apply(g, applied)
-				e = cmp.Error(gNew)
+				e = cmp.ErrorFromPOs(estimator.ResimulateWithSet(g, simRes, applied))
 				sp.End()
 				rec.CountSimPatterns(patCount)
 			}
@@ -335,6 +404,8 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		} else {
 			noProgress = 0
 		}
+		runner.Release(simRes)
+		startPrefetch(round)
 		rs.NoProgress = noProgress
 		rs.AppliedLACs = len(applied)
 		rs.Error = e
@@ -350,6 +421,14 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			reason = runctl.Stagnated
 			break
 		}
+	}
+
+	if pend != nil {
+		// A prefetched simulation may still be in flight on a break
+		// path (cancellation, stagnation); join it so no goroutine
+		// outlives the run or reads the returned graph concurrently.
+		<-pend.done
+		runner.Release(pend.res)
 	}
 
 	result.Final = g

@@ -59,6 +59,12 @@ func (k Kind) IsWordLevel() bool { return k == NMED || k == MRED }
 // fixed reference circuit under a fixed pattern set. Building a
 // Comparator simulates the reference once; each Error call simulates
 // only the candidate.
+//
+// A Comparator is immutable after construction: every evaluation
+// method (Error, ErrorFromPOs, ErrorFromPOsXor, ErrorWithFlips,
+// NewBaseEval) only reads the cached reference state, so a single
+// Comparator may be shared by concurrent goroutines — the parallel
+// engine relies on this to measure duel candidates simultaneously.
 type Comparator struct {
 	kind     Kind
 	patterns *simulate.Patterns

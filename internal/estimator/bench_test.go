@@ -1,0 +1,32 @@
+package estimator
+
+import (
+	"fmt"
+	"testing"
+
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+// BenchmarkEstimateAll measures sharded batch estimation against the
+// sequential baseline on a mid-size multiplier under ER and NMED.
+func BenchmarkEstimateAll(b *testing.B) {
+	g := circuits.ArrayMult(6)
+	p := simulate.NewPatterns(g.NumPIs(), 1<<13, 1)
+	res := simulate.MustRun(g, p)
+	cands := lac.Generate(g, res, lac.Config{EnableResub: true})
+	for _, kind := range []errmetric.Kind{errmetric.ER, errmetric.NMED} {
+		cmp := errmetric.NewComparator(kind, g, p)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%v/workers=%d", kind, workers), func(b *testing.B) {
+				e := New(workers)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e.EstimateAllRec(g, res, cmp, cands, nil)
+				}
+			})
+		}
+	}
+}

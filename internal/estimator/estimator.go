@@ -11,17 +11,47 @@
 // path sensitivities), which is the standard fast approximation; an
 // exact cone-resimulation mode is provided for validation and for the
 // flow's accurate per-round evaluation.
+//
+// The per-output passes are mutually independent, so an Estimator
+// shards them across workers (one propagator per shard) and merges the
+// per-shard accumulators deterministically: bitwise OR for ER's
+// any-diff masks, integer sums for MHD, and disjoint (LAC, output)
+// slots for the word-level flip masks. Every merge operation is
+// exactly associative and commutative, so the estimates are
+// bit-identical at any worker count.
 package estimator
 
 import (
 	"math/bits"
+	"sort"
 
 	"accals/internal/aig"
 	"accals/internal/errmetric"
 	"accals/internal/lac"
 	"accals/internal/obs"
+	"accals/internal/par"
 	"accals/internal/simulate"
 )
+
+// Estimator batch-estimates LAC error increases under a fixed worker
+// budget, keeping per-worker propagators, deviation-mask vectors and
+// accumulator arenas alive across rounds so steady-state estimation
+// allocates almost nothing. An Estimator is not safe for concurrent
+// use; the flows serialize calls per round.
+type Estimator struct {
+	workers int
+	props   []*propagator
+	slabs   par.SlabPool
+}
+
+// New returns an Estimator with the given worker budget (see
+// par.Resolve: <= 0 means all CPUs, 1 means the sequential path).
+func New(workers int) *Estimator {
+	return &Estimator{workers: par.Resolve(workers)}
+}
+
+// Workers returns the resolved worker count.
+func (e *Estimator) Workers() int { return e.workers }
 
 // EstimateAll computes the estimated error increase ΔE for every
 // candidate LAC and stores it in each LAC's DeltaE field. It returns
@@ -33,8 +63,18 @@ func EstimateAll(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, 
 
 // EstimateAllRec is EstimateAll with instrumentation: the batch
 // estimation runs under an estimate-phase span and the candidate
-// count feeds the evaluated-LAC counter. rec may be nil.
+// count feeds the evaluated-LAC counter. rec may be nil. The
+// package-level functions run sequentially; flows with a worker
+// budget hold an Estimator instead.
 func EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, rec *obs.Recorder) float64 {
+	return New(1).EstimateAllRec(g, res, cmp, lacs, rec)
+}
+
+// EstimateAllRec estimates every candidate's ΔE, sharding the per-
+// output propagation passes across the Estimator's workers. See the
+// package-level EstimateAllRec for the contract; results are
+// bit-identical at any worker count.
+func (e *Estimator) EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, rec *obs.Recorder) float64 {
 	sp := rec.StartSpan(obs.PhaseEstimate)
 	defer sp.End()
 	curPOs := res.POValues(g)
@@ -45,122 +85,189 @@ func EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparato
 
 	words := res.Patterns.Words()
 	numPOs := g.NumPOs()
+	nl := len(lacs)
 
-	// Deviation masks, computed once per LAC.
-	devs := make([]simulate.Vec, len(lacs))
+	// Deviation masks, computed once per LAC into one pooled slab.
+	devSlab := e.slabs.Get(nl * words)
+	devs := make([]simulate.Vec, nl)
 	for i, l := range lacs {
-		devs[i], _ = l.Deviation(res)
+		devs[i] = devSlab[i*words : (i+1)*words]
+		l.DeviationInto(devs[i], res)
 	}
 
-	prop := newPropagator(g, res)
+	blocks := par.Blocks(e.workers, numPOs)
+	e.ensureProps(blocks, g, res)
 
-	if cmp.Kind() == errmetric.ER {
+	switch cmp.Kind() {
+	case errmetric.ER:
 		// ER fast path: per LAC, accumulate the mask of patterns on
-		// which any output differs from the exact circuit. Memory is
-		// one vector per LAC regardless of output count.
+		// which any output differs from the exact circuit. Each shard
+		// owns one arena row block; rows merge by bitwise OR, which is
+		// order-independent, so the merged mask is exactly the
+		// sequential one.
 		exact := cmp.ExactPOs()
-		anyDiff := make([]simulate.Vec, len(lacs))
-		for i := range anyDiff {
-			anyDiff[i] = make(simulate.Vec, words)
-		}
-		diffJ := make(simulate.Vec, words)
-		for j := 0; j < numPOs; j++ {
-			masks := prop.run(j)
-			for w := 0; w < words; w++ {
-				diffJ[w] = curPOs[j][w] ^ exact[j][w]
+		arena := e.slabs.Get(blocks * nl * words)
+		e.runShards(numPOs, rec, func(shard, j0, j1 int) {
+			prop := e.props[shard]
+			ad := arena[shard*nl*words : (shard+1)*nl*words]
+			for w := range ad {
+				ad[w] = 0
 			}
-			for i, l := range lacs {
-				pm := masks[l.Target]
-				ad := anyDiff[i]
-				if pm == nil {
-					for w := 0; w < words; w++ {
-						ad[w] |= diffJ[w]
-					}
-					continue
-				}
-				dv := devs[i]
+			diffJ := prop.scratchVec()
+			for j := j0; j < j1; j++ {
+				masks := prop.run(j)
 				for w := 0; w < words; w++ {
-					ad[w] |= diffJ[w] ^ (pm[w] & dv[w])
+					diffJ[w] = curPOs[j][w] ^ exact[j][w]
+				}
+				for i, l := range lacs {
+					row := ad[i*words : (i+1)*words]
+					pm := masks[l.Target]
+					if pm == nil {
+						for w := 0; w < words; w++ {
+							row[w] |= diffJ[w]
+						}
+						continue
+					}
+					dv := devs[i]
+					for w := 0; w < words; w++ {
+						row[w] |= diffJ[w] ^ (pm[w] & dv[w])
+					}
 				}
 			}
-		}
+		})
 		n := float64(res.Patterns.NumPatterns())
 		for i, l := range lacs {
-			l.DeltaE = float64(simulate.PopCount(anyDiff[i]))/n - curErr
+			row := arena[i*words : (i+1)*words]
+			for s := 1; s < blocks; s++ {
+				other := arena[(s*nl+i)*words:][:words]
+				for w := range row {
+					row[w] |= other[w]
+				}
+			}
+			c := 0
+			for _, w := range row {
+				c += bits.OnesCount64(w)
+			}
+			l.DeltaE = float64(c)/n - curErr
 		}
-		return curErr
-	}
+		e.slabs.Put(arena)
 
-	if cmp.Kind() == errmetric.MHD {
-		// MHD is linear over outputs: accumulate per-LAC diff-bit
-		// counts output by output, no flip storage needed.
+	case errmetric.MHD:
+		// MHD is linear over outputs: each shard tallies per-LAC
+		// diff-bit counts over its outputs; integer sums across shards
+		// are exact regardless of order.
 		exact := cmp.ExactPOs()
-		counts := make([]int, len(lacs))
-		diffJ := make(simulate.Vec, words)
-		for j := 0; j < numPOs; j++ {
-			masks := prop.run(j)
-			baseCount := 0
-			for w := 0; w < words; w++ {
-				diffJ[w] = curPOs[j][w] ^ exact[j][w]
-				baseCount += bits.OnesCount64(diffJ[w])
+		arena := e.slabs.Get(blocks * nl)
+		e.runShards(numPOs, rec, func(shard, j0, j1 int) {
+			prop := e.props[shard]
+			counts := arena[shard*nl : (shard+1)*nl]
+			for i := range counts {
+				counts[i] = 0
 			}
-			for i, l := range lacs {
-				pm := masks[l.Target]
-				if pm == nil {
-					counts[i] += baseCount
-					continue
-				}
-				dv := devs[i]
-				c := 0
+			diffJ := prop.scratchVec()
+			for j := j0; j < j1; j++ {
+				masks := prop.run(j)
+				baseCount := 0
 				for w := 0; w < words; w++ {
-					c += bits.OnesCount64(diffJ[w] ^ (pm[w] & dv[w]))
+					diffJ[w] = curPOs[j][w] ^ exact[j][w]
+					baseCount += bits.OnesCount64(diffJ[w])
 				}
-				counts[i] += c
+				for i, l := range lacs {
+					pm := masks[l.Target]
+					if pm == nil {
+						counts[i] += uint64(baseCount)
+						continue
+					}
+					dv := devs[i]
+					c := 0
+					for w := 0; w < words; w++ {
+						c += bits.OnesCount64(diffJ[w] ^ (pm[w] & dv[w]))
+					}
+					counts[i] += uint64(c)
+				}
 			}
-		}
+		})
 		denom := float64(res.Patterns.NumPatterns() * numPOs)
 		for i, l := range lacs {
-			l.DeltaE = float64(counts[i])/denom - curErr
+			total := uint64(0)
+			for s := 0; s < blocks; s++ {
+				total += arena[s*nl+i]
+			}
+			l.DeltaE = float64(total)/denom - curErr
 		}
-		return curErr
+		e.slabs.Put(arena)
+
+	default:
+		// Word-level metrics: collect per-PO flip masks per LAC (nil
+		// when the LAC cannot flip that output). Shards own disjoint
+		// output columns of the flips matrix, so no merge is needed;
+		// scoring is then per-LAC independent and runs sharded too.
+		flips := make([][]simulate.Vec, nl)
+		for i := range flips {
+			flips[i] = make([]simulate.Vec, numPOs)
+		}
+		e.runShards(numPOs, rec, func(shard, j0, j1 int) {
+			prop := e.props[shard]
+			for j := j0; j < j1; j++ {
+				masks := prop.run(j)
+				for i, l := range lacs {
+					pm := masks[l.Target]
+					if pm == nil {
+						continue
+					}
+					var f simulate.Vec
+					for w := 0; w < words; w++ {
+						b := pm[w] & devs[i][w]
+						if b != 0 && f == nil {
+							f = make(simulate.Vec, words)
+						}
+						if f != nil {
+							f[w] = b
+						}
+					}
+					flips[i][j] = f
+				}
+			}
+		})
+		base := cmp.NewBaseEval(curPOs)
+		par.For(e.workers, nl, func(_, i0, i1 int) {
+			for i := i0; i < i1; i++ {
+				lacs[i].DeltaE = cmp.ErrorWithFlips(base, flips[i]) - curErr
+			}
+		})
 	}
 
-	// Word-level metrics: collect per-PO flip masks per LAC (nil when
-	// the LAC cannot flip that output), then score each LAC
-	// incrementally over only its flipped patterns.
-	flips := make([][]simulate.Vec, len(lacs))
-	for i := range flips {
-		flips[i] = make([]simulate.Vec, numPOs)
-	}
-	for j := 0; j < numPOs; j++ {
-		masks := prop.run(j)
-		for i, l := range lacs {
-			pm := masks[l.Target]
-			if pm == nil {
-				continue
-			}
-			var f simulate.Vec
-			for w := 0; w < words; w++ {
-				b := pm[w] & devs[i][w]
-				if b != 0 && f == nil {
-					f = make(simulate.Vec, words)
-				}
-				if f != nil {
-					f[w] = b
-				}
-			}
-			flips[i][j] = f
-		}
-	}
-	base := cmp.NewBaseEval(curPOs)
-	for i, l := range lacs {
-		l.DeltaE = cmp.ErrorWithFlips(base, flips[i]) - curErr
-	}
+	e.slabs.Put(devSlab)
 	return curErr
 }
 
+// runShards executes body over [0,n) on the Estimator's workers,
+// feeding per-shard timings to rec's estimate-phase histograms when
+// instrumented.
+func (e *Estimator) runShards(n int, rec *obs.Recorder, body func(shard, begin, end int)) {
+	if rec != nil {
+		t := par.ForTimed(e.workers, n, body)
+		rec.ObserveShards(obs.PhaseEstimate, t.Elapsed, t.Shards)
+		return
+	}
+	par.For(e.workers, n, body)
+}
+
+// ensureProps grows the per-shard propagator set to blocks entries and
+// rebinds each to (g, res) for this round.
+func (e *Estimator) ensureProps(blocks int, g *aig.Graph, res *simulate.Result) {
+	for len(e.props) < blocks {
+		e.props = append(e.props, &propagator{})
+	}
+	for s := 0; s < blocks; s++ {
+		e.props[s].reset(g, res)
+	}
+}
+
 // propagator computes per-PO change propagation masks with reusable
-// buffers.
+// buffers. Each estimation shard owns one propagator; reset rebinds it
+// to the round's graph and simulation while keeping its retired
+// vectors for reuse.
 type propagator struct {
 	g       *aig.Graph
 	res     *simulate.Result
@@ -168,15 +275,38 @@ type propagator struct {
 	masks   []simulate.Vec // indexed by node; nil when untouched
 	touched []int
 	pool    []simulate.Vec
+	scratch simulate.Vec
 }
 
-func newPropagator(g *aig.Graph, res *simulate.Result) *propagator {
-	return &propagator{
-		g:     g,
-		res:   res,
-		words: res.Patterns.Words(),
-		masks: make([]simulate.Vec, g.NumNodes()),
+// reset rebinds the propagator to a graph and its simulation, retiring
+// live masks into the pool (or dropping every buffer when the word
+// count changed).
+func (p *propagator) reset(g *aig.Graph, res *simulate.Result) {
+	for _, id := range p.touched {
+		p.pool = append(p.pool, p.masks[id])
+		p.masks[id] = nil
 	}
+	p.touched = p.touched[:0]
+	words := res.Patterns.Words()
+	if words != p.words {
+		p.pool = p.pool[:0]
+		p.scratch = nil
+	}
+	p.g, p.res, p.words = g, res, words
+	if n := g.NumNodes(); cap(p.masks) >= n {
+		p.masks = p.masks[:n]
+	} else {
+		p.masks = make([]simulate.Vec, n)
+	}
+}
+
+// scratchVec returns the propagator's word-sized scratch vector
+// (contents unspecified).
+func (p *propagator) scratchVec() simulate.Vec {
+	if len(p.scratch) != p.words {
+		p.scratch = make(simulate.Vec, p.words)
+	}
+	return p.scratch
 }
 
 // alloc returns a zeroed vector, reusing retired buffers.
@@ -265,14 +395,24 @@ func EstimateAllExact(g *aig.Graph, res *simulate.Result, cmp *errmetric.Compara
 // EstimateAllExactRec is EstimateAllExact with instrumentation under
 // the estimate-phase span. rec may be nil.
 func EstimateAllExactRec(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, rec *obs.Recorder) float64 {
+	return New(1).EstimateAllExactRec(g, res, cmp, lacs, rec)
+}
+
+// EstimateAllExactRec is the exact mode sharded across candidates:
+// each worker resimulates the fanout cones of its LAC range. Each
+// candidate's score is computed independently from shared read-only
+// state, so results are identical at any worker count.
+func (e *Estimator) EstimateAllExactRec(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, rec *obs.Recorder) float64 {
 	sp := rec.StartSpan(obs.PhaseEstimate)
 	defer sp.End()
 	curPOs := res.POValues(g)
 	curErr := cmp.ErrorFromPOs(curPOs)
-	for _, l := range lacs {
-		newPOs := ResimulateWith(g, res, l)
-		l.DeltaE = cmp.ErrorFromPOs(newPOs) - curErr
-	}
+	e.runShards(len(lacs), rec, func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			newPOs := ResimulateWith(g, res, lacs[i])
+			lacs[i].DeltaE = cmp.ErrorFromPOs(newPOs) - curErr
+		}
+	})
 	return curErr
 }
 
@@ -290,20 +430,49 @@ func ExactDeltaE(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, 
 // the LAC, computed by resimulating only the target's transitive
 // fanout cone.
 func ResimulateWith(g *aig.Graph, res *simulate.Result, l *lac.LAC) []simulate.Vec {
-	words := res.Patterns.Words()
-	overlay := make(map[int]simulate.Vec, 64)
-	overlay[l.Target] = l.NewValue(res)
+	return ResimulateWithSet(g, res, []*lac.LAC{l})
+}
 
-	value := func(lit aig.Lit) simulate.Vec {
-		if v, ok := overlay[lit.Node()]; ok {
+// ResimulateWithSet returns the primary output vectors of g after
+// simultaneously applying a set of conflict-free LACs, resimulating
+// only the union of the targets' transitive fanout cones. The vectors
+// are bit-identical to simulating lac.Apply(g, lacs): targets are
+// overlaid in ascending id order and each replacement reads its SNs
+// through the overlay, matching Rebuild's copy semantics when one
+// LAC's SN lies in the fanout cone of another applied target. This is
+// what lets the flows measure candidate sets without building and
+// fully resimulating candidate circuits.
+func ResimulateWithSet(g *aig.Graph, res *simulate.Result, lacs []*lac.LAC) []simulate.Vec {
+	words := res.Patterns.Words()
+	mask := res.Patterns.LastMask()
+	if len(lacs) == 0 {
+		return res.POValues(g)
+	}
+	byTarget := append([]*lac.LAC(nil), lacs...)
+	sort.Slice(byTarget, func(i, j int) bool { return byTarget[i].Target < byTarget[j].Target })
+
+	overlay := make(map[int]simulate.Vec, 64)
+	value := func(id int) simulate.Vec {
+		if v, ok := overlay[id]; ok {
 			return v
 		}
-		return res.NodeVals[lit.Node()]
+		return res.NodeVals[id]
 	}
 
-	// Sweep nodes after the target; only nodes with an affected fanin
-	// need recomputation.
-	for id := l.Target + 1; id < g.NumNodes(); id++ {
+	// Sweep nodes from the first target up; only targets and nodes
+	// with an affected fanin need recomputation. Unchanged values are
+	// not stored, keeping the cone tight.
+	k := 0
+	for id := byTarget[0].Target; id < g.NumNodes(); id++ {
+		if k < len(byTarget) && byTarget[k].Target == id {
+			l := byTarget[k]
+			k++
+			nv := l.NewValueAt(make(simulate.Vec, words), mask, value)
+			if !eq(nv, res.NodeVals[id]) {
+				overlay[id] = nv
+			}
+			continue
+		}
 		if !g.IsAnd(id) {
 			continue
 		}
@@ -313,7 +482,7 @@ func ResimulateWith(g *aig.Graph, res *simulate.Result, l *lac.LAC) []simulate.V
 		if !a && !b {
 			continue
 		}
-		v0, v1 := value(n.Fanin0), value(n.Fanin1)
+		v0, v1 := value(n.Fanin0.Node()), value(n.Fanin1.Node())
 		out := make(simulate.Vec, words)
 		c0, c1 := n.Fanin0.IsCompl(), n.Fanin1.IsCompl()
 		for w := 0; w < words; w++ {
@@ -326,8 +495,7 @@ func ResimulateWith(g *aig.Graph, res *simulate.Result, l *lac.LAC) []simulate.V
 			}
 			out[w] = x & y
 		}
-		out[words-1] &= res.Patterns.LastMask()
-		// Skip storing unchanged values to keep the cone tight.
+		out[words-1] &= mask
 		if eq(out, res.NodeVals[id]) {
 			continue
 		}
@@ -336,13 +504,13 @@ func ResimulateWith(g *aig.Graph, res *simulate.Result, l *lac.LAC) []simulate.V
 
 	pos := make([]simulate.Vec, g.NumPOs())
 	for i, lit := range g.POs() {
-		v := value(lit)
+		v := value(lit.Node())
 		if lit.IsCompl() {
 			inv := make(simulate.Vec, words)
 			for w := range inv {
 				inv[w] = ^v[w]
 			}
-			inv[words-1] &= res.Patterns.LastMask()
+			inv[words-1] &= mask
 			v = inv
 		}
 		pos[i] = v

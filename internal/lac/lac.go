@@ -131,42 +131,60 @@ func (l *LAC) Replace() aig.ReplaceFunc {
 // NewValue computes the bit-parallel values the target node would take
 // after the LAC, from the simulated values of the current graph.
 func (l *LAC) NewValue(res *simulate.Result) simulate.Vec {
-	words := res.Patterns.Words()
-	mask := res.Patterns.LastMask()
-	out := make(simulate.Vec, words)
+	out := make(simulate.Vec, res.Patterns.Words())
+	l.NewValueInto(out, res)
+	return out
+}
+
+// NewValueInto is NewValue writing into dst (length must equal the
+// pattern word count), for callers reusing scratch vectors across
+// candidates. Returns dst.
+func (l *LAC) NewValueInto(dst simulate.Vec, res *simulate.Result) simulate.Vec {
+	return l.NewValueAt(dst, res.Patterns.LastMask(), func(id int) simulate.Vec { return res.NodeVals[id] })
+}
+
+// NewValueAt computes the post-LAC target values into dst, reading SN
+// values through val. The indirection lets multi-LAC resimulation feed
+// overlay values: when one LAC's SN lies in the fanout cone of another
+// applied target, the replacement must be evaluated on the already-
+// overlaid values, matching what Rebuild produces. mask is the
+// pattern set's final-word validity mask. Returns dst.
+func (l *LAC) NewValueAt(dst simulate.Vec, mask uint64, val func(int) simulate.Vec) simulate.Vec {
 	switch l.Fn.Kind {
 	case FnConst0:
-		return out
+		for w := range dst {
+			dst[w] = 0
+		}
+		return dst
 	case FnConst1:
-		for w := range out {
-			out[w] = ^uint64(0)
+		for w := range dst {
+			dst[w] = ^uint64(0)
 		}
 	case FnWire:
-		a := res.NodeVals[l.SNs[0]]
-		for w := range out {
-			out[w] = a[w]
-		}
+		a := val(l.SNs[0])
 		if l.Fn.C0 != l.Fn.OutC {
-			for w := range out {
-				out[w] = ^out[w]
+			for w := range dst {
+				dst[w] = ^a[w]
 			}
+		} else {
+			copy(dst, a)
 		}
 	case FnAnd, FnXor:
-		a := res.NodeVals[l.SNs[0]]
-		b := res.NodeVals[l.SNs[1]]
-		for w := range out {
-			out[w] = fnEval(l.Fn, a[w], b[w])
+		a := val(l.SNs[0])
+		b := val(l.SNs[1])
+		for w := range dst {
+			dst[w] = fnEval(l.Fn, a[w], b[w])
 		}
 	case FnMux, FnMaj:
-		a := res.NodeVals[l.SNs[0]]
-		b := res.NodeVals[l.SNs[1]]
-		c := res.NodeVals[l.SNs[2]]
-		for w := range out {
-			out[w] = fnEval3(l.Fn, a[w], b[w], c[w])
+		a := val(l.SNs[0])
+		b := val(l.SNs[1])
+		c := val(l.SNs[2])
+		for w := range dst {
+			dst[w] = fnEval3(l.Fn, a[w], b[w], c[w])
 		}
 	}
-	out[words-1] &= mask
-	return out
+	dst[len(dst)-1] &= mask
+	return dst
 }
 
 // fnEval evaluates a two-input function word-wise.
@@ -221,13 +239,20 @@ func fnEval3(f Fn, a, b, c uint64) uint64 {
 // Deviation returns the packed mask of patterns on which the LAC
 // changes the target node's value, together with its popcount.
 func (l *LAC) Deviation(res *simulate.Result) (simulate.Vec, int) {
-	nv := l.NewValue(res)
+	return l.DeviationInto(make(simulate.Vec, res.Patterns.Words()), res)
+}
+
+// DeviationInto is Deviation writing into dst (length must equal the
+// pattern word count), for callers reusing scratch vectors across
+// candidates. Returns dst.
+func (l *LAC) DeviationInto(dst simulate.Vec, res *simulate.Result) (simulate.Vec, int) {
+	l.NewValueInto(dst, res)
 	cur := res.NodeVals[l.Target]
-	for w := range nv {
-		nv[w] ^= cur[w]
+	for w := range dst {
+		dst[w] ^= cur[w]
 	}
-	nv[len(nv)-1] &= res.Patterns.LastMask()
-	return nv, simulate.PopCount(nv)
+	dst[len(dst)-1] &= res.Patterns.LastMask()
+	return dst, simulate.PopCount(dst)
 }
 
 // Apply applies a set of conflict-free LACs to g simultaneously and

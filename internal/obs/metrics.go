@@ -130,6 +130,14 @@ var DurationBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// UtilizationBuckets is the fixed bucket layout for worker-utilization
+// histograms: linear tenths over [0, 1]. A healthy parallel phase
+// concentrates in the top buckets; mass in the low buckets points at
+// shard skew or a region too small to amortise fork/join overhead.
+var UtilizationBuckets = []float64{
+	0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1,
+}
+
 // Histogram is a fixed-bucket histogram with cumulative Prometheus
 // semantics: bucket i counts observations ≤ bounds[i], plus an
 // implicit +Inf bucket.

@@ -80,6 +80,7 @@ type Status struct {
 	Circuit     string    `json:"circuit,omitempty"`
 	Metric      string    `json:"metric,omitempty"`
 	Bound       float64   `json:"bound,omitempty"`
+	Workers     int       `json:"workers,omitempty"`
 	Round       int       `json:"round"`
 	Error       float64   `json:"error"`
 	NumAnds     int       `json:"num_ands"`
@@ -111,6 +112,9 @@ type Recorder struct {
 
 	// Pre-resolved hot-path series (one atomic op per update).
 	phaseDur      [numPhases]*Histogram
+	shardDur      [numPhases]*Histogram
+	utilization   [numPhases]*Histogram
+	workersGauge  *Gauge
 	roundsTotal   *Counter
 	lacsEvaluated *Counter
 	lacsApplied   *Counter
@@ -136,7 +140,14 @@ func NewRecorder() *Recorder {
 	for p := Phase(0); p < numPhases; p++ {
 		r.phaseDur[p] = reg.Histogram("accals_phase_duration_seconds",
 			"Wall-clock time spent per synthesis phase.", nil, L("phase", p.String()))
+		r.shardDur[p] = reg.Histogram("accals_shard_duration_seconds",
+			"Busy time of individual worker shards in parallel phases.", nil, L("phase", p.String()))
+		r.utilization[p] = reg.Histogram("accals_worker_utilization",
+			"Worker utilization of parallel regions: shard busy time over elapsed x workers.",
+			UtilizationBuckets, L("phase", p.String()))
 	}
+	r.workersGauge = reg.Gauge("accals_workers",
+		"Resolved worker count of the parallel evaluation engine.")
 	r.roundsTotal = reg.Counter("accals_rounds_total", "Synthesis rounds completed.")
 	r.lacsEvaluated = reg.Counter("accals_lacs_total", "Local approximate changes by disposition.", L("kind", "evaluated"))
 	r.lacsApplied = reg.Counter("accals_lacs_total", "Local approximate changes by disposition.", L("kind", "applied"))
@@ -355,6 +366,41 @@ func (r *Recorder) DuelOutcome(indpWon bool) {
 		r.duelIndp.Inc()
 	} else {
 		r.duelRandom.Inc()
+	}
+}
+
+// SetWorkers records the resolved worker count of the run's parallel
+// evaluation engine (gauge accals_workers and the /status snapshot).
+func (r *Recorder) SetWorkers(n int) {
+	if r == nil {
+		return
+	}
+	r.workersGauge.Set(float64(n))
+	r.mu.Lock()
+	r.status.Workers = n
+	r.mu.Unlock()
+}
+
+// ObserveShards records one timed parallel region of the given phase:
+// each shard's busy time feeds the per-shard duration histogram, and
+// the region's utilization (total busy time over elapsed x shards,
+// clamped to [0,1]) feeds the utilization histogram. elapsed is the
+// region's wall-clock span. A region with no shards is ignored.
+func (r *Recorder) ObserveShards(p Phase, elapsed time.Duration, shards []time.Duration) {
+	if r == nil || len(shards) == 0 {
+		return
+	}
+	var busy time.Duration
+	for _, d := range shards {
+		r.shardDur[p].Observe(d.Seconds())
+		busy += d
+	}
+	if elapsed > 0 {
+		u := float64(busy) / (float64(elapsed) * float64(len(shards)))
+		if u > 1 {
+			u = 1
+		}
+		r.utilization[p].Observe(u)
 	}
 }
 

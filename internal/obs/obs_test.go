@@ -25,6 +25,8 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 	r.CountSimPatterns(1024)
 	r.AddSATConflicts(5)
 	r.CountEvaluation()
+	r.SetWorkers(4)
+	r.ObserveShards(PhaseSimulate, time.Millisecond, []time.Duration{time.Millisecond})
 	r.EndRound(1, 0.01, 90, 0, 3)
 	r.AddTracer(nil)
 	r.Finish("bounded")
@@ -99,6 +101,49 @@ func TestRecorderRoundLifecycle(t *testing.T) {
 	}
 	if ph, ok := sum.Phases["simulate"]; !ok || ph.Count != 1 {
 		t.Fatalf("summary phases = %+v", sum.Phases)
+	}
+}
+
+func TestWorkersAndShardObservations(t *testing.T) {
+	r := NewRecorder()
+	r.SetWorkers(4)
+	if s := r.Status(); s.Workers != 4 {
+		t.Fatalf("status workers = %d, want 4", s.Workers)
+	}
+
+	// A region where 2 shards were each busy half the elapsed time has
+	// utilization 0.5; one with every shard fully busy has 1.0.
+	r.ObserveShards(PhaseSimulate, 10*time.Millisecond,
+		[]time.Duration{5 * time.Millisecond, 5 * time.Millisecond})
+	r.ObserveShards(PhaseEstimate, 10*time.Millisecond,
+		[]time.Duration{10 * time.Millisecond, 10 * time.Millisecond})
+	// Empty regions and zero elapsed must be ignored, not divide by zero.
+	r.ObserveShards(PhaseSimulate, time.Millisecond, nil)
+	r.ObserveShards(PhaseSimulate, 0, []time.Duration{time.Millisecond})
+
+	sum := r.Summary()
+	if sum.Workers != 4 {
+		t.Fatalf("summary workers = %d, want 4", sum.Workers)
+	}
+	if sum.WorkerUtilization != 0.75 {
+		t.Fatalf("mean utilization = %g, want 0.75", sum.WorkerUtilization)
+	}
+
+	var sb strings.Builder
+	if err := r.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "accals_workers 4") {
+		t.Fatalf("workers gauge missing:\n%s", out)
+	}
+	// 2 + 2 + 1 shard durations were observed (zero-elapsed regions
+	// still record per-shard times, only utilization is skipped).
+	if !strings.Contains(out, `accals_shard_duration_seconds_count{phase="simulate"} 3`) {
+		t.Fatalf("simulate shard durations missing:\n%s", out)
+	}
+	if !strings.Contains(out, `accals_worker_utilization_count{phase="estimate"} 1`) {
+		t.Fatalf("estimate utilization missing:\n%s", out)
 	}
 }
 

@@ -38,6 +38,13 @@ type Summary struct {
 	// SATConflicts is the cumulative CDCL conflict count of
 	// equivalence checks run under this recorder.
 	SATConflicts int64 `json:"sat_conflicts"`
+	// Workers is the resolved worker count of the parallel evaluation
+	// engine (0 when the run never set one).
+	Workers int64 `json:"workers,omitempty"`
+	// WorkerUtilization is the mean utilization over every timed
+	// parallel region of the run (0 when none were recorded); per-phase
+	// distributions are in the accals_worker_utilization histogram.
+	WorkerUtilization float64 `json:"worker_utilization,omitempty"`
 }
 
 // Summary aggregates the recorder's metrics into a Summary. A nil
@@ -68,6 +75,16 @@ func (r *Recorder) Summary() Summary {
 			continue
 		}
 		s.Phases[p.String()] = PhaseSummary{Count: h.Count(), Seconds: h.Sum()}
+	}
+	s.Workers = int64(r.workersGauge.Value())
+	var utilSum float64
+	var utilCount uint64
+	for p := Phase(0); p < numPhases; p++ {
+		utilSum += r.utilization[p].Sum()
+		utilCount += r.utilization[p].Count()
+	}
+	if utilCount > 0 {
+		s.WorkerUtilization = utilSum / float64(utilCount)
 	}
 	return s
 }

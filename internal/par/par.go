@@ -1,0 +1,184 @@
+// Package par is the deterministic worker-pool layer shared by the
+// hot evaluation paths (bit-parallel simulation, batch estimation,
+// duel measurement). It is intentionally tiny and stdlib-only:
+// goroutines, sync.WaitGroup and sync.Pool — no atomics-order-
+// dependent reductions, no channels on the hot path.
+//
+// Determinism contract: every primitive partitions its index space
+// into fixed contiguous blocks computed only from (workers, n), and
+// callers merge per-shard results in shard order (or with operations
+// that are exactly associative and commutative, such as bitwise OR and
+// integer addition). Under that discipline a run with Workers: N is
+// bit-identical to Workers: 1 — the property the determinism tests in
+// internal/core assert end to end.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Resolve maps an Options.Workers-style setting to a concrete worker
+// count: values <= 0 mean "use every CPU" (runtime.GOMAXPROCS(0)),
+// 1 means sequential execution on the calling goroutine, and any
+// other value is taken as-is.
+func Resolve(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Blocks returns the number of contiguous blocks [0,n) is split into
+// for the given worker count: min(workers, n), at least 1 when n > 0.
+func Blocks(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Block returns the half-open range [begin, end) of block s of the
+// given block count over [0,n). Boundaries depend only on (blocks, n),
+// never on scheduling, so shard assignment is reproducible.
+func Block(s, blocks, n int) (begin, end int) {
+	return s * n / blocks, (s + 1) * n / blocks
+}
+
+// For runs fn over [0,n) split into Blocks(workers, n) contiguous
+// shards, one goroutine per shard (the last shard runs on the calling
+// goroutine). With workers <= 1, or n <= 1, fn runs inline — the exact
+// legacy sequential path. For returns once every shard has finished.
+//
+// fn must confine its writes to state owned by its shard (or indexed
+// by its shard number); For imposes no ordering between shards.
+func For(workers, n int, fn func(shard, begin, end int)) {
+	if n <= 0 {
+		return
+	}
+	blocks := Blocks(workers, n)
+	if blocks == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(blocks - 1)
+	for s := 0; s < blocks-1; s++ {
+		begin, end := Block(s, blocks, n)
+		go func(s, begin, end int) {
+			defer wg.Done()
+			fn(s, begin, end)
+		}(s, begin, end)
+	}
+	begin, end := Block(blocks-1, blocks, n)
+	fn(blocks-1, begin, end)
+	wg.Wait()
+}
+
+// Timing describes one timed parallel region: its wall-clock span and
+// the busy time of each shard, in shard order.
+type Timing struct {
+	// Elapsed is the wall-clock duration of the whole region.
+	Elapsed time.Duration
+	// Shards holds each shard's busy time, indexed by shard number.
+	Shards []time.Duration
+}
+
+// Utilization returns the region's worker utilization: total shard
+// busy time over (elapsed × shard count), clamped to [0, 1]. A value
+// near 1 means the shards were balanced and the workers saturated;
+// low values indicate skew or scheduling overhead.
+func (t Timing) Utilization() float64 {
+	if t.Elapsed <= 0 || len(t.Shards) == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, d := range t.Shards {
+		busy += d
+	}
+	u := float64(busy) / (float64(t.Elapsed) * float64(len(t.Shards)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ForTimed is For with per-shard timing, for the observability layer's
+// worker-utilization metrics. The slice in the returned Timing is
+// freshly allocated per call; use For on paths where the measurement
+// itself would be noise.
+func ForTimed(workers, n int, fn func(shard, begin, end int)) Timing {
+	if n <= 0 {
+		return Timing{}
+	}
+	blocks := Blocks(workers, n)
+	t := Timing{Shards: make([]time.Duration, blocks)}
+	start := time.Now()
+	For(workers, n, func(shard, begin, end int) {
+		s := time.Now()
+		fn(shard, begin, end)
+		t.Shards[shard] = time.Since(s)
+	})
+	t.Elapsed = time.Since(start)
+	return t
+}
+
+// Do runs the given functions and waits for all of them. With parallel
+// false (or fewer than two functions) they run sequentially in order —
+// the legacy path; otherwise each extra function gets its own
+// goroutine while the first runs on the caller. The functions must
+// write to disjoint state; Do imposes no ordering between them.
+func Do(parallel bool, fns ...func()) {
+	if !parallel || len(fns) < 2 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// SlabPool recycles large []uint64 backing buffers (simulation slabs,
+// estimator arenas) across rounds, cutting steady-state allocations of
+// the evaluation engine to near zero. It is a thin wrapper over
+// sync.Pool: Get returns a buffer with at least the requested length
+// (contents undefined — callers overwrite or zero as needed), Put
+// recycles one. All methods are safe for concurrent use.
+type SlabPool struct {
+	p sync.Pool
+}
+
+// Get returns a buffer of length n. A pooled buffer is reused when its
+// capacity suffices; otherwise a fresh one is allocated. Contents are
+// unspecified.
+func (sp *SlabPool) Get(n int) []uint64 {
+	if v, ok := sp.p.Get().(*[]uint64); ok && v != nil {
+		if cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+// Put recycles a buffer obtained from Get. The caller must not retain
+// any reference into it afterwards.
+func (sp *SlabPool) Put(buf []uint64) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	sp.p.Put(&buf)
+}

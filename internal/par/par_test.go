@@ -1,0 +1,141 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolve(t *testing.T) {
+	if Resolve(1) != 1 || Resolve(3) != 3 {
+		t.Fatal("positive worker counts must pass through")
+	}
+	if Resolve(0) < 1 || Resolve(-5) < 1 {
+		t.Fatal("non-positive worker counts must resolve to at least one worker")
+	}
+}
+
+// TestBlockPartition checks that every (workers, n) partition covers
+// [0,n) exactly once with non-overlapping contiguous ranges.
+func TestBlockPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 8, 64} {
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 63, 64, 65, 1000} {
+			blocks := Blocks(workers, n)
+			next := 0
+			for s := 0; s < blocks; s++ {
+				begin, end := Block(s, blocks, n)
+				if begin != next {
+					t.Fatalf("workers=%d n=%d shard %d begins at %d, want %d", workers, n, s, begin, next)
+				}
+				if end < begin {
+					t.Fatalf("workers=%d n=%d shard %d has end %d < begin %d", workers, n, s, end, begin)
+				}
+				next = end
+			}
+			if n > 0 && next != n {
+				t.Fatalf("workers=%d n=%d partition covers [0,%d), want [0,%d)", workers, n, next, n)
+			}
+		}
+	}
+}
+
+// TestForCoversAllIndices runs For at several worker counts and checks
+// every index is visited exactly once.
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 4, 8, 100} {
+		visits := make([]int32, n)
+		For(workers, n, func(shard, begin, end int) {
+			for i := begin; i < end; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestForDeterministicShards checks that shard boundaries observed by
+// the callback are exactly the Block partition, independent of
+// scheduling.
+func TestForDeterministicShards(t *testing.T) {
+	const workers, n = 4, 103
+	blocks := Blocks(workers, n)
+	got := make([][2]int, blocks)
+	For(workers, n, func(shard, begin, end int) {
+		got[shard] = [2]int{begin, end}
+	})
+	for s := 0; s < blocks; s++ {
+		b, e := Block(s, blocks, n)
+		if got[s] != [2]int{b, e} {
+			t.Fatalf("shard %d saw %v, want [%d %d]", s, got[s], b, e)
+		}
+	}
+}
+
+func TestDoSequentialOrder(t *testing.T) {
+	var order []int
+	Do(false,
+		func() { order = append(order, 0) },
+		func() { order = append(order, 1) },
+		func() { order = append(order, 2) },
+	)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("sequential Do ran out of order: %v", order)
+	}
+}
+
+func TestDoParallelRunsAll(t *testing.T) {
+	var a, b atomic.Bool
+	Do(true, func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatal("parallel Do did not run every function")
+	}
+}
+
+func TestForTimed(t *testing.T) {
+	tm := ForTimed(4, 16, func(shard, begin, end int) {
+		time.Sleep(time.Millisecond)
+	})
+	if len(tm.Shards) != 4 {
+		t.Fatalf("got %d shard timings, want 4", len(tm.Shards))
+	}
+	if tm.Elapsed <= 0 {
+		t.Fatal("elapsed time not recorded")
+	}
+	for s, d := range tm.Shards {
+		if d <= 0 {
+			t.Fatalf("shard %d busy time not recorded", s)
+		}
+	}
+	if u := tm.Utilization(); u < 0 || u > 1 {
+		t.Fatalf("utilization %v out of [0,1]", u)
+	}
+	if (Timing{}).Utilization() != 0 {
+		t.Fatal("zero Timing must report zero utilization")
+	}
+}
+
+func TestSlabPoolReuse(t *testing.T) {
+	var sp SlabPool
+	buf := sp.Get(128)
+	if len(buf) != 128 {
+		t.Fatalf("got length %d, want 128", len(buf))
+	}
+	buf[0] = 42
+	sp.Put(buf)
+	// A smaller request may reuse the same backing array.
+	again := sp.Get(64)
+	if len(again) != 64 {
+		t.Fatalf("got length %d, want 64", len(again))
+	}
+	// A larger request must grow.
+	big := sp.Get(1 << 16)
+	if len(big) != 1<<16 {
+		t.Fatalf("got length %d, want %d", len(big), 1<<16)
+	}
+	sp.Put(nil) // must not panic
+}

@@ -65,6 +65,12 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	ctl := runctl.NewController(ctx, opt.Deadline, opt.MaxRuntime, start)
 	rec := opt.Recorder
 	patCount := cmp.Patterns().NumPatterns()
+	// The flow shares the parallel evaluation engine with core:
+	// sharded base simulation, sharded estimation and cone-overlay
+	// measurement, bit-identical at any Options.Workers setting.
+	runner := simulate.NewRunner(opt.Workers)
+	est := estimator.New(opt.Workers)
+	rec.SetWorkers(runner.Workers())
 
 	gNew := orig.Clone()
 	e := 0.0
@@ -100,7 +106,7 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		roundSpan := rec.StartPhase(round, obs.PhaseRound)
 
 		simSpan := rec.StartPhase(round, obs.PhaseSimulate)
-		simRes, serr := simulate.Run(g, cmp.Patterns())
+		simRes, serr := runner.RunRec(g, cmp.Patterns(), rec)
 		simSpan.End()
 		if serr != nil {
 			roundSpan.End()
@@ -120,19 +126,23 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			break
 		}
 		if opt.ExactEstimates {
-			estimator.EstimateAllExactRec(g, simRes, cmp, cands, rec)
+			est.EstimateAllExactRec(g, simRes, cmp, cands, rec)
 		} else {
-			estimator.EstimateAllRec(g, simRes, cmp, cands, rec)
+			est.EstimateAllRec(g, simRes, cmp, cands, rec)
 		}
 		best := selectBest(cands)
 
 		applySpan := rec.StartPhase(round, obs.PhaseApply)
 		gNew = lac.Apply(g, []*lac.LAC{best})
 		applySpan.End()
+		// Measure on the winner's fanout cone overlaid on the base
+		// simulation — bit-identical to cmp.Error(gNew) since Rebuild
+		// preserves output functions.
 		measureSpan := rec.StartPhase(round, obs.PhaseMeasure)
-		e = cmp.Error(gNew)
+		e = cmp.ErrorFromPOs(estimator.ResimulateWith(g, simRes, best))
 		measureSpan.End()
 		rec.CountSimPatterns(patCount)
+		runner.Release(simRes)
 		// A candidate may rebuild the same function without shrinking
 		// the circuit (its gain estimate was optimistic); selection is
 		// deterministic, so repeated stagnation means convergence.

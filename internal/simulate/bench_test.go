@@ -1,0 +1,35 @@
+package simulate
+
+import (
+	"fmt"
+	"testing"
+
+	"accals/internal/circuits"
+)
+
+// BenchmarkSimulateRun measures the sharded sweep against the
+// sequential baseline on a mid-size multiplier with a large pattern
+// set (the regime the parallel engine targets).
+func BenchmarkSimulateRun(b *testing.B) {
+	g := circuits.ArrayMult(8)
+	p := Random(g.NumPIs(), 1<<16, 1)
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MustRun(g, p)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := NewRunner(workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := r.Run(g, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Release(res)
+			}
+		})
+	}
+}

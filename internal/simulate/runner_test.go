@@ -1,0 +1,142 @@
+package simulate
+
+import (
+	"errors"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/runctl"
+)
+
+// testGraphs returns a mix of circuit shapes for equality testing.
+func testGraphs() map[string]*aig.Graph {
+	return map[string]*aig.Graph{
+		"rca8":  circuits.RCA(8),
+		"mult4": circuits.ArrayMult(4),
+		"cla4":  circuits.CLA(4),
+		"rand":  circuits.RandomLogic("r", 12, 4, 200, 11),
+	}
+}
+
+// TestRunnerMatchesRun checks that the sharded Runner produces values
+// bit-identical to the sequential Run at every worker count, including
+// pattern counts that do not fill the last word and worker counts that
+// exceed the word count.
+func TestRunnerMatchesRun(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, nPat := range []int{1, 63, 64, 65, 100, 640, 1000} {
+			p := Random(g.NumPIs(), nPat, 7)
+			want := MustRun(g, p)
+			for _, workers := range []int{1, 2, 3, 4, 8, 64} {
+				r := NewRunner(workers)
+				got, err := r.Run(g, p)
+				if err != nil {
+					t.Fatalf("%s patterns=%d workers=%d: %v", name, nPat, workers, err)
+				}
+				if len(got.NodeVals) != len(want.NodeVals) {
+					t.Fatalf("%s: node count %d, want %d", name, len(got.NodeVals), len(want.NodeVals))
+				}
+				for id := range want.NodeVals {
+					a, b := want.NodeVals[id], got.NodeVals[id]
+					if (a == nil) != (b == nil) {
+						t.Fatalf("%s workers=%d node %d: nil mismatch", name, workers, id)
+					}
+					for w := range a {
+						if a[w] != b[w] {
+							t.Fatalf("%s patterns=%d workers=%d node %d word %d: got %#x want %#x",
+								name, nPat, workers, id, w, b[w], a[w])
+						}
+					}
+				}
+				r.Release(got)
+			}
+		}
+	}
+}
+
+// TestRunnerReuse checks that results stay correct when the Runner
+// recycles its slab and header arrays across graphs of different sizes.
+func TestRunnerReuse(t *testing.T) {
+	r := NewRunner(4)
+	graphs := []*aig.Graph{
+		circuits.ArrayMult(4),
+		circuits.RCA(8),
+		circuits.RandomLogic("r", 12, 4, 200, 11),
+		circuits.RCA(4),
+		circuits.ArrayMult(4),
+	}
+	for round := 0; round < 3; round++ {
+		for _, g := range graphs {
+			p := Random(g.NumPIs(), 333, int64(round))
+			want := MustRun(g, p)
+			got, err := r.Run(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, l := range g.POs() {
+				a, b := want.LitValue(l), got.LitValue(l)
+				for w := range a {
+					if a[w] != b[w] {
+						t.Fatalf("round %d PO %d word %d mismatch after reuse", round, i, w)
+					}
+				}
+			}
+			r.Release(got)
+		}
+	}
+}
+
+// TestRunnerRetainAcrossRun checks that a result retained (not yet
+// Released) stays valid while the Runner produces further results.
+func TestRunnerRetainAcrossRun(t *testing.T) {
+	g := circuits.RCA(8)
+	p := Random(g.NumPIs(), 500, 3)
+	want := MustRun(g, p)
+	r := NewRunner(2)
+	first, err := r.Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range want.NodeVals {
+		a := want.NodeVals[id]
+		for w := range a {
+			if first.NodeVals[id][w] != a[w] {
+				t.Fatalf("retained result corrupted at node %d word %d", id, w)
+			}
+			if second.NodeVals[id][w] != a[w] {
+				t.Fatalf("second result wrong at node %d word %d", id, w)
+			}
+		}
+	}
+	r.Release(first)
+	r.Release(second)
+}
+
+// TestRunnerMismatch checks the PI-count mismatch path.
+func TestRunnerMismatch(t *testing.T) {
+	g := circuits.RCA(4)
+	p := Random(g.NumPIs()+1, 64, 1)
+	r := NewRunner(2)
+	if _, err := r.Run(g, p); !errors.Is(err, runctl.ErrInterfaceMismatch) {
+		t.Fatalf("got %v, want ErrInterfaceMismatch", err)
+	}
+}
+
+// TestRunnerReleaseForeign checks that Release ignores results not
+// produced by a Runner and nil results.
+func TestRunnerReleaseForeign(t *testing.T) {
+	g := circuits.RCA(4)
+	p := Random(g.NumPIs(), 64, 1)
+	res := MustRun(g, p)
+	r := NewRunner(2)
+	r.Release(res) // no-op
+	if res.NodeVals == nil {
+		t.Fatal("Release must not clear a foreign result")
+	}
+	r.Release(nil) // must not panic
+}

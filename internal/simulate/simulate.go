@@ -167,6 +167,10 @@ func (p *Patterns) PIValue(i int) Vec { return p.piValues[i] }
 type Result struct {
 	Patterns *Patterns
 	NodeVals []Vec // indexed by node id; nil for unsimulated kinds
+
+	// slab is the pooled backing array of every AND vector when the
+	// result was produced by a Runner; Runner.Release recycles it.
+	slab []uint64
 }
 
 // Run simulates g under the pattern set and returns per-node values.

@@ -57,6 +57,7 @@ type config struct {
 	method      string
 	patterns    int
 	workers     int
+	incremental bool
 	seed        int64
 	hasSeed     bool // -seed given explicitly
 	outPath     string
@@ -96,6 +97,7 @@ func parseFlags(args []string) (*config, bool, error) {
 	fs.StringVar(&cfg.method, "method", "accals", "synthesis method: accals, seals")
 	fs.IntVar(&cfg.patterns, "patterns", 8192, "Monte-Carlo pattern budget")
 	fs.IntVar(&cfg.workers, "workers", 0, "evaluation worker count (0 = one per CPU, 1 = sequential); results are identical at any setting")
+	fs.BoolVar(&cfg.incremental, "incremental", true, "reuse cached LAC candidates outside each round's dirty cone; results are identical either way")
 	fs.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.outPath, "out", "", "write the approximate circuit as BLIF")
 	fs.StringVar(&cfg.aigerPath, "aiger", "", "write the approximate circuit as binary AIGER")
@@ -214,6 +216,7 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		Params:      core.Params{Seed: cfg.seed, HasSeed: cfg.hasSeed},
 		MaxRuntime:  cfg.maxRuntime,
 		Workers:     cfg.workers,
+		Incremental: cfg.incremental,
 	}
 	ropt.HasPatternSeed = cfg.hasSeed
 
@@ -259,7 +262,13 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			fmt.Fprintf(os.Stderr, "accals: round %d err=%.6f ands=%d lacs=%d noprog=%d\n",
 				rs.Round, rs.Error, rs.NumAnds, rs.AppliedLACs, rs.NoProgress)
 		}
-		if ckpt != nil && rs.Graph != nil && ckpt.Due(rs.Round) {
+		// A round whose measured error exceeds the bound is rejected at
+		// the top of the next round and never joins the accepted
+		// trajectory — snapshotting it would make a resume adopt a
+		// circuit that violates the bound. Only accepted rounds are
+		// checkpointed, so the latest snapshot always restarts the run
+		// on the exact trajectory it was interrupted on.
+		if ckpt != nil && rs.Graph != nil && rs.Error <= cfg.bound && ckpt.Due(rs.Round) {
 			s := &checkpoint.Snapshot{
 				Round:   rs.Round,
 				Error:   rs.Error,

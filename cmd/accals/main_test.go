@@ -138,8 +138,16 @@ func TestRunCheckpointAndResume(t *testing.T) {
 		t.Fatalf("-out not written: %v", err)
 	}
 
-	// Resuming the finished run restarts from the last snapshot and
-	// terminates again without error.
+	// Only accepted rounds may be snapshotted: a snapshot whose error
+	// exceeds the bound belongs to a rejected round, and resuming from
+	// it would adopt a circuit that violates the bound.
+	if snap.Error > 0.05 {
+		t.Fatalf("latest snapshot is a rejected round (error %g > bound 0.05)", snap.Error)
+	}
+
+	// Resuming the finished run restarts from the last snapshot,
+	// replays the final round on the same trajectory, and terminates
+	// with a byte-identical circuit.
 	out2 := filepath.Join(dir, "b.blif")
 	cfg2 := mustParse(t,
 		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
@@ -156,8 +164,16 @@ func TestRunCheckpointAndResume(t *testing.T) {
 	if !strings.Contains(buf2.String(), "resuming:") {
 		t.Fatalf("resume did not load a snapshot:\n%s", buf2.String())
 	}
-	if _, err := os.Stat(out2); err != nil {
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
 		t.Fatalf("-out not written on resume: %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("resumed run produced a different circuit than the uninterrupted run")
 	}
 
 	// A mismatched configuration must be refused, not silently resumed.

@@ -1,0 +1,98 @@
+package aig
+
+import "accals/internal/bitset"
+
+// Delta relates a graph to its successor produced by RebuildMapped
+// (one Apply of a LAC set): which old nodes survive verbatim, which
+// were disturbed, and which new nodes are fresh. It is the foundation
+// of the incremental round engine's dirty-cone analysis — consumers
+// combine its classification with TFO/ball traversals to decide which
+// cached per-node results are still valid in the new graph.
+//
+// An old node is *pure* when it has an uncomplemented image in the new
+// graph, its kind is unchanged, the images of pure nodes appear in the
+// same relative order as their preimages, and it was not an explicit
+// substitution target. Purity is exactly the property caches need:
+// a pure node's new copy computes the same structure over the images
+// of its old fanins, and the strictly monotone image sequence means id
+// comparisons and id-sorted orders among pure nodes are preserved.
+// Everything else — swept dead logic, replaced targets, structural-
+// hash merges, complemented images — lands in BadOld.
+type Delta struct {
+	// Old and New are the graphs on either side of the rebuild.
+	Old, New *Graph
+	// M maps old node ids to new literals (RebuildMapped's map).
+	M []Lit
+	// Rev maps new node ids to their pure old preimage, -1 when none.
+	Rev []int
+	// PureOld holds the old ids classified pure.
+	PureOld *bitset.Set
+	// BadOld holds the old ids (PIs and ANDs) that are not pure.
+	BadOld *bitset.Set
+	// FreshNew lists the new AND ids with no pure preimage, ascending.
+	FreshNew []int
+}
+
+// NewDelta classifies the rebuild old → (new, m) produced by
+// RebuildMapped. replaced lists the substitution targets of the
+// rebuild; they are forced impure even when their replacement literal
+// happens to keep the monotone-image shape (a replacement root is a
+// different function, never a verbatim copy).
+func NewDelta(old, next *Graph, m []Lit, replaced []int) *Delta {
+	d := &Delta{
+		Old:     old,
+		New:     next,
+		M:       m,
+		Rev:     make([]int, next.NumNodes()),
+		PureOld: bitset.New(old.NumNodes()),
+		BadOld:  bitset.New(old.NumNodes()),
+	}
+	for i := range d.Rev {
+		d.Rev[i] = -1
+	}
+	repl := make(map[int]bool, len(replaced))
+	for _, t := range replaced {
+		repl[t] = true
+	}
+	// One forward scan: an old node is pure iff its image is an
+	// uncomplemented non-constant literal of the same kind whose id
+	// strictly exceeds every earlier pure image. Any merge or
+	// replacement breaks monotonicity or one of the shape checks
+	// (replacement roots that are freshly built nodes would pass them,
+	// hence the explicit repl exclusion).
+	lastNew := 0
+	for x := 1; x < old.NumNodes(); x++ {
+		l := m[x]
+		if repl[x] || l.IsNone() || l.IsCompl() {
+			d.BadOld.Add(x)
+			continue
+		}
+		y := l.Node()
+		if y == 0 || y <= lastNew || next.NodeAt(y).Kind != old.NodeAt(x).Kind {
+			d.BadOld.Add(x)
+			continue
+		}
+		d.PureOld.Add(x)
+		d.Rev[y] = x
+		lastNew = y
+	}
+	for y := 1; y < next.NumNodes(); y++ {
+		if d.Rev[y] < 0 && next.IsAnd(y) {
+			d.FreshNew = append(d.FreshNew, y)
+		}
+	}
+	return d
+}
+
+// Pure reports whether old node x survived the rebuild as a verbatim,
+// order-preserving copy.
+func (d *Delta) Pure(x int) bool { return d.PureOld.Has(x) }
+
+// FreshSet returns FreshNew as a bit set over new node ids.
+func (d *Delta) FreshSet() *bitset.Set {
+	s := bitset.New(d.New.NumNodes())
+	for _, y := range d.FreshNew {
+		s.Add(y)
+	}
+	return s
+}

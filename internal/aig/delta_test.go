@@ -1,0 +1,192 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomRepl picks a few AND targets of g and builds replacement
+// callbacks for them: a constant or a (possibly complemented) wire to
+// an earlier node, the same shapes LACs produce. Returns the map and
+// the target list.
+func randomRepl(g *Graph, rng *rand.Rand) (map[int]ReplaceFunc, []int) {
+	var ands []int
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) {
+			ands = append(ands, id)
+		}
+	}
+	if len(ands) == 0 {
+		return nil, nil
+	}
+	n := 1 + rng.Intn(3)
+	repl := make(map[int]ReplaceFunc, n)
+	var targets []int
+	for i := 0; i < n; i++ {
+		t := ands[rng.Intn(len(ands))]
+		if _, dup := repl[t]; dup {
+			continue
+		}
+		targets = append(targets, t)
+		switch rng.Intn(3) {
+		case 0:
+			c := ConstFalse.NotIf(rng.Intn(2) == 1)
+			repl[t] = func(ng *Graph, copyOf func(int) Lit) Lit { return c }
+		default:
+			src := 1 + rng.Intn(t) // strictly earlier node
+			compl := rng.Intn(2) == 1
+			repl[t] = func(ng *Graph, copyOf func(int) Lit) Lit {
+				return copyOf(src).NotIf(compl)
+			}
+		}
+	}
+	return repl, targets
+}
+
+// checkDeltaInvariants asserts the structural contract of NewDelta.
+func checkDeltaInvariants(t *testing.T, d *Delta, targets []int) {
+	t.Helper()
+	old, next := d.Old, d.New
+	for x := 1; x < old.NumNodes(); x++ {
+		if d.PureOld.Has(x) == d.BadOld.Has(x) {
+			t.Fatalf("node %d: PureOld/BadOld must partition (pure=%v bad=%v)",
+				x, d.PureOld.Has(x), d.BadOld.Has(x))
+		}
+	}
+	lastNew := 0
+	for x := 1; x < old.NumNodes(); x++ {
+		if !d.Pure(x) {
+			continue
+		}
+		l := d.M[x]
+		if l.IsNone() || l.IsCompl() {
+			t.Fatalf("pure node %d has image %v", x, l)
+		}
+		y := l.Node()
+		if y <= lastNew {
+			t.Fatalf("pure image ids not strictly monotone at old %d (new %d after %d)", x, y, lastNew)
+		}
+		lastNew = y
+		if d.Rev[y] != x {
+			t.Fatalf("Rev[%d] = %d, want %d", y, d.Rev[y], x)
+		}
+		if next.NodeAt(y).Kind != old.NodeAt(x).Kind {
+			t.Fatalf("pure node %d changed kind", x)
+		}
+	}
+	for _, tgt := range targets {
+		if !d.BadOld.Has(tgt) {
+			t.Fatalf("replacement target %d classified pure", tgt)
+		}
+	}
+	fresh := map[int]bool{}
+	for i, y := range d.FreshNew {
+		if i > 0 && y <= d.FreshNew[i-1] {
+			t.Fatal("FreshNew not ascending")
+		}
+		fresh[y] = true
+	}
+	for y := 1; y < next.NumNodes(); y++ {
+		want := next.IsAnd(y) && d.Rev[y] < 0
+		if fresh[y] != want {
+			t.Fatalf("FreshNew membership of new node %d = %v, want %v", y, fresh[y], want)
+		}
+	}
+}
+
+// TestRebuildMappedIdentity covers the repl-free path: every live node
+// maps to a literal computing the same function, and the PO functions
+// are preserved.
+func TestRebuildMappedIdentity(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomGraph(seed, 5, 40)
+		ng, m := g.RebuildMapped(nil)
+		if err := ng.Check(); err != nil {
+			t.Fatal(err)
+		}
+		d := NewDelta(g, ng, m, nil)
+		checkDeltaInvariants(t, d, nil)
+		live := g.Reachable()
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for trial := 0; trial < 6; trial++ {
+			aOld, aNew := pairedAssign(g, ng, rng)
+			for x := 1; x < g.NumNodes(); x++ {
+				if !live.Has(x) && !g.IsPI(x) {
+					// PIs survive the sweep even when unused; dead
+					// AND logic must map to LitNone.
+					if !m[x].IsNone() {
+						t.Fatalf("dead node %d has image %v", x, m[x])
+					}
+					continue
+				}
+				if m[x].IsNone() {
+					t.Fatalf("live node %d has no image", x)
+				}
+				got := evalLit(ng, m[x], aNew)
+				want := evalLit(g, MakeLit(x, false), aOld)
+				if got != want {
+					t.Fatalf("seed %d node %d: mapped value %v, want %v", seed, x, got, want)
+				}
+			}
+			wantPOs := evalAllPOs(g, aOld)
+			gotPOs := evalAllPOs(ng, aNew)
+			for i := range wantPOs {
+				if gotPOs[i] != wantPOs[i] {
+					t.Fatalf("seed %d PO %d differs after identity rebuild", seed, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildMappedWithReplacements applies random LAC-shaped
+// substitutions and asserts that (a) delta invariants hold and (b)
+// every pure node outside the transitive fanout of the replaced
+// targets keeps its function through the map — the property the
+// incremental engine's clean/dirty split is built on.
+func TestRebuildMappedWithReplacements(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		g := randomGraph(seed, 5, 45)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		repl, targets := randomRepl(g, rng)
+		if repl == nil {
+			continue
+		}
+		ng, m := g.RebuildMapped(repl)
+		if err := ng.Check(); err != nil {
+			t.Fatal(err)
+		}
+		d := NewDelta(g, ng, m, targets)
+		checkDeltaInvariants(t, d, targets)
+
+		fo := g.Fanouts()
+		vd := g.TFOSet(targets, fo)
+		for trial := 0; trial < 6; trial++ {
+			aOld, aNew := pairedAssign(g, ng, rng)
+			for x := 1; x < g.NumNodes(); x++ {
+				if !d.Pure(x) || vd.Has(x) {
+					continue
+				}
+				got := evalLit(ng, d.M[x], aNew)
+				want := evalLit(g, MakeLit(x, false), aOld)
+				if got != want {
+					t.Fatalf("seed %d: pure node %d outside the dirty fanout changed value", seed, x)
+				}
+			}
+		}
+	}
+}
+
+// pairedAssign draws one random PI assignment and keys it by each
+// graph's PI node ids (ids can shift across a rebuild; PI order is
+// preserved).
+func pairedAssign(g, ng *Graph, rng *rand.Rand) (map[int]bool, map[int]bool) {
+	aOld := map[int]bool{}
+	aNew := map[int]bool{}
+	for i := 0; i < g.NumPIs(); i++ {
+		v := rng.Intn(2) == 1
+		aOld[g.PI(i)] = v
+		aNew[ng.PI(i)] = v
+	}
+	return aOld, aNew
+}

@@ -215,6 +215,32 @@ func build(model string, inputs, outputs []string, covers []*cover) (*aig.Graph,
 		return sum, nil
 	}
 
+	// First pass: elaborate covers in declaration order whenever their
+	// inputs are already defined. Write emits covers in node-id order,
+	// so on writer-produced BLIF this recreates nodes in their original
+	// sequence and the round-trip is id-stable — which is what lets a
+	// checkpointed run resume on the exact same trajectory. Covers with
+	// forward references fall through to the output-driven elaboration
+	// below, which preserves the any-declaration-order semantics.
+	for _, c := range covers {
+		if _, done := signal[c.output]; done {
+			continue
+		}
+		ready := true
+		for _, in := range c.inputs {
+			if _, ok := signal[in]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		if _, err := elaborate(c.output, map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+
 	for _, out := range outputs {
 		l, err := elaborate(out, map[string]bool{})
 		if err != nil {

@@ -83,6 +83,16 @@ type Options struct {
 	// and merges use exactly associative operations — so Workers only
 	// trades wall-clock time for cores.
 	Workers int
+	// Incremental enables the incremental round engine: after each
+	// Apply the run computes the dirty cone of the change and reuses
+	// the previous round's per-target LAC candidate lists and
+	// influence-index vectors for every clean node, regenerating only
+	// inside the cone. The trajectory is bit-identical to a
+	// from-scratch run — same circuits, per-round errors and stop
+	// reason — so the switch only trades memory for per-round time.
+	// The caches live in memory for the duration of one run; a resumed
+	// run's first round is a full generation.
+	Incremental bool
 }
 
 // StartState warm-starts a run from a previously checkpointed circuit
@@ -199,6 +209,41 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	est := estimator.New(opt.Workers)
 	parallel := runner.Workers() > 1
 	rec.SetWorkers(runner.Workers())
+	genCfg.Workers = opt.Workers
+
+	// The incremental round engine: gen caches per-target candidate
+	// lists across rounds and infl carries the influence index across
+	// Apply boundaries; both are rebased through the aig.Delta of each
+	// round's final rebuild. Off (nil) unless opt.Incremental.
+	var gen *lac.Generator
+	if opt.Incremental {
+		gen = lac.NewGenerator(opt.Workers)
+	}
+	var infl *influenceIndex
+	generate := func(g *aig.Graph, simRes *simulate.Result) []*lac.LAC {
+		if gen != nil {
+			return gen.Generate(g, simRes, genCfg, rec)
+		}
+		return lac.Generate(g, simRes, genCfg)
+	}
+	// noteApply rebases the caches through the round's final rebuild:
+	// g → gNew via the literal map am, with applied the LAC set of that
+	// rebuild. A reverted round calls this once, for the single-LAC
+	// rebuild that actually produced gNew — the discarded multi-LAC
+	// rebuild is never noted, which is all the rollback the caches
+	// need.
+	noteApply := func(g, gNew *aig.Graph, am []aig.Lit, applied []*lac.LAC) {
+		if gen == nil {
+			return
+		}
+		d := aig.NewDelta(g, gNew, am, lac.Targets(applied))
+		gen.NoteApply(d, applied)
+		if infl != nil && infl.g == g {
+			infl = infl.rebase(d)
+		} else {
+			infl = nil
+		}
+	}
 
 	// measure evaluates a candidate LAC set's true error under the
 	// measure-phase span. Rather than building and fully resimulating
@@ -218,9 +263,18 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 
 	// pend is the prefetched base simulation of the next round's
 	// circuit, overlapped with end-of-round bookkeeping (progress
-	// clone, checkpointing). The next simulate phase joins it; any
-	// break path joins it after the loop.
+	// clone, checkpointing). The next simulate phase joins it; every
+	// other exit joins it in the deferred handler below — deferred
+	// rather than placed after the loop so that a panicking Progress
+	// callback (recovered by runctl.Guard at the public API boundary)
+	// cannot leak the goroutine and its pinned graph and result.
 	var pend *pendingSim
+	defer func() {
+		if pend != nil {
+			<-pend.done
+			runner.Release(pend.res)
+		}
+	}()
 	startPrefetch := func(round int) {
 		if !parallel || e > errBound || round+1 >= params.MaxRounds || noProgress >= StagnationRounds {
 			return
@@ -281,7 +335,7 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		rec.CountSimPatterns(patCount)
 
 		sp = rec.StartPhase(round, obs.PhaseGenerate)
-		cands := lac.Generate(g, simRes, genCfg)
+		cands := generate(g, simRes)
 		sp.End()
 		rs.Candidates = len(cands)
 		rec.CountCandidates(len(cands))
@@ -299,8 +353,10 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			rec.GuardSingleLAC()
 			applied := cands[:1]
 			sp = rec.StartPhase(round, obs.PhaseApply)
-			gNew = lac.Apply(g, applied)
+			var am []aig.Lit
+			gNew, am = lac.ApplyMapped(g, applied)
 			sp.End()
+			noteApply(g, gNew, am, applied)
 			e = measure(round, g, simRes, applied)
 			runner.Release(simRes)
 			startPrefetch(round)
@@ -328,7 +384,10 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		var lIndp, lRand []*lac.LAC
 		if !params.DisableIndp {
 			sp = rec.StartPhase(round, obs.PhaseMIS)
-			lIndp = selectIndpLACs(lSol, g, e, errBound, params)
+			if infl == nil || infl.g != g {
+				infl = newInfluenceIndex(g)
+			}
+			lIndp = selectIndpLACs(lSol, infl, e, errBound, params)
 			sp.End()
 		}
 		if !params.DisableRandom {
@@ -369,7 +428,8 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			rec.DuelOutcome(rs.PickedIndp)
 		}
 		sp = rec.StartPhase(round, obs.PhaseApply)
-		gNew = lac.Apply(g, applied)
+		var am []aig.Lit
+		gNew, am = lac.ApplyMapped(g, applied)
 		sp.End()
 		rs.EstimatedErr = estimatedError(eG, applied)
 
@@ -387,12 +447,16 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 				rs.Reverted = true
 				sp = rec.StartPhase(round, obs.PhaseRevert)
 				applied = cands[:1]
-				gNew = lac.Apply(g, applied)
+				gNew, am = lac.ApplyMapped(g, applied)
 				e = cmp.ErrorFromPOs(estimator.ResimulateWithSet(g, simRes, applied))
 				sp.End()
 				rec.CountSimPatterns(patCount)
 			}
 		}
+		// One rebase per round, with the rebuild that actually produced
+		// gNew: the revert above overwrites both applied and am before
+		// the caches ever see the discarded multi-LAC rebuild.
+		noteApply(g, gNew, am, applied)
 
 		// Stagnation guard state: optimistic gain estimates can
 		// produce rounds that neither shrink the circuit nor move the
@@ -421,14 +485,6 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			reason = runctl.Stagnated
 			break
 		}
-	}
-
-	if pend != nil {
-		// A prefetched simulation may still be in flight on a break
-		// path (cancellation, stagnation); join it so no goroutine
-		// outlives the run or reads the returned graph concurrently.
-		<-pend.done
-		runner.Release(pend.res)
 	}
 
 	result.Final = g

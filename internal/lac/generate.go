@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"accals/internal/aig"
+	"accals/internal/par"
 	"accals/internal/simulate"
 )
 
@@ -33,7 +34,7 @@ type Config struct {
 	// per target found by global signature matching (signals anywhere
 	// earlier in the circuit whose simulated values nearly coincide
 	// with the target's, in either phase). 0 uses the default; set
-	// negative to disable.
+	// GlobalWiresOff (or any negative value) to disable.
 	GlobalWires int
 	// EnableResub3 adds three-input resubstitution candidates (MUX
 	// and majority over divisor triples), a restricted form of
@@ -43,7 +44,19 @@ type Config struct {
 	// Resub3Divisors bounds the divisor subset used for triples
 	// (defaults to 8; the cubic enumeration is the cost driver).
 	Resub3Divisors int
+	// Workers bounds the goroutines sharding per-target generation.
+	// 0 (and any value ≤ 0) uses all available CPUs; 1 forces the
+	// sequential path. The output is identical for every worker count.
+	Workers int
 }
+
+// GlobalWiresOff disables global signature-matched wire candidates.
+// Zero cannot mean "off": the zero value of Config has always meant
+// "use the defaults", so a caller zeroing GlobalWires silently got the
+// default quota back. Callers that want the feature off must pass this
+// sentinel (any negative value works; this constant is the readable
+// spelling).
+const GlobalWiresOff = -1
 
 // DefaultConfig returns the generation parameters used by the
 // experiments, scaled by circuit size like the paper's r_ref/r_sel.
@@ -81,13 +94,37 @@ const xorCost = 3
 // The returned slice is deterministic for a fixed graph and pattern
 // set, ordered by target id and then by deviation.
 func Generate(g *aig.Graph, res *simulate.Result, cfg Config) []*LAC {
+	cfg = resolve(cfg, g.NumAnds())
+	refs := g.RefCounts()
+	var sigs *signatureIndex
+	if cfg.GlobalWires > 0 {
+		sigs = buildSignatureIndex(g, res)
+	}
+	targets := liveTargets(g, refs)
+	var out []*LAC
+	for _, cands := range generateTargets(g, res, cfg, targets, refs, sigs) {
+		out = append(out, cands...)
+	}
+	return out
+}
+
+// resolve normalises a Config into its effective form: the zero value
+// becomes the full defaults, unset numeric fields are filled in, and
+// GlobalWires folds onto a canonical encoding (0 means "default quota",
+// any negative sentinel becomes 0 meaning "off"). Resolved configs are
+// comparable: two configs request the same generation iff their
+// resolved forms are equal with Workers ignored, which is what the
+// incremental Generator's cache key relies on.
+func resolve(cfg Config, numAnds int) Config {
+	workers := cfg.Workers
+	cfg.Workers = 0
 	// A zero-valued config means "use the full defaults" (including
 	// the resubstitution switches); a partially-set config keeps its
 	// boolean choices and only has numeric fields filled in.
 	if cfg == (Config{}) {
-		cfg = DefaultConfig(g.NumAnds())
+		cfg = DefaultConfig(numAnds)
 	}
-	def := DefaultConfig(g.NumAnds())
+	def := DefaultConfig(numAnds)
 	if cfg.MaxDivisors <= 0 {
 		cfg.MaxDivisors = def.MaxDivisors
 	}
@@ -97,8 +134,11 @@ func Generate(g *aig.Graph, res *simulate.Result, cfg Config) []*LAC {
 	if cfg.WindowDepth <= 0 {
 		cfg.WindowDepth = def.WindowDepth
 	}
-	if cfg.GlobalWires == 0 {
+	switch {
+	case cfg.GlobalWires == 0:
 		cfg.GlobalWires = def.GlobalWires
+	case cfg.GlobalWires < 0:
+		cfg.GlobalWires = 0
 	}
 	if cfg.Resub3Divisors <= 0 {
 		cfg.Resub3Divisors = def.Resub3Divisors
@@ -106,23 +146,46 @@ func Generate(g *aig.Graph, res *simulate.Result, cfg Config) []*LAC {
 	if cfg.MinGain <= 0 {
 		cfg.MinGain = def.MinGain
 	}
+	cfg.Workers = workers
+	return cfg
+}
 
-	refs := g.RefCounts()
-	npat := res.Patterns.NumPatterns()
-	var sigs *signatureIndex
-	if cfg.GlobalWires > 0 {
-		sigs = buildSignatureIndex(g, res)
-	}
-	var out []*LAC
-
+// liveTargets lists the AND nodes eligible as LAC targets (referenced
+// by at least one fanin or PO), in ascending id order.
+func liveTargets(g *aig.Graph, refs []int) []int {
+	var ts []int
 	for id := 0; id < g.NumNodes(); id++ {
-		if !g.IsAnd(id) || refs[id] == 0 {
-			continue
+		if g.IsAnd(id) && refs[id] > 0 {
+			ts = append(ts, id)
 		}
-		mffc := g.MFFCSize(id, refs)
-		cands := generateForTarget(g, res, cfg, id, mffc, npat, sigs, refs)
-		out = append(out, cands...)
 	}
+	return ts
+}
+
+// generateTargets produces the candidate list of each requested target,
+// sharding the targets across cfg.Workers goroutines. Entry i holds the
+// candidates of targets[i] and is never nil, so callers can distinguish
+// "generated, empty" from "not generated". The result is identical for
+// every worker count: shards only partition the target list, and each
+// target's generation is independent.
+func generateTargets(g *aig.Graph, res *simulate.Result, cfg Config, targets []int, refs []int, sigs *signatureIndex) [][]*LAC {
+	npat := res.Patterns.NumPatterns()
+	out := make([][]*LAC, len(targets))
+	workers := par.Resolve(cfg.Workers)
+	blocks := par.Blocks(workers, len(targets))
+	par.For(workers, len(targets), func(shard, begin, end int) {
+		r := refs
+		if blocks > 1 {
+			// MFFC sizing mutates-then-restores the refs slice, so
+			// concurrent shards need private copies.
+			r = append([]int(nil), refs...)
+		}
+		for i := begin; i < end; i++ {
+			id := targets[i]
+			mffc := g.MFFCSize(id, r)
+			out[i] = generateForTarget(g, res, cfg, id, mffc, npat, sigs, r)
+		}
+	})
 	return out
 }
 

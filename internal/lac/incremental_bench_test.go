@@ -1,0 +1,77 @@
+package lac
+
+import (
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/simulate"
+)
+
+// benchRound prepares one incremental round: a base graph with a full
+// candidate generation behind it, one applied LAC, and the post-Apply
+// graph + simulation. pick selects the applied LAC by position in the
+// target order — "wide" (lowest target, near the PIs, dirty cone
+// covers most of the circuit) or "shallow" (highest target, near the
+// POs, small cone).
+func benchRound(b *testing.B, circuit, pick string) (g, ng *aig.Graph, res, res2 *simulate.Result, d *aig.Delta, applied []*LAC, base *Generator) {
+	b.Helper()
+	var err error
+	g, err = circuits.ByName(circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := simulate.NewPatterns(g.NumPIs(), 2048, 7)
+	res = simulate.MustRun(g, pats)
+	full := Generate(g, res, Config{})
+	if len(full) == 0 {
+		b.Fatal("no candidates")
+	}
+	switch pick {
+	case "wide":
+		applied = full[:1]
+	case "shallow":
+		applied = full[len(full)-1:]
+	default:
+		b.Fatalf("pick %q", pick)
+	}
+	var m []aig.Lit
+	ng, m = ApplyMapped(g, applied)
+	d = aig.NewDelta(g, ng, m, Targets(applied))
+	res2 = simulate.MustRun(ng, pats)
+	base = NewGenerator(1)
+	base.Generate(g, res, Config{}, nil)
+	return
+}
+
+// BenchmarkGeneratorRound times one round's candidate generation after
+// a single-LAC Apply: scratch is package-level Generate, incremental
+// is the Generator serving clean targets from cache. The wide/shallow
+// split shows the engine's real profile — the win tracks the applied
+// set's dirty cone, from ~break-even when one LAC's fanout cone spans
+// the whole circuit to several-fold on shallow cones.
+func BenchmarkGeneratorRound(b *testing.B) {
+	for _, circuit := range []string{"mtp8", "alu4"} {
+		for _, pick := range []string{"wide", "shallow"} {
+			b.Run(circuit+"/"+pick+"/scratch", func(b *testing.B) {
+				_, ng, _, res2, _, _, _ := benchRound(b, circuit, pick)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Generate(ng, res2, Config{})
+				}
+			})
+			b.Run(circuit+"/"+pick+"/incremental", func(b *testing.B) {
+				_, ng, _, res2, d, applied, base := benchRound(b, circuit, pick)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Value copy resets the cache to the pre-round state;
+					// Generate never mutates the shared snapshot slices,
+					// it replaces them.
+					work := *base
+					work.NoteApply(d, applied)
+					work.Generate(ng, res2, Config{}, nil)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lac
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/simulate"
+)
+
+// TestGlobalWiresSentinel is the regression test for the cache-hostile
+// zero sentinel: Config.GlobalWires == 0 has always meant "use the
+// default quota", so zero must keep meaning that, and disabling the
+// feature needs the explicit GlobalWiresOff sentinel (any negative
+// value, normalised to the canonical 0 internally).
+func TestGlobalWiresSentinel(t *testing.T) {
+	def := DefaultConfig(100)
+	if def.GlobalWires <= 0 {
+		t.Fatalf("default GlobalWires = %d; the zero-means-default contract needs a positive default", def.GlobalWires)
+	}
+	if got := resolve(Config{GlobalWires: 0}, 100).GlobalWires; got != def.GlobalWires {
+		t.Fatalf("GlobalWires 0 resolved to %d, want default %d", got, def.GlobalWires)
+	}
+	if got := resolve(Config{GlobalWires: GlobalWiresOff}, 100).GlobalWires; got != 0 {
+		t.Fatalf("GlobalWiresOff resolved to %d, want 0", got)
+	}
+	if got := resolve(Config{GlobalWires: -5}, 100).GlobalWires; got != 0 {
+		t.Fatalf("GlobalWires -5 resolved to %d, want 0 (all negatives are one sentinel)", got)
+	}
+	// All negatives are the same request: the canonicalised configs —
+	// and hence the generated candidates — must be identical.
+	g := circuits.RandomLogic("gw", 8, 4, 90, 11)
+	res := simulate.MustRun(g, simulate.NewPatterns(g.NumPIs(), 256, 5))
+	off1 := Generate(g, res, Config{GlobalWires: GlobalWiresOff})
+	off2 := Generate(g, res, Config{GlobalWires: -5})
+	sameLACs(t, "GlobalWiresOff vs -5", off1, off2)
+	// Off really suppresses the global matcher: every wire SN must be
+	// reachable inside the target's divisor window, which the bounded
+	// window cap makes distinguishable from global matching on a large
+	// enough circuit. Cheap proxy: off generates no more candidates
+	// than default, and resolve differs.
+	on := Generate(g, res, Config{})
+	if len(off1) > len(on) {
+		t.Fatalf("disabled global wires produced more candidates (%d) than default (%d)", len(off1), len(on))
+	}
+}
+
+// sameLACs asserts two candidate lists are field-for-field identical.
+func sameLACs(t *testing.T, label string, got, want []*LAC) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d candidates, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(*got[i], *want[i]) {
+			t.Fatalf("%s: candidate %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestGenerateWorkerInvariance: the sharded generator must produce the
+// same candidates in the same order at every worker count.
+func TestGenerateWorkerInvariance(t *testing.T) {
+	g := circuits.RandomLogic("wk", 9, 5, 150, 3)
+	res := simulate.MustRun(g, simulate.NewPatterns(g.NumPIs(), 512, 7))
+	for _, cfg := range []Config{{}, {EnableResub: true}, {EnableResub: true, EnableResub3: true}} {
+		want := Generate(g, res, withWorkers(cfg, 1))
+		for _, w := range []int{2, 3, 7} {
+			got := Generate(g, res, withWorkers(cfg, w))
+			sameLACs(t, "workers", got, want)
+		}
+	}
+}
+
+func withWorkers(cfg Config, w int) Config {
+	cfg.Workers = w
+	return cfg
+}
+
+// applyRandomSet picks a conflict-free subset of cands (distinct
+// targets) and applies it, returning the new graph, the literal map
+// and the applied set.
+func applyRandomSet(cands []*LAC, g *aig.Graph, rng *rand.Rand) (*aig.Graph, []aig.Lit, []*LAC) {
+	var applied []*LAC
+	seen := map[int]bool{}
+	n := 1 + rng.Intn(4)
+	for len(applied) < n && len(cands) > 0 {
+		l := cands[rng.Intn(len(cands))]
+		if seen[l.Target] {
+			continue
+		}
+		seen[l.Target] = true
+		applied = append(applied, l)
+	}
+	ng, m := ApplyMapped(g, applied)
+	return ng, m, applied
+}
+
+// TestGeneratorMatchesGenerate is the bit-identity property test of
+// the incremental generator: across configs, worker counts and chained
+// rounds of random LAC applications, Generator.Generate must return
+// exactly what package-level Generate returns on the post-Apply graph.
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	configs := []Config{
+		{},
+		{EnableResub: true},
+		{EnableResub: true, EnableResub3: true},
+		{GlobalWires: GlobalWiresOff},
+		{GlobalWires: GlobalWiresOff, EnableResub: true},
+	}
+	for ci, cfg := range configs {
+		for _, workers := range []int{1, 3} {
+			for seed := int64(0); seed < 4; seed++ {
+				rng := rand.New(rand.NewSource(seed*31 + int64(ci)))
+				g := circuits.RandomLogic("inc", 8, 5, 110, seed+50)
+				pats := simulate.NewPatterns(g.NumPIs(), 320, seed+9)
+				res := simulate.MustRun(g, pats)
+
+				gen := NewGenerator(workers)
+				got := gen.Generate(g, res, cfg, nil)
+				want := Generate(g, res, cfg)
+				sameLACs(t, "round 0 (full)", got, want)
+
+				for round := 1; round <= 3; round++ {
+					if len(want) == 0 {
+						break
+					}
+					ng, m, applied := applyRandomSet(want, g, rng)
+					d := aig.NewDelta(g, ng, m, Targets(applied))
+					gen.NoteApply(d, applied)
+					g = ng
+					res = simulate.MustRun(g, pats)
+					got = gen.Generate(g, res, cfg, nil)
+					want = Generate(g, res, cfg)
+					sameLACs(t, "incremental round", got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorFallsBackWithoutDelta: calling the Generator on a graph
+// it was never rebased onto must transparently full-generate.
+func TestGeneratorFallsBackWithoutDelta(t *testing.T) {
+	g1 := circuits.RandomLogic("a", 7, 4, 80, 1)
+	g2 := circuits.RandomLogic("b", 7, 4, 80, 2)
+	pats := simulate.NewPatterns(7, 256, 3)
+	res1 := simulate.MustRun(g1, pats)
+	res2 := simulate.MustRun(g2, pats)
+	gen := NewGenerator(1)
+	sameLACs(t, "first graph", gen.Generate(g1, res1, Config{}, nil), Generate(g1, res1, Config{}))
+	// No NoteApply between the two: unrelated graph, full regeneration.
+	sameLACs(t, "unrelated graph", gen.Generate(g2, res2, Config{}, nil), Generate(g2, res2, Config{}))
+}
+
+// TestGeneratorConfigChangeRegenerates: changing the effective config
+// between rounds must not serve stale cached candidates.
+func TestGeneratorConfigChangeRegenerates(t *testing.T) {
+	g := circuits.RandomLogic("cc", 8, 4, 100, 4)
+	pats := simulate.NewPatterns(8, 256, 6)
+	res := simulate.MustRun(g, pats)
+	rng := rand.New(rand.NewSource(77))
+
+	gen := NewGenerator(1)
+	first := gen.Generate(g, res, Config{}, nil)
+	ng, m, applied := applyRandomSet(first, g, rng)
+	gen.NoteApply(aig.NewDelta(g, ng, m, Targets(applied)), applied)
+	res2 := simulate.MustRun(ng, pats)
+	cfg2 := Config{EnableResub: true}
+	sameLACs(t, "config change", gen.Generate(ng, res2, cfg2, nil), Generate(ng, res2, cfg2))
+}

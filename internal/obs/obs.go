@@ -39,6 +39,7 @@ const (
 	PhaseRevert
 	PhaseCEC
 	PhaseRound
+	PhaseDirtyCone
 	numPhases
 )
 
@@ -53,6 +54,7 @@ var phaseNames = [numPhases]string{
 	"revert",
 	"cec",
 	"round",
+	"dirty-cone",
 }
 
 // String returns the phase's stable lower-case name (used as the
@@ -126,6 +128,8 @@ type Recorder struct {
 	simPatterns   *Counter
 	satConflicts  *Counter
 	evaluations   *Counter
+	cacheHits     *Counter
+	cacheMisses   *Counter
 	roundGauge    *Gauge
 	errorGauge    *Gauge
 	andsGauge     *Gauge
@@ -166,6 +170,10 @@ func NewRecorder() *Recorder {
 		"CDCL conflicts spent by SAT-based equivalence checks.")
 	r.evaluations = reg.Counter("accals_evaluations_total",
 		"Candidate circuit evaluations (AMOSA annealer).")
+	r.cacheHits = reg.Counter("accals_lac_cache_total",
+		"Per-target LAC candidate lists served by the incremental generator, by cache disposition.", L("result", "hit"))
+	r.cacheMisses = reg.Counter("accals_lac_cache_total",
+		"Per-target LAC candidate lists served by the incremental generator, by cache disposition.", L("result", "miss"))
 	r.roundGauge = reg.Gauge("accals_round", "Current synthesis round.")
 	r.errorGauge = reg.Gauge("accals_error", "Measured error of the current circuit.")
 	r.andsGauge = reg.Gauge("accals_and_count", "AND-node count of the current circuit.")
@@ -419,6 +427,19 @@ func (r *Recorder) AddSATConflicts(n int64) {
 		return
 	}
 	r.satConflicts.Add(float64(n))
+}
+
+// CountLACCache records one incremental-generation round's cache
+// dispositions: hits are targets whose candidate lists were reused from
+// the previous round (after id translation), misses are targets
+// regenerated inside the dirty cone (a full generation counts every
+// target as a miss).
+func (r *Recorder) CountLACCache(hits, misses int) {
+	if r == nil {
+		return
+	}
+	r.cacheHits.Add(float64(hits))
+	r.cacheMisses.Add(float64(misses))
 }
 
 // CountEvaluation counts one candidate-circuit evaluation (AMOSA).

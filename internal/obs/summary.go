@@ -45,6 +45,11 @@ type Summary struct {
 	// parallel region of the run (0 when none were recorded); per-phase
 	// distributions are in the accals_worker_utilization histogram.
 	WorkerUtilization float64 `json:"worker_utilization,omitempty"`
+	// LACCacheHits/LACCacheMisses tally per-target candidate lists
+	// served from the incremental generator's cache versus regenerated
+	// (both zero when the run did not use incremental generation).
+	LACCacheHits   int64 `json:"lac_cache_hits,omitempty"`
+	LACCacheMisses int64 `json:"lac_cache_misses,omitempty"`
 }
 
 // Summary aggregates the recorder's metrics into a Summary. A nil
@@ -65,6 +70,8 @@ func (r *Recorder) Summary() Summary {
 		DuelRandomWins:      int64(r.duelRandom.Value()),
 		SimPatterns:         int64(r.simPatterns.Value()),
 		SATConflicts:        int64(r.satConflicts.Value()),
+		LACCacheHits:        int64(r.cacheHits.Value()),
+		LACCacheMisses:      int64(r.cacheMisses.Value()),
 	}
 	if n := s.DuelIndpWins + s.DuelRandomWins; n > 0 {
 		s.DuelIndpWinRate = float64(s.DuelIndpWins) / float64(n)

@@ -34,6 +34,18 @@
 // ...), so they never panic on bad input. Runs can be checkpointed and
 // resumed through Options.Progress and Options.Start; the accals
 // command wires this up behind -checkpoint/-resume.
+//
+// # Observability
+//
+// Attaching a Recorder (Options.Recorder) instruments a run with phase
+// spans, metrics and a live status snapshot. Adding a ledger sink
+// (NewLedgerWriter + Recorder.AddSink) additionally records every
+// per-round selection decision as a versioned JSONL stream that can be
+// decoded (DecodeLedger), analysed (AnalyzeLedger) or diffed offline;
+// the accals command's -bundle flag wraps the ledger, manifest,
+// summary and auto-captured profiles into a run-bundle directory for
+// the cmd/report tool. A nil Recorder keeps all of this at near-zero
+// cost.
 package accals
 
 import (
@@ -47,6 +59,7 @@ import (
 	"accals/internal/circuits"
 	"accals/internal/core"
 	"accals/internal/errmetric"
+	"accals/internal/ledger"
 	"accals/internal/mapping"
 	"accals/internal/obs"
 	"accals/internal/opt"
@@ -206,6 +219,76 @@ func NewTracer(w io.Writer, format TraceFormat) *Tracer { return obs.NewTracer(w
 // RunSummary aggregates a Recorder's metrics at end of run: per-phase
 // time breakdown, guard activation counts and duel win rates.
 type RunSummary = obs.Summary
+
+// Sink receives a run's ledger events (run metadata, one event per
+// round, and the final outcome) from a Recorder. Attach one with
+// Recorder.AddSink; NewLedgerWriter provides the standard JSONL sink.
+type Sink = obs.Sink
+
+// RunMeta is the ledger's opening event: the run's configuration and
+// the circuit's initial size.
+type RunMeta = obs.RunMeta
+
+// RoundEvent is the ledger record of one synthesis round: every
+// selection-pipeline decision (top set, conflict graph, mutual
+// influence, MIS, duel), the applied LACs with estimated and measured
+// errors, guard activations, and the size/area/depth trajectory.
+type RoundEvent = obs.RoundEvent
+
+// AppliedLAC is one applied local approximate change inside a
+// RoundEvent.
+type AppliedLAC = obs.AppliedLAC
+
+// RunFinish is the ledger's closing event: stop reason and final
+// error/size.
+type RunFinish = obs.RunFinish
+
+// LedgerWriter encodes ledger events as versioned JSONL (one JSON
+// object per line). It implements Sink.
+type LedgerWriter = ledger.Writer
+
+// NewLedgerWriter returns a ledger sink writing to w. Attach it with
+// Recorder.AddSink to turn a run into a persistent decision stream:
+//
+//	rec := accals.NewRecorder()
+//	var buf bytes.Buffer
+//	rec.AddSink(accals.NewLedgerWriter(&buf))
+//	res := accals.Synthesize(g, accals.ER, 0.05, accals.Options{Recorder: rec})
+func NewLedgerWriter(w io.Writer) *LedgerWriter { return ledger.NewWriter(w) }
+
+// LedgerEvent is one decoded ledger line.
+type LedgerEvent = ledger.Event
+
+// DecodeLedger reads a complete ledger stream back into events. It
+// rejects ledgers written under an incompatible major schema version
+// and tolerates a torn trailing line from a crashed writer.
+func DecodeLedger(r io.Reader) ([]LedgerEvent, error) { return ledger.Decode(r) }
+
+// Trajectory is a decoded ledger reassembled into run order, with
+// derived analyses: the Fig. 4 L_indp ratio, duel tallies, estimator
+// accuracy and guard counts. The cmd/report tool prints the same
+// analyses offline.
+type Trajectory = ledger.Trajectory
+
+// AnalyzeLedger reassembles decoded ledger events into a Trajectory.
+func AnalyzeLedger(events []LedgerEvent) (*Trajectory, error) { return ledger.Analyze(events) }
+
+// Bundle manages a run-bundle directory: the ledger, a config and
+// environment manifest, the end-of-run summary, and auto-captured
+// profiles on slow rounds. The accals command writes one per run
+// behind -bundle; cmd/report analyses and diffs them.
+type Bundle = ledger.Bundle
+
+// CreateBundle initialises dir as a fresh run bundle.
+func CreateBundle(dir string) (*Bundle, error) { return ledger.Create(dir) }
+
+// ResumeBundle reopens dir's ledger in append mode, truncating it to
+// truncateTo bytes first (pass -1 to append without truncating). This
+// is how a checkpoint resume discards ledger lines from rounds it will
+// re-execute.
+func ResumeBundle(dir string, truncateTo int64) (*Bundle, error) {
+	return ledger.Resume(dir, truncateTo)
+}
 
 // EquivalenceResult reports a formal equivalence check.
 type EquivalenceResult = cec.Result

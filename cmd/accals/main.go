@@ -16,6 +16,15 @@
 //
 //	accals -circuit mtp8 -bound 0.05 -checkpoint ckpt/ -max-runtime 30s
 //	accals -circuit mtp8 -bound 0.05 -checkpoint ckpt/ -resume
+//
+// With -bundle the run writes a self-describing run bundle — the
+// per-round decision ledger, a config/environment manifest, the
+// end-of-run summary, a phase trace, and (past -bundle-slow-round)
+// auto-captured CPU/heap profiles — for offline analysis and
+// regression diffing with cmd/report:
+//
+//	accals -circuit mtp8 -bound 0.05 -bundle runs/mtp8
+//	report runs/mtp8
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"accals/internal/circuits"
 	"accals/internal/core"
 	"accals/internal/errmetric"
+	"accals/internal/ledger"
 	"accals/internal/mapping"
 	"accals/internal/obs"
 	"accals/internal/opt"
@@ -77,6 +87,8 @@ type config struct {
 	pprofAddr       string
 	summaryPath     string
 	progressEvery   time.Duration
+	bundleDir       string
+	bundleSlowRound time.Duration
 }
 
 // wantsObs reports whether any flag requires a live obs.Recorder. With
@@ -84,7 +96,8 @@ type config struct {
 func (c *config) wantsObs() bool {
 	return c.tracePath != "" || c.traceChromePath != "" ||
 		c.metricsAddr != "" || c.pprofAddr != "" ||
-		c.summaryPath != "" || c.progressEvery > 0
+		c.summaryPath != "" || c.progressEvery > 0 ||
+		c.bundleDir != ""
 }
 
 func parseFlags(args []string) (*config, bool, error) {
@@ -114,6 +127,8 @@ func parseFlags(args []string) (*config, bool, error) {
 	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve /debug/pprof/ on this address")
 	fs.StringVar(&cfg.summaryPath, "summary", "", "write an end-of-run JSON summary (phase times, guard counts, duel win rates) to this file")
 	fs.DurationVar(&cfg.progressEvery, "progress-every", 0, "print a one-line progress summary to stderr at this interval (e.g. 5s; 0 disables)")
+	fs.StringVar(&cfg.bundleDir, "bundle", "", "write a run bundle (round ledger, manifest, summary, phase trace) into this directory; with -resume the ledger is appended")
+	fs.DurationVar(&cfg.bundleSlowRound, "bundle-slow-round", 0, "capture CPU/heap profiles into the bundle once a round takes at least this long (0 disables)")
 	list := fs.Bool("list", false, "list built-in benchmarks and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, false, err
@@ -159,6 +174,12 @@ func (c *config) validate() error {
 	}
 	if c.progressEvery < 0 {
 		return fmt.Errorf("-progress-every %v out of range: want a non-negative interval", c.progressEvery)
+	}
+	if c.bundleSlowRound < 0 {
+		return fmt.Errorf("-bundle-slow-round %v out of range: want a non-negative duration", c.bundleSlowRound)
+	}
+	if c.bundleSlowRound > 0 && c.bundleDir == "" {
+		return errors.New("-bundle-slow-round needs -bundle <dir> to store the profiles in")
 	}
 	return nil
 }
@@ -235,8 +256,9 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			return err
 		}
 	}
+	var snap *checkpoint.Snapshot
 	if cfg.resume {
-		snap, err := prepareResume(cfg, g, &ropt)
+		snap, err = prepareResume(cfg, g, &ropt)
 		if err != nil {
 			return err
 		}
@@ -247,8 +269,79 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			ropt.Start.Round, snap.Error, cfg.checkpointDir)
 	}
 
+	// The run bundle is opened after the resume snapshot is loaded: a
+	// resumed run appends to the existing ledger, first truncating it to
+	// the byte offset the snapshot recorded so rounds the resume will
+	// re-execute do not appear twice. It must be attached before the run
+	// starts (AddSink is setup-time only).
+	var bundle *ledger.Bundle
+	bundleDone := false
+	if cfg.bundleDir != "" {
+		if cfg.resume {
+			trunc := int64(-1)
+			if snap != nil && snap.LedgerBytes > 0 {
+				trunc = snap.LedgerBytes
+			}
+			bundle, err = ledger.Resume(cfg.bundleDir, trunc)
+		} else {
+			bundle, err = ledger.Create(cfg.bundleDir)
+		}
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if !bundleDone {
+				_ = bundle.Close()
+			}
+		}()
+		rec.AddSink(bundle.Writer())
+		bundle.SetSlowRoundThreshold(cfg.bundleSlowRound)
+		// The bundle carries its own phase trace unless the user already
+		// routes one elsewhere with -trace.
+		if cfg.tracePath == "" {
+			tf, err := os.Create(bundle.Path(ledger.TraceFile))
+			if err != nil {
+				return err
+			}
+			bt := obs.NewTracer(tf, obs.TraceJSONL)
+			rec.AddTracer(bt)
+			prev := closeObs
+			closeObs = func() error {
+				terr := bt.Close()
+				if cerr := tf.Close(); cerr != nil && terr == nil {
+					terr = cerr
+				}
+				if perr := prev(); perr != nil {
+					return perr
+				}
+				return terr
+			}
+		}
+		m := ledger.Manifest{
+			CreatedAt:   time.Now(),
+			Command:     os.Args,
+			Circuit:     g.Name,
+			Method:      cfg.method,
+			Metric:      cfg.metricName,
+			Bound:       cfg.bound,
+			Seed:        ropt.Params.Seed,
+			Patterns:    cfg.patterns,
+			Workers:     cfg.workers,
+			Incremental: cfg.incremental,
+			Resumed:     cfg.resume,
+		}
+		m.FillEnvironment()
+		if err := bundle.WriteManifest(m); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bundle:    %s\n", bundle.Dir())
+	}
+
 	lastProgress := time.Now()
 	progress := func(rs core.RoundStats) {
+		if bundle != nil {
+			bundle.ObserveRound(rs.Round, rs.RoundDuration)
+		}
 		if cfg.verbose {
 			kind := "multi "
 			if !rs.MultiRound {
@@ -280,6 +373,9 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			}
 			if reg := rec.Registry(); reg != nil {
 				s.Metrics = reg.CounterSnapshot()
+			}
+			if bundle != nil {
+				s.LedgerBytes = bundle.LedgerSize()
 			}
 			if err := s.SetGraph(rs.Graph); err == nil {
 				err = ckpt.Save(s)
@@ -315,8 +411,8 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		fmt.Fprintf(w, "note:      run interrupted; outputs hold the best circuit found so far\n")
 	}
 
-	if cfg.summaryPath != "" {
-		sum := runSummary{
+	if cfg.summaryPath != "" || bundle != nil {
+		sum := ledger.RunSummary{
 			Circuit:        g.Name,
 			Method:         cfg.method,
 			Metric:         cfg.metricName,
@@ -331,13 +427,20 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			IndpWinRate:    res.IndpRatio(),
 			Obs:            rec.Summary(),
 		}
-		err := writeFile(w, cfg.summaryPath, func(f *os.File) error {
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			return enc.Encode(sum)
-		})
-		if err != nil {
-			return err
+		if cfg.summaryPath != "" {
+			err := writeFile(w, cfg.summaryPath, func(f *os.File) error {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				return enc.Encode(sum)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if bundle != nil {
+			if err := bundle.WriteSummary(sum); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -357,28 +460,18 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			return err
 		}
 	}
-	// Surface trace-sink write failures (ENOSPC, closed pipe) instead of
-	// silently shipping a truncated trace.
-	return closeObs()
-}
-
-// runSummary is the -summary JSON document: the run's headline numbers
-// plus the recorder's aggregate (phase time breakdown, guard counts,
-// duel win rates), shaped for concatenation by experiment harnesses.
-type runSummary struct {
-	Circuit        string      `json:"circuit"`
-	Method         string      `json:"method"`
-	Metric         string      `json:"metric"`
-	Bound          float64     `json:"bound"`
-	Error          float64     `json:"error"`
-	InitialAnds    int         `json:"initial_ands"`
-	FinalAnds      int         `json:"final_ands"`
-	Rounds         int         `json:"rounds"`
-	LACsApplied    int         `json:"lacs_applied"`
-	RuntimeSeconds float64     `json:"runtime_seconds"`
-	StopReason     string      `json:"stop_reason"`
-	IndpWinRate    float64     `json:"indp_win_rate"`
-	Obs            obs.Summary `json:"obs"`
+	// Surface trace- and ledger-sink write failures (ENOSPC, closed
+	// pipe) instead of silently shipping a truncated trace or ledger.
+	if err := closeObs(); err != nil {
+		return err
+	}
+	if bundle != nil {
+		bundleDone = true
+		if err := bundle.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // setupObs wires the observability flags into a recorder with trace

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"accals/internal/checkpoint"
+	"accals/internal/ledger"
 )
 
 func mustParse(t *testing.T, args ...string) *config {
@@ -315,6 +316,166 @@ func TestRunObservabilityOutputs(t *testing.T) {
 	}
 	if sum.Obs.LACsApplied == 0 {
 		t.Error("summary reports zero applied LACs for a shrinking run")
+	}
+}
+
+func TestRunBundle(t *testing.T) {
+	dir := t.TempDir()
+	bundleDir := filepath.Join(dir, "bundle")
+	sumPath := filepath.Join(dir, "summary.json")
+
+	cfg := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7",
+		"-bundle", bundleDir, "-summary", sumPath)
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "bundle:") {
+		t.Errorf("report does not announce the bundle:\n%s", buf.String())
+	}
+
+	// The bundle is self-describing: ledger, manifest and summary.
+	events, err := ledger.DecodeFile(filepath.Join(bundleDir, ledger.LedgerFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := ledger.Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := ledger.ReadManifest(filepath.Join(bundleDir, ledger.ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Circuit != "mtp8" || man.Seed != 7 || man.GoVersion == "" {
+		t.Errorf("manifest wrong: %+v", man)
+	}
+	bSum, err := ledger.ReadSummary(filepath.Join(bundleDir, ledger.SummaryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The ledger must reproduce the run's outcome on its own: final
+	// error, round count, stop reason and the L_indp ratio all agree
+	// with the independently written summary.
+	if traj.Finish == nil {
+		t.Fatal("ledger has no finish event")
+	}
+	if traj.Finish.Error != bSum.Error {
+		t.Errorf("ledger error %v, summary %v", traj.Finish.Error, bSum.Error)
+	}
+	if len(traj.Rounds) != bSum.Rounds || traj.Finish.Rounds != bSum.Rounds {
+		t.Errorf("ledger rounds %d/%d, summary %d", len(traj.Rounds), traj.Finish.Rounds, bSum.Rounds)
+	}
+	if traj.Finish.StopReason != bSum.StopReason {
+		t.Errorf("ledger stop %q, summary %q", traj.Finish.StopReason, bSum.StopReason)
+	}
+	if r := traj.IndpRatio(); r != bSum.IndpWinRate {
+		t.Errorf("ledger L_indp %v, summary %v", r, bSum.IndpWinRate)
+	}
+	// Per-LAC ground-truth measurement is wired in: across the run at
+	// least one applied LAC records a non-zero measured error (zero is
+	// legitimate for individual LACs that are exact on the sample, so
+	// only the aggregate can be asserted).
+	nonzero := 0
+	for _, r := range traj.Rounds {
+		for _, a := range r.Applied {
+			if a.MeasuredErr > 0 {
+				nonzero++
+			}
+		}
+	}
+	if nonzero == 0 {
+		t.Error("no applied LAC carries a measured error — MeasureEach not wired")
+	}
+
+	// The bundle-less summary and the bundle summary are the same file
+	// content-wise.
+	s2, err := ledger.ReadSummary(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Error != bSum.Error || s2.Rounds != bSum.Rounds || s2.FinalAnds != bSum.FinalAnds {
+		t.Errorf("-summary and bundle summary diverge: %+v vs %+v", s2, bSum)
+	}
+}
+
+// TestRunBundleResumeTruncates: a checkpoint resume reopens the bundle
+// and cuts ledger lines recorded after the snapshot, so the re-executed
+// rounds appear exactly once.
+func TestRunBundleResumeTruncates(t *testing.T) {
+	dir := t.TempDir()
+	bundleDir := filepath.Join(dir, "bundle")
+	ckpt := filepath.Join(dir, "ckpt")
+
+	base := []string{
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7",
+		"-checkpoint", ckpt, "-checkpoint-every", "1",
+		"-bundle", bundleDir,
+	}
+	cfg := mustParse(t, base...)
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), cfg, &bytes.Buffer{}); err != nil {
+		t.Fatalf("initial run: %v", err)
+	}
+	snap, err := checkpoint.Latest(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.LedgerBytes == 0 {
+		t.Fatal("snapshot does not record the ledger offset")
+	}
+
+	cfg2 := mustParse(t, append(base, "-resume")...)
+	if err := cfg2.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), cfg2, &bytes.Buffer{}); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	events, err := ledger.DecodeFile(filepath.Join(bundleDir, ledger.LedgerFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := ledger.Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Resumes != 1 {
+		t.Errorf("ledger records %d resumes, want 1", traj.Resumes)
+	}
+	seen := map[int]int{}
+	for _, r := range traj.Rounds {
+		seen[r.Round]++
+		if seen[r.Round] > 1 {
+			t.Errorf("round %d recorded %d times after resume", r.Round, seen[r.Round])
+		}
+	}
+	if traj.Finish == nil || traj.Finish.Rounds != len(traj.Rounds) {
+		t.Errorf("finish/rounds mismatch after resume: %+v vs %d rounds", traj.Finish, len(traj.Rounds))
+	}
+}
+
+func TestValidateBundleFlags(t *testing.T) {
+	cfg := mustParse(t, "-circuit", "mtp8", "-bundle-slow-round", "5s")
+	if err := cfg.validate(); err == nil || !strings.Contains(err.Error(), "-bundle") {
+		t.Fatalf("-bundle-slow-round without -bundle accepted: %v", err)
+	}
+	cfg = mustParse(t, "-circuit", "mtp8", "-bundle", "d", "-bundle-slow-round", "-1s")
+	if err := cfg.validate(); err == nil {
+		t.Fatal("negative -bundle-slow-round accepted")
+	}
+	if err := mustParse(t, "-circuit", "mtp8", "-bundle", "d").validate(); err != nil {
+		t.Fatalf("valid -bundle rejected: %v", err)
 	}
 }
 

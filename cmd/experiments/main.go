@@ -25,14 +25,16 @@ func main() {
 	runs := flag.Int("runs", 3, "seeded runs to average over")
 	seed := flag.Int64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "reduced thresholds and circuits (smoke test)")
+	bundle := flag.String("bundle", "", "directory to keep per-run round ledgers in (fig4); empty disables")
 	flag.Parse()
 
 	cfg := experiments.Config{
-		Patterns: *patterns,
-		Runs:     *runs,
-		Seed:     *seed,
-		Quick:    *quick,
-		Out:      os.Stdout,
+		Patterns:  *patterns,
+		Runs:      *runs,
+		Seed:      *seed,
+		Quick:     *quick,
+		BundleDir: *bundle,
+		Out:       os.Stdout,
 	}
 
 	run := func(name string, fn func()) {

@@ -1,0 +1,372 @@
+// Command report analyses run bundles written by `accals -bundle` (and
+// by cmd/experiments): it decodes the round ledger and prints the run's
+// round-by-round trajectory, the per-round L_indp duel ratio (the
+// paper's Fig. 4 statistic), an estimator-accuracy summary, guard and
+// revert activations, and the phase-time breakdown from the bundle's
+// summary.json. The per-round table can also be exported as CSV.
+//
+//	report <bundle-dir>              analyse a bundle
+//	report -csv rounds.csv <dir>     also export the round table
+//	report -diff A B                 compare two bundles (or JSON files)
+//
+// Diff mode compares the numeric leaves of two bundles' summary.json
+// (or of two arbitrary JSON documents, e.g. committed BENCH_*.json
+// baselines) and exits 1 when any relative difference exceeds
+// -threshold — a noise-tolerant CI regression gate. Exit codes: 0 no
+// differences above threshold, 1 differences found, 2 usage error.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"accals/internal/ledger"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind process exit, factored out so tests
+// can drive it. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	diff := fs.Bool("diff", false, "compare two bundles (or two JSON files) instead of analysing one")
+	threshold := fs.Float64("threshold", 0.0, "relative difference above which -diff reports a regression (e.g. 0.05 = 5%)")
+	ignore := fs.String("ignore", "", "comma-separated path substrings to skip in -diff (e.g. runtime,seconds)")
+	csvPath := fs.String("csv", "", "export the per-round table as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "report: -diff needs exactly two bundle directories or JSON files")
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), *threshold, *ignore, stdout, stderr)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: report [-csv file] <bundle-dir>  |  report -diff [-threshold x] <a> <b>")
+		return 2
+	}
+	if err := analyse(fs.Arg(0), *csvPath, stdout); err != nil {
+		fmt.Fprintln(stderr, "report:", err)
+		return 2
+	}
+	return 0
+}
+
+// ledgerPath resolves the argument to a ledger file: a directory means
+// its ledger.jsonl, anything else is taken as the ledger itself.
+func ledgerPath(arg string) string {
+	if st, err := os.Stat(arg); err == nil && st.IsDir() {
+		return filepath.Join(arg, ledger.LedgerFile)
+	}
+	return arg
+}
+
+// analyse prints the offline report for one bundle.
+func analyse(arg, csvPath string, w io.Writer) error {
+	events, err := ledger.DecodeFile(ledgerPath(arg))
+	if err != nil {
+		return err
+	}
+	t, err := ledger.Analyze(events)
+	if err != nil {
+		return err
+	}
+
+	m := t.Meta
+	fmt.Fprintf(w, "run:       %s %s, metric %s, bound %g, seed %d\n",
+		m.Method, m.Circuit, m.Metric, m.Bound, m.Seed)
+	fmt.Fprintf(w, "engine:    %d patterns, %d workers\n", m.Patterns, m.Workers)
+	fmt.Fprintf(w, "initial:   %d ANDs, area %.1f, depth %d\n",
+		m.InitialAnds, m.InitialArea, m.InitialDepth)
+	if t.Resumes > 0 {
+		fmt.Fprintf(w, "resumes:   %d (ledger spans %d run segments)\n", t.Resumes, t.Resumes+1)
+	}
+
+	fmt.Fprintf(w, "\nround  kind    lacs  est_err    error      Δ|est-meas|  ands   area     depth  duel\n")
+	for _, r := range t.Rounds {
+		kind := "multi "
+		switch {
+		case r.GuardSingle:
+			kind = "guard "
+		case !r.Multi:
+			kind = "single"
+		}
+		if r.Reverted {
+			kind = "revert"
+		}
+		duel := "-"
+		if r.DuelIndpErr != nil && r.DuelRandErr != nil {
+			winner := "rand"
+			if r.PickedIndp {
+				winner = "indp"
+			}
+			duel = fmt.Sprintf("%s (%.6f vs %.6f)", winner, *r.DuelIndpErr, *r.DuelRandErr)
+		}
+		fmt.Fprintf(w, "%5d  %s  %4d  %.6f  %.6f  %.6f     %-5d  %-7.1f  %-5d  %s\n",
+			r.Round, kind, len(r.Applied), r.EstErr, r.Error,
+			math.Abs(r.EstErr-r.Error), r.NumAnds, r.Area, r.Depth, duel)
+	}
+
+	duels, indpWins := t.Duels()
+	fmt.Fprintf(w, "\nL_indp ratio: %.3f (%d of %d duels won by the independent set)\n",
+		t.IndpRatio(), indpWins, duels)
+	acc := t.EstimatorAccuracy()
+	fmt.Fprintf(w, "estimator:    mean |est-measured| %.6f, max %.6f (round %d) over %d rounds\n",
+		acc.MeanAbs, acc.MaxAbs, acc.MaxRound, acc.Rounds)
+	single, reverts := t.Guards()
+	fmt.Fprintf(w, "guards:       %d single-LAC fallbacks, %d negative-set reverts\n", single, reverts)
+	if f := t.Finish; f != nil {
+		fmt.Fprintf(w, "finish:       %s after %d rounds, error %.6f, %d ANDs, %d LACs, %.3fs\n",
+			f.StopReason, f.Rounds, f.Error, f.NumAnds, f.LACsApplied,
+			float64(f.RuntimeUS)/1e6)
+	} else {
+		fmt.Fprintf(w, "finish:       missing (ledger cut off mid-run); last error %.6f\n", t.FinalError())
+	}
+
+	printPhases(arg, w)
+
+	if csvPath != "" {
+		if err := writeCSV(csvPath, t); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+// printPhases adds the phase-time breakdown when the bundle carries a
+// summary.json; a bare ledger file simply has none.
+func printPhases(arg string, w io.Writer) {
+	st, err := os.Stat(arg)
+	if err != nil || !st.IsDir() {
+		return
+	}
+	sum, err := ledger.ReadSummary(filepath.Join(arg, ledger.SummaryFile))
+	if err != nil {
+		return
+	}
+	type row struct {
+		name string
+		s    float64
+		n    uint64
+	}
+	var rows []row
+	total := 0.0
+	for name, p := range sum.Obs.Phases {
+		if name == "round" {
+			total = p.Seconds
+			continue
+		}
+		rows = append(rows, row{name, p.Seconds, p.Count})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].s > rows[j].s })
+	fmt.Fprintf(w, "\nphase breakdown:\n")
+	for _, r := range rows {
+		share := ""
+		if total > 0 {
+			share = fmt.Sprintf(" (%4.1f%%)", 100*r.s/total)
+		}
+		fmt.Fprintf(w, "  %-14s %9.3fs%s  over %d spans\n", r.name, r.s, share, r.n)
+	}
+}
+
+// writeCSV exports the per-round table with every ledger column.
+func writeCSV(path string, t *ledger.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(f)
+	header := []string{
+		"round", "multi", "guard_single", "reverted", "picked_indp",
+		"applied", "candidates", "budget_left", "top_size",
+		"conflict_nodes", "conflict_edges", "sol_size",
+		"infl_pairs", "infl_above", "mis_size", "indp_size", "rand_size",
+		"duel_indp_err", "duel_rand_err", "est_err", "error",
+		"num_ands", "area", "depth", "no_progress", "duration_us",
+	}
+	if err := cw.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fp := func(v *float64) string {
+		if v == nil {
+			return ""
+		}
+		return ff(*v)
+	}
+	fb := func(b bool) string {
+		if b {
+			return "1"
+		}
+		return "0"
+	}
+	for _, r := range t.Rounds {
+		rec := []string{
+			strconv.Itoa(r.Round), fb(r.Multi), fb(r.GuardSingle), fb(r.Reverted), fb(r.PickedIndp),
+			strconv.Itoa(len(r.Applied)), strconv.Itoa(r.Candidates), ff(r.BudgetLeft), strconv.Itoa(r.TopSize),
+			strconv.Itoa(r.ConflictNodes), strconv.Itoa(r.ConflictEdges), strconv.Itoa(r.SolSize),
+			strconv.Itoa(r.InflPairs), strconv.Itoa(r.InflAbove), strconv.Itoa(r.MISSize),
+			strconv.Itoa(r.IndpSize), strconv.Itoa(r.RandSize),
+			fp(r.DuelIndpErr), fp(r.DuelRandErr), ff(r.EstErr), ff(r.Error),
+			strconv.Itoa(r.NumAnds), ff(r.Area), strconv.Itoa(r.Depth),
+			strconv.Itoa(r.NoProgress), strconv.FormatInt(r.DurationUS, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// diffPath resolves a -diff argument: a bundle directory means its
+// summary.json, anything else is compared as a raw JSON document.
+func diffPath(arg string) string {
+	if st, err := os.Stat(arg); err == nil && st.IsDir() {
+		return filepath.Join(arg, ledger.SummaryFile)
+	}
+	return arg
+}
+
+// runDiff compares the JSON leaves of two documents and reports every
+// difference whose relative magnitude exceeds the threshold.
+func runDiff(a, b string, threshold float64, ignore string, stdout, stderr io.Writer) int {
+	la, err := loadLeaves(diffPath(a))
+	if err != nil {
+		fmt.Fprintln(stderr, "report:", err)
+		return 2
+	}
+	lb, err := loadLeaves(diffPath(b))
+	if err != nil {
+		fmt.Fprintln(stderr, "report:", err)
+		return 2
+	}
+	var skips []string
+	if ignore != "" {
+		skips = strings.Split(ignore, ",")
+	}
+	skip := func(path string) bool {
+		for _, s := range skips {
+			if s != "" && strings.Contains(path, s) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var diffs []string
+	keys := make([]string, 0, len(la))
+	for k := range la {
+		keys = append(keys, k)
+	}
+	for k := range lb {
+		if _, ok := la[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if skip(k) {
+			continue
+		}
+		va, oka := la[k]
+		vb, okb := lb[k]
+		switch {
+		case !oka:
+			diffs = append(diffs, fmt.Sprintf("%s: only in %s (%v)", k, b, vb))
+		case !okb:
+			diffs = append(diffs, fmt.Sprintf("%s: only in %s (%v)", k, a, va))
+		default:
+			na, isNumA := va.(float64)
+			nb, isNumB := vb.(float64)
+			if isNumA && isNumB {
+				if rel := relDiff(na, nb); rel > threshold {
+					diffs = append(diffs, fmt.Sprintf("%s: %g -> %g (%.1f%%)", k, na, nb, 100*rel))
+				}
+			} else if va != vb {
+				diffs = append(diffs, fmt.Sprintf("%s: %v -> %v", k, va, vb))
+			}
+		}
+	}
+	if len(diffs) == 0 {
+		fmt.Fprintf(stdout, "no differences above threshold %g between %s and %s\n", threshold, a, b)
+		return 0
+	}
+	fmt.Fprintf(stdout, "%d difference(s) above threshold %g:\n", len(diffs), threshold)
+	for _, d := range diffs {
+		fmt.Fprintf(stdout, "  %s\n", d)
+	}
+	return 1
+}
+
+// relDiff is |a-b| relative to the larger magnitude (0 when both are 0).
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// loadLeaves decodes a JSON document into a flat map of dotted leaf
+// paths to scalar values (numbers stay float64, strings and bools are
+// compared for equality).
+func loadLeaves(path string) (map[string]any, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	leaves := map[string]any{}
+	flatten("", doc, leaves)
+	return leaves, nil
+}
+
+func flatten(prefix string, v any, out map[string]any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sub := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, sub, out)
+		}
+	case []any:
+		for i, sub := range t {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), sub, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accals/internal/ledger"
+	"accals/internal/obs"
+)
+
+// writeBundle fabricates a small but complete bundle: meta, three
+// rounds (one duel, one guard, one revert), finish, and a summary.
+func writeBundle(t *testing.T, dir string) {
+	t.Helper()
+	b, err := ledger.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.Writer()
+	w.RunMeta(obs.RunMeta{
+		Method: "accals", Circuit: "toy", Metric: "er", Bound: 0.05,
+		Seed: 3, Patterns: 64, Workers: 1, InitialAnds: 100,
+	})
+	i, r := 0.01, 0.02
+	w.Round(obs.RoundEvent{
+		Round: 0, Candidates: 40, BudgetLeft: 0.05, TopSize: 10,
+		ConflictNodes: 10, ConflictEdges: 4, SolSize: 6,
+		InflPairs: 15, InflAbove: 5, MISSize: 4, IndpSize: 3, RandSize: 2,
+		DuelIndpErr: &i, DuelRandErr: &r, PickedIndp: true, Multi: true,
+		Applied: []obs.AppliedLAC{{Target: 7, Gain: 2, DeltaE: 0.005, MeasuredErr: 0.006}},
+		EstErr:  0.008, Error: 0.01, NumAnds: 95, DurationUS: 1500,
+	})
+	w.Round(obs.RoundEvent{
+		Round: 1, BudgetLeft: 0.04, GuardSingle: true,
+		Applied: []obs.AppliedLAC{{Target: 9, Gain: 1, DeltaE: 0.01}},
+		EstErr:  0.02, Error: 0.02, NumAnds: 94, DurationUS: 900,
+	})
+	w.Round(obs.RoundEvent{
+		Round: 2, BudgetLeft: 0.03, Multi: true, Reverted: true,
+		EstErr: 0.03, Error: 0.045, NumAnds: 93, DurationUS: 1100,
+	})
+	w.Finish(obs.RunFinish{
+		StopReason: "bounded", Rounds: 3, Error: 0.045, NumAnds: 93,
+		LACsApplied: 2, RuntimeUS: 4000,
+	})
+	sum := ledger.RunSummary{
+		Circuit: "toy", Method: "accals", Metric: "er", Bound: 0.05,
+		Error: 0.045, InitialAnds: 100, FinalAnds: 93, Rounds: 3,
+		StopReason: "bounded",
+		Obs: obs.Summary{Phases: map[string]obs.PhaseSummary{
+			"round":    {Count: 3, Seconds: 0.004},
+			"estimate": {Count: 3, Seconds: 0.003},
+			"simulate": {Count: 3, Seconds: 0.001},
+		}},
+	}
+	if err := b.WriteSummary(sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportAnalyse(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir)
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"accals toy, metric er, bound 0.05, seed 3",
+		"L_indp ratio: 1.000 (1 of 1 duels won",
+		"guards:       1 single-LAC fallbacks, 1 negative-set reverts",
+		"finish:       bounded after 3 rounds, error 0.045000",
+		"phase breakdown:",
+		"estimate",
+		"guard ",
+		"revert",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The worst estimator gap is round 2's revert (|0.03-0.045|).
+	if !strings.Contains(got, "max 0.015000 (round 2)") {
+		t.Errorf("estimator accuracy line wrong:\n%s", got)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir)
+	csvPath := filepath.Join(dir, "rounds.csv")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-csv", csvPath, dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 rounds
+		t.Fatalf("csv has %d rows, want 4", len(rows))
+	}
+	if rows[0][0] != "round" || rows[1][0] != "0" || rows[3][0] != "2" {
+		t.Fatalf("csv rows off: %v", rows)
+	}
+	// Round 0's duel errors survive the export.
+	idx := -1
+	for i, h := range rows[0] {
+		if h == "duel_indp_err" {
+			idx = i
+		}
+	}
+	if idx < 0 || rows[1][idx] != "0.01" || rows[2][idx] != "" {
+		t.Fatalf("duel_indp_err column wrong (idx %d): %v", idx, rows[1])
+	}
+}
+
+func TestReportDiff(t *testing.T) {
+	a := t.TempDir()
+	writeBundle(t, a)
+
+	// Identical bundles: exit 0.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", a, a}, &out, &errb); code != 0 {
+		t.Fatalf("identical diff exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no differences") {
+		t.Fatalf("identical diff output: %s", out.String())
+	}
+
+	// An injected regression above the threshold: exit 1.
+	var sum map[string]any
+	body, err := os.ReadFile(filepath.Join(a, ledger.SummaryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	sum["error"] = sum["error"].(float64) * 2
+	modBody, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := filepath.Join(t.TempDir(), "mod.json")
+	if err := os.WriteFile(mod, modBody, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code := run([]string{"-diff", "-threshold", "0.05", filepath.Join(a, ledger.SummaryFile), mod}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("regression diff exit %d, want 1; out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("regression not named: %s", out.String())
+	}
+
+	// A sub-threshold drift: exit 0.
+	out.Reset()
+	code = run([]string{"-diff", "-threshold", "0.9", filepath.Join(a, ledger.SummaryFile), mod}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("sub-threshold diff exit %d, want 0; out: %s", code, out.String())
+	}
+
+	// The ignore list suppresses matching paths entirely.
+	out.Reset()
+	code = run([]string{"-diff", "-ignore", "error", filepath.Join(a, ledger.SummaryFile), mod}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("ignored diff exit %d, want 0; out: %s", code, out.String())
+	}
+}
+
+func TestReportUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Fatalf("no-arg exit %d, want 2", code)
+	}
+	if code := run([]string{"-diff", "only-one"}, &out, &errb); code != 2 {
+		t.Fatalf("one-arg diff exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing")}, &out, &errb); code != 2 {
+		t.Fatalf("missing bundle exit %d, want 2", code)
+	}
+}

@@ -18,12 +18,14 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"accals/internal/aig"
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/mapping"
 	"accals/internal/obs"
 	"accals/internal/runctl"
 	"accals/internal/simulate"
@@ -196,6 +198,27 @@ func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Opt
 	// is TN of another).
 	conflicts := buildConflicts(pool)
 
+	// Round ledger (see internal/ledger): the annealer maps iterations
+	// onto rounds, with the Accepted/ArchiveSize extras and no
+	// selection-pipeline columns. Guarded by led so an unledgered run
+	// never invokes the technology mapper.
+	led := rec.Ledgering()
+	if led {
+		area, _ := mapping.AreaDelay(orig)
+		rec.EmitMeta(obs.RunMeta{
+			Method:       "amosa",
+			Circuit:      orig.Name,
+			Metric:       strings.ToLower(cmp.Kind().String()),
+			Bound:        opt.ErrBound,
+			Seed:         opt.Seed,
+			Patterns:     patCount,
+			Workers:      runner.Workers(),
+			InitialAnds:  orig.NumAnds(),
+			InitialArea:  area,
+			InitialDepth: orig.Depth(),
+		})
+	}
+
 	evaluate := func(sel []int) (float64, int) {
 		chosen := make([]*lac.LAC, len(sel))
 		for i, idx := range sel {
@@ -222,11 +245,13 @@ func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Opt
 	archive := []Point{{Error: curErr, Ands: curAnds, LACs: poolSubset(pool, cur)}}
 
 	temp := opt.InitialTemp
+	itersDone := 0
 	for it := 0; it < opt.Iterations; it++ {
 		if reason, stop := ctl.Stop(); stop {
 			r.StopReason = reason
 			break
 		}
+		iterStart := time.Now()
 		rec.BeginRound(it)
 		accepted := false
 		if cand := perturb(cur, len(pool), conflicts, rng); cand != nil {
@@ -249,7 +274,20 @@ func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Opt
 			}
 		}
 		temp *= opt.Cooling
+		itersDone = it + 1
 		rec.EndRound(it, curErr, curAnds, 0, 0)
+		if led {
+			acc := accepted
+			rec.EmitRound(obs.RoundEvent{
+				Round:       it,
+				BudgetLeft:  opt.ErrBound - curErr,
+				Error:       curErr,
+				NumAnds:     curAnds,
+				DurationUS:  time.Since(iterStart).Microseconds(),
+				Accepted:    &acc,
+				ArchiveSize: len(archive),
+			})
+		}
 		if opt.Progress != nil {
 			opt.Progress(IterStats{Index: it, Error: curErr, Ands: curAnds, Accepted: accepted, ArchiveSize: len(archive)})
 		}
@@ -258,6 +296,26 @@ func RunCtx(ctx context.Context, orig *aig.Graph, metric errmetric.Kind, opt Opt
 	sort.Slice(archive, func(i, j int) bool { return archive[i].Error < archive[j].Error })
 	r.Archive = archive
 	r.Runtime = time.Since(start)
+	if led {
+		f := obs.RunFinish{
+			StopReason: r.StopReason.String(),
+			Rounds:     itersDone,
+			RuntimeUS:  r.Runtime.Microseconds(),
+		}
+		// The annealer's outcome is an archive, not one circuit; report
+		// the smallest solution within the bound as the headline.
+		if len(archive) > 0 {
+			best := archive[0]
+			for _, pt := range archive[1:] {
+				if pt.Ands < best.Ands {
+					best = pt
+				}
+			}
+			f.Error = best.Error
+			f.NumAnds = best.Ands
+		}
+		rec.EmitFinish(f)
+	}
 	rec.Finish(r.StopReason.String())
 	return r
 }

@@ -47,6 +47,13 @@ type Snapshot struct {
 	// Absent in snapshots taken without a recorder.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 
+	// LedgerBytes is the size of the run bundle's ledger.jsonl when the
+	// snapshot was taken. A resume truncates the ledger to this offset
+	// before appending (ledger.Resume), discarding round events recorded
+	// after the snapshot that the resumed run will re-execute. Absent in
+	// snapshots taken without a bundle.
+	LedgerBytes int64 `json:"ledger_bytes,omitempty"`
+
 	SavedAt time.Time `json:"saved_at"`
 }
 

@@ -3,12 +3,14 @@ package core
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"time"
 
 	"accals/internal/aig"
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/mapping"
 	"accals/internal/obs"
 	"accals/internal/par"
 	"accals/internal/runctl"
@@ -211,6 +213,30 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	rec.SetWorkers(runner.Workers())
 	genCfg.Workers = opt.Workers
 
+	// The round ledger: with a sink attached, the run opens with a
+	// RunMeta, every round emits its full decision record, and the
+	// trajectory carries mapped area and logic depth. All of it is
+	// guarded by led so an unledgered run allocates no events and never
+	// invokes the technology mapper.
+	led := rec.Ledgering()
+	if led {
+		area, _ := mapping.AreaDelay(g)
+		rec.EmitMeta(obs.RunMeta{
+			Method:       "accals",
+			Circuit:      orig.Name,
+			Metric:       strings.ToLower(cmp.Kind().String()),
+			Bound:        errBound,
+			Seed:         params.Seed,
+			Patterns:     patCount,
+			Workers:      runner.Workers(),
+			InitialAnds:  g.NumAnds(),
+			InitialArea:  area,
+			InitialDepth: g.Depth(),
+			StartRound:   round0,
+			Resumed:      opt.Start != nil && opt.Start.Graph != nil,
+		})
+	}
+
 	// The incremental round engine: gen caches per-target candidate
 	// lists across rounds and infl carries the influence index across
 	// Apply boundaries; both are rebased through the aig.Delta of each
@@ -351,6 +377,7 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			// Improvement technique 1: single-LAC selection close to
 			// the error bound.
 			rec.GuardSingleLAC()
+			rs.GuardSingle = true
 			applied := cands[:1]
 			sp = rec.StartPhase(round, obs.PhaseApply)
 			var am []aig.Lit
@@ -358,6 +385,10 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			sp.End()
 			noteApply(g, gNew, am, applied)
 			e = measure(round, g, simRes, applied)
+			var measured []float64
+			if led {
+				measured = est.MeasureEach(g, simRes, cmp, applied, rec)
+			}
 			runner.Release(simRes)
 			startPrefetch(round)
 			rs.AppliedLACs = 1
@@ -370,6 +401,9 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			result.LACsApplied++
 			rec.CountApplied(1)
 			rec.EndRound(round, e, gNew.NumAnds(), noProgress, 1)
+			if led {
+				rec.EmitRound(ledgerRound(rs, gNew, errBound-eG, applied, measured))
+			}
 			emitProgress(opt.Progress, rs, gNew)
 			continue
 		}
@@ -378,8 +412,9 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		sp = rec.StartPhase(round, obs.PhaseConflictGraph)
 		lTop := obtainTopSet(cands, e, errBound, params.RRef)
 		rs.TopSize = len(lTop)
-		lSol, _ := findSolveLACConf(lTop)
+		lSol, _, confEdges := findSolveLACConf(lTop)
 		sp.End()
+		rs.ConflictEdges = confEdges
 		rs.SolSize = len(lSol)
 		var lIndp, lRand []*lac.LAC
 		if !params.DisableIndp {
@@ -387,7 +422,9 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			if infl == nil || infl.g != g {
 				infl = newInfluenceIndex(g)
 			}
-			lIndp = selectIndpLACs(lSol, infl, e, errBound, params)
+			var ist indpStats
+			lIndp, ist = selectIndpLACs(lSol, infl, e, errBound, params)
+			rs.InflPairs, rs.InflAbove, rs.MISSize = ist.pairs, ist.above, ist.misSize
 			sp.End()
 		}
 		if !params.DisableRandom {
@@ -419,6 +456,8 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 				func() { e1 = measure(round, g, simRes, lIndp) },
 				func() { e2 = measure(round, g, simRes, lRand) },
 			)
+			rs.HasDuel = true
+			rs.DuelIndpErr, rs.DuelRandErr = e1, e2
 			if e1 < e2 || (e1 == e2 && len(lIndp) >= len(lRand)) {
 				e, applied = e1, lIndp
 				rs.PickedIndp = true
@@ -468,6 +507,10 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		} else {
 			noProgress = 0
 		}
+		var measured []float64
+		if led {
+			measured = est.MeasureEach(g, simRes, cmp, applied, rec)
+		}
 		runner.Release(simRes)
 		startPrefetch(round)
 		rs.NoProgress = noProgress
@@ -479,6 +522,9 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		result.LACsApplied += len(applied)
 		rec.CountApplied(len(applied))
 		rec.EndRound(round, e, gNew.NumAnds(), noProgress, len(applied))
+		if led {
+			rec.EmitRound(ledgerRound(rs, gNew, errBound-eG, applied, measured))
+		}
 		emitProgress(opt.Progress, rs, gNew)
 		if noProgress >= StagnationRounds {
 			gNew, e = g, eG
@@ -491,8 +537,65 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	result.Error = eG
 	result.StopReason = reason
 	result.Runtime = time.Since(start)
+	if led {
+		area, _ := mapping.AreaDelay(g)
+		rec.EmitFinish(obs.RunFinish{
+			StopReason:  reason.String(),
+			Rounds:      round0 + len(result.Rounds),
+			Error:       eG,
+			NumAnds:     g.NumAnds(),
+			Area:        area,
+			Depth:       g.Depth(),
+			LACsApplied: result.LACsApplied,
+			RuntimeUS:   result.Runtime.Microseconds(),
+		})
+	}
 	rec.Finish(reason.String())
 	return result
+}
+
+// ledgerRound converts one completed round's statistics into the
+// ledger's event shape. Only called when a ledger sink is attached:
+// the area/depth trajectory columns invoke the technology mapper,
+// which the uninstrumented loop must never pay for.
+func ledgerRound(rs RoundStats, gNew *aig.Graph, budgetLeft float64, applied []*lac.LAC, measured []float64) obs.RoundEvent {
+	ev := obs.RoundEvent{
+		Round:         rs.Round,
+		Candidates:    rs.Candidates,
+		BudgetLeft:    budgetLeft,
+		TopSize:       rs.TopSize,
+		ConflictNodes: rs.TopSize,
+		ConflictEdges: rs.ConflictEdges,
+		SolSize:       rs.SolSize,
+		InflPairs:     rs.InflPairs,
+		InflAbove:     rs.InflAbove,
+		MISSize:       rs.MISSize,
+		IndpSize:      rs.IndpSize,
+		RandSize:      rs.RandSize,
+		PickedIndp:    rs.PickedIndp,
+		Multi:         rs.MultiRound,
+		GuardSingle:   rs.GuardSingle,
+		Reverted:      rs.Reverted,
+		EstErr:        rs.EstimatedErr,
+		Error:         rs.Error,
+		NumAnds:       gNew.NumAnds(),
+		Depth:         gNew.Depth(),
+		NoProgress:    rs.NoProgress,
+		DurationUS:    rs.RoundDuration.Microseconds(),
+	}
+	ev.Area, _ = mapping.AreaDelay(gNew)
+	if rs.HasDuel {
+		i, r := rs.DuelIndpErr, rs.DuelRandErr
+		ev.DuelIndpErr, ev.DuelRandErr = &i, &r
+	}
+	for i, l := range applied {
+		a := obs.AppliedLAC{Target: l.Target, Gain: l.Gain, DeltaE: l.DeltaE}
+		if i < len(measured) {
+			a.MeasuredErr = measured[i]
+		}
+		ev.Applied = append(ev.Applied, a)
+	}
+	return ev
 }
 
 // emitProgress delivers one round's statistics to the Progress

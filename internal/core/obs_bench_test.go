@@ -3,15 +3,19 @@ package core
 // Benchmarks quantifying the observability overhead of the synthesis
 // loop. The acceptance target is a nil-recorder run within ~2% of the
 // pre-instrumentation baseline; compare ObsOff with ObsOn to see the
-// live-recorder cost:
+// live-recorder cost and ObsLedger for the full flight-recorder cost
+// (event construction, per-round technology mapping, per-LAC measured
+// errors, JSONL encoding):
 //
 //	go test -run=^$ -bench=BenchmarkRunObs -count=10 ./internal/core/ | benchstat
 
 import (
+	"io"
 	"testing"
 
 	"accals/internal/circuits"
 	"accals/internal/errmetric"
+	"accals/internal/ledger"
 	"accals/internal/obs"
 )
 
@@ -35,3 +39,15 @@ func benchSynthesis(b *testing.B, rec *obs.Recorder) {
 func BenchmarkRunObsOff(b *testing.B) { benchSynthesis(b, nil) }
 
 func BenchmarkRunObsOn(b *testing.B) { benchSynthesis(b, obs.NewRecorder()) }
+
+// BenchmarkRunObsLedger attaches a ledger sink (encoding to a discard
+// writer), so the delta over ObsOn is the flight recorder's whole
+// cost: RoundEvent construction, per-round area/depth mapping, per-LAC
+// measured-error resimulation, and JSONL encoding. None of it runs
+// without a sink — ObsOff and ObsOn must not regress when the ledger
+// code changes.
+func BenchmarkRunObsLedger(b *testing.B) {
+	rec := obs.NewRecorder()
+	rec.AddSink(ledger.NewWriter(io.Discard))
+	benchSynthesis(b, rec)
+}

@@ -136,15 +136,30 @@ const StagnationRounds = 4
 // RoundStats records what happened in one synthesis round, feeding the
 // paper's statistical analysis (Fig. 4).
 type RoundStats struct {
-	Round        int
-	Candidates   int
-	TopSize      int
-	SolSize      int
-	IndpSize     int
-	RandSize     int
+	Round      int
+	Candidates int
+	TopSize    int
+	// ConflictEdges counts the edges of the LAC conflict graph
+	// (Definition 1) built over the top set.
+	ConflictEdges int
+	SolSize       int
+	// InflPairs is the number of target pairs scored by the
+	// mutual-influence index p_ji; InflAbove counts those above the t_b
+	// threshold (the edges of G_sol); MISSize is the solved |N_indp|.
+	InflPairs int
+	InflAbove int
+	MISSize   int
+	IndpSize  int
+	RandSize  int
+	// HasDuel marks rounds in which both candidate sets were measured;
+	// DuelIndpErr/DuelRandErr are then their measured errors.
+	HasDuel      bool
+	DuelIndpErr  float64
+	DuelRandErr  float64
 	AppliedLACs  int
 	PickedIndp   bool
 	MultiRound   bool // false when the single-LAC fallback ran
+	GuardSingle  bool // improvement technique 1 fired
 	Reverted     bool // improvement technique 2 fired
 	Error        float64
 	EstimatedErr float64

@@ -60,11 +60,12 @@ func obtainTopSet(sorted []*lac.LAC, e, eb float64, rRef int) []*lac.LAC {
 // findSolveLACConf implements FindSolveLACConf (Section II-C): build
 // the LAC conflict graph over lTop and greedily extract a
 // conflict-free subset in ascending weight (error increase) order.
-// It returns the conflict-free LACs and their target-node set.
+// It returns the conflict-free LACs, their target-node set, and the
+// conflict graph's edge count (a round-ledger column).
 //
 // Conflicts: Type 1 -- two LACs share a target node; Type 2 -- an SN
 // of one LAC is the TN of the other.
-func findSolveLACConf(lTop []*lac.LAC) (lSol []*lac.LAC, nSol []int) {
+func findSolveLACConf(lTop []*lac.LAC) (lSol []*lac.LAC, nSol []int, confEdges int) {
 	g := BuildConflictGraph(lTop)
 	// lTop is sorted by ascending DeltaE already (the node weights),
 	// so a simple in-order greedy matches the paper's heuristic.
@@ -85,7 +86,7 @@ func findSolveLACConf(lTop []*lac.LAC) (lSol []*lac.LAC, nSol []int) {
 		lSol = append(lSol, lTop[v])
 		nSol = append(nSol, lTop[v].Target)
 	}
-	return lSol, nSol
+	return lSol, nSol, g.NumEdges()
 }
 
 // BuildConflictGraph constructs the LAC conflict graph of Definition 1:
@@ -330,25 +331,37 @@ func (x *influenceIndex) pji(a, b int) float64 {
 	return float64(fe.IntersectCount(fl)) / float64(den)
 }
 
+// indpStats surfaces SelectIndpLACs' intermediate sizes for the round
+// ledger: how many target pairs the mutual-influence index scored, how
+// many exceeded the t_b threshold (the edges of G_sol), and the solved
+// MIS size |N_indp|.
+type indpStats struct {
+	pairs, above, misSize int
+}
+
 // selectIndpLACs implements SelectIndpLACs (Section II-D): build the
 // graph G_sol over target nodes with edges where p_ji > t_b, solve an
 // MIS to obtain N_indp, and pick the final independent LAC set from
 // the potential set L_pote under the r_sel / λ·e_b budget.
-func selectIndpLACs(lSol []*lac.LAC, idx *influenceIndex, e, eb float64, p Params) []*lac.LAC {
+func selectIndpLACs(lSol []*lac.LAC, idx *influenceIndex, e, eb float64, p Params) ([]*lac.LAC, indpStats) {
+	var st indpStats
 	if len(lSol) == 0 {
-		return nil
+		return nil, st
 	}
 	// Build G_sol. After conflict resolution every LAC has a unique
 	// target, so vertices map 1:1 to lSol entries.
 	gs := mis.NewGraph(len(lSol))
 	for i := 0; i < len(lSol); i++ {
 		for j := i + 1; j < len(lSol); j++ {
+			st.pairs++
 			if idx.pji(lSol[i].Target, lSol[j].Target) > p.TB {
 				gs.AddEdge(i, j)
+				st.above++
 			}
 		}
 	}
 	nIndp := mis.Solve(gs, p.Seed)
+	st.misSize = len(nIndp)
 
 	// L_pote: LACs whose targets are in N_indp, by ascending ΔE.
 	lPote := make([]*lac.LAC, 0, len(nIndp))
@@ -356,7 +369,7 @@ func selectIndpLACs(lSol []*lac.LAC, idx *influenceIndex, e, eb float64, p Param
 		lPote = append(lPote, lSol[v])
 	}
 	sortByDeltaE(lPote)
-	return budgetedPrefix(lPote, e, eb, p)
+	return budgetedPrefix(lPote, e, eb, p), st
 }
 
 // budgetedPrefix applies the paper's sizing rule for L_indp: all

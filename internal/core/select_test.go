@@ -43,7 +43,10 @@ func TestBuildConflictGraphPaperExample(t *testing.T) {
 }
 
 func TestFindSolveLACConfPaperExample(t *testing.T) {
-	lSol, nSol := findSolveLACConf(paperExample())
+	lSol, nSol, edges := findSolveLACConf(paperExample())
+	if edges == 0 {
+		t.Fatalf("conflict edges = 0, want > 0 for the paper example")
+	}
 	// Example 4: S_sel = {T1, T3, T5, T6} -> TNs {3, 4, 6, 7}.
 	wantTNs := []int{3, 4, 6, 7}
 	if len(nSol) != len(wantTNs) {

@@ -416,6 +416,21 @@ func (e *Estimator) EstimateAllExactRec(g *aig.Graph, res *simulate.Result, cmp 
 	return curErr
 }
 
+// MeasureEach returns, for each LAC, the measured error of the circuit
+// with that LAC applied alone — the ground truth the run ledger pairs
+// with each applied LAC's estimated increase. Sharded across LACs like
+// EstimateAllExactRec; the base simulation is read-only, so shards
+// share it safely.
+func (e *Estimator) MeasureEach(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, rec *obs.Recorder) []float64 {
+	out := make([]float64, len(lacs))
+	e.runShards(len(lacs), rec, func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			out[i] = cmp.ErrorFromPOs(ResimulateWith(g, res, lacs[i]))
+		}
+	})
+	return out
+}
+
 // ExactDeltaE computes the exact (with respect to the pattern set)
 // error increase of applying a single LAC, by resimulating the
 // transitive fanout cone of the target with the LAC's new values.

@@ -33,6 +33,10 @@ type Config struct {
 	// Quick shrinks the experiment (fewer runs, fewer patterns,
 	// smaller threshold lists) for use in benchmarks and smoke tests.
 	Quick bool
+	// BundleDir, when non-empty, keeps each ledger-instrumented run's
+	// round ledger on disk under one subdirectory per run (currently
+	// Fig. 4), for later cmd/report analysis. Empty means in-memory only.
+	BundleDir string
 	// Out receives formatted tables; nil discards them.
 	Out io.Writer
 }

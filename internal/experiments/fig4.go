@@ -1,8 +1,16 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
 	"accals/internal/core"
 	"accals/internal/errmetric"
+	"accals/internal/ledger"
+	"accals/internal/obs"
 )
 
 // Fig4Row reports the L_indp ratio of one circuit under one metric:
@@ -22,9 +30,45 @@ var fig4Thresholds = map[errmetric.Kind]float64{
 	errmetric.MRED: 0.0019531,
 }
 
+// fig4Run executes one seeded AccALS run with a round ledger attached
+// and returns the decoded trajectory. The L_indp ratio is derived from
+// the ledger's per-round duel records — the same offline path
+// cmd/report uses — rather than from in-memory result state, so the
+// figure exercises (and is guaranteed to agree with) the flight
+// recorder. With cfg.BundleDir set the run's ledger is also kept on
+// disk for later cmd/report analysis.
+func fig4Run(name string, metric errmetric.Kind, cfg Config, run int) (*ledger.Trajectory, error) {
+	g := mustCircuit(name)
+	rec := obs.NewRecorder()
+	var buf bytes.Buffer
+	rec.AddSink(ledger.NewWriter(&buf))
+	core.Run(g, metric, fig4Thresholds[metric], core.Options{
+		NumPatterns: cfg.Patterns,
+		PatternSeed: cfg.Seed,
+		Params:      core.Params{Seed: cfg.Seed + int64(run)},
+		Recorder:    rec,
+	})
+	if cfg.BundleDir != "" {
+		dir := filepath.Join(cfg.BundleDir,
+			fmt.Sprintf("fig4-%s-%s-run%d", name, strings.ToLower(metric.String()), run))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, ledger.LedgerFile), buf.Bytes(), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	events, err := ledger.Decode(&buf)
+	if err != nil {
+		return nil, err
+	}
+	return ledger.Analyze(events)
+}
+
 // Fig4 runs AccALS on the five small arithmetic circuits under the
 // three statistical error metrics and reports the L_indp ratio,
-// averaged over cfg.Runs seeds.
+// averaged over cfg.Runs seeds. Each ratio is read back from the run's
+// round ledger (see fig4Run).
 func Fig4(cfg Config) []Fig4Row {
 	cfg = cfg.withDefaults()
 	fprintf(cfg.Out, "Fig. 4. L_indp ratio per circuit and metric (threshold: ER 5%%, NMED/MRED 0.19531%%).\n")
@@ -33,17 +77,17 @@ func Fig4(cfg Config) []Fig4Row {
 	metrics := []errmetric.Kind{errmetric.ER, errmetric.NMED, errmetric.MRED}
 	var rows []Fig4Row
 	for _, name := range arithCircuits() {
-		g := mustCircuit(name)
 		vals := make([]float64, len(metrics))
 		for mi, metric := range metrics {
 			sum := 0.0
 			for run := 0; run < cfg.Runs; run++ {
-				res := core.Run(g, metric, fig4Thresholds[metric], core.Options{
-					NumPatterns: cfg.Patterns,
-					PatternSeed: cfg.Seed,
-					Params:      core.Params{Seed: cfg.Seed + int64(run)},
-				})
-				sum += res.IndpRatio()
+				t, err := fig4Run(name, metric, cfg, run)
+				if err != nil {
+					// A ledger failure here is a programming error (the
+					// sink is an in-memory buffer), mirroring mustCircuit.
+					panic(fmt.Errorf("experiments: fig4 %s/%v ledger: %w", name, metric, err))
+				}
+				sum += t.IndpRatio()
 			}
 			vals[mi] = sum / float64(cfg.Runs)
 			rows = append(rows, Fig4Row{Circuit: name, Metric: metric, IndpRatio: vals[mi]})
@@ -52,7 +96,7 @@ func Fig4(cfg Config) []Fig4Row {
 	}
 
 	// Per-metric averages (the paper reports all three above 0.7).
-	for mi, metric := range metrics {
+	for _, metric := range metrics {
 		sum, n := 0.0, 0
 		for _, r := range rows {
 			if r.Metric == metric {
@@ -63,7 +107,6 @@ func Fig4(cfg Config) []Fig4Row {
 		if n > 0 {
 			fprintf(cfg.Out, "avg %-6v %8.3f\n", metric, sum/float64(n))
 		}
-		_ = mi
 	}
 	return rows
 }

@@ -1,0 +1,169 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"accals/internal/obs"
+)
+
+// TestBundleResumeTruncates replays the checkpoint-resume contract: a
+// run records rounds past its last snapshot, crashes, and the resume
+// truncates the ledger back to the snapshot offset so re-executed
+// rounds are not recorded twice.
+func TestBundleResumeTruncates(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.Writer()
+	w.RunMeta(obs.RunMeta{Method: "accals", Circuit: "toy"})
+	w.Round(obs.RoundEvent{Round: 0, Error: 0.01})
+	snapOffset := b.LedgerSize() // a checkpoint taken after round 0
+	w.Round(obs.RoundEvent{Round: 1, Error: 0.02})
+	if b.LedgerSize() <= snapOffset {
+		t.Fatal("LedgerSize did not grow with the second round")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from the round-0 snapshot: round 1 is cut, then re-recorded.
+	b2, err := Resume(dir, snapOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.LedgerSize(); got != snapOffset {
+		t.Fatalf("LedgerSize after truncating resume = %d, want %d", got, snapOffset)
+	}
+	w2 := b2.Writer()
+	w2.RunMeta(obs.RunMeta{Method: "accals", Circuit: "toy", StartRound: 1, Resumed: true})
+	w2.Round(obs.RoundEvent{Round: 1, Error: 0.019})
+	w2.Finish(obs.RunFinish{StopReason: "bounded", Rounds: 2, Error: 0.019})
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := DecodeFile(filepath.Join(dir, LedgerFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Resumes != 1 {
+		t.Errorf("Resumes = %d, want 1", tr.Resumes)
+	}
+	if len(tr.Rounds) != 2 {
+		t.Fatalf("rounds after resume = %d, want 2 (crashed round 1 truncated)", len(tr.Rounds))
+	}
+	// The surviving round 1 is the resumed run's, not the crashed one's.
+	if tr.Rounds[1].Error != 0.019 {
+		t.Errorf("round 1 error = %v, want the resumed run's 0.019", tr.Rounds[1].Error)
+	}
+	if tr.Finish == nil || tr.Finish.Rounds != 2 {
+		t.Errorf("finish = %+v", tr.Finish)
+	}
+}
+
+// TestBundleResumeNoTruncate: truncateTo -1 appends without cutting.
+func TestBundleResumeNoTruncate(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Writer().RunMeta(obs.RunMeta{Method: "accals"})
+	size := b.LedgerSize()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Resume(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.LedgerSize(); got != size {
+		t.Fatalf("LedgerSize = %d, want %d (no truncation)", got, size)
+	}
+	b2.Writer().Finish(obs.RunFinish{StopReason: "cancelled"})
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := DecodeFile(filepath.Join(dir, LedgerFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+}
+
+// TestBundleSlowRoundProfiles: the first round over the threshold
+// captures a heap profile; faster rounds and a disarmed trigger do not.
+func TestBundleSlowRoundProfiles(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ObserveRound(0, time.Hour) // disarmed: threshold zero
+	if b.Profiled() {
+		t.Fatal("profiled while disarmed")
+	}
+	b.SetSlowRoundThreshold(10 * time.Millisecond)
+	b.ObserveRound(1, 5*time.Millisecond) // under threshold
+	if b.Profiled() {
+		t.Fatal("profiled under threshold")
+	}
+	b.ObserveRound(2, 20*time.Millisecond)
+	if !b.Profiled() {
+		t.Fatal("slow round did not trigger profiling")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	heap := filepath.Join(dir, ProfileDir, "heap.pprof")
+	if st, err := os.Stat(heap); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+// TestBundleManifestSummary round-trips manifest.json and summary.json.
+func TestBundleManifestSummary(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Manifest{Circuit: "toy", Method: "accals", Metric: "er", Bound: 0.05, Seed: 3}
+	m.FillEnvironment()
+	if err := b.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	sum := RunSummary{Circuit: "toy", Method: "accals", Rounds: 3, StopReason: "bounded"}
+	if err := b.WriteSummary(sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotM, err := ReadManifest(b.Path(ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotM.Circuit != "toy" || gotM.Schema != Schema || gotM.GoVersion == "" {
+		t.Errorf("manifest round-trip: %+v", gotM)
+	}
+	gotS, err := ReadSummary(b.Path(SummaryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotS.Rounds != 3 || gotS.StopReason != "bounded" {
+		t.Errorf("summary round-trip: %+v", gotS)
+	}
+}

@@ -106,6 +106,7 @@ type Status struct {
 type Recorder struct {
 	reg     *Registry
 	tracers []*Tracer // fixed after setup; read without locking
+	sinks   []Sink    // ledger sinks; fixed after setup (see events.go)
 
 	curRound atomic.Int64
 

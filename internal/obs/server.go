@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"net"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 //
 //	/metrics     Prometheus text exposition of the registry
 //	/status      JSON snapshot of the live run (Status)
+//	/healthz     liveness probe: 200 + JSON uptime/round
 //	/debug/vars  expvar (cmdline, memstats)
 func (r *Recorder) MetricsHandler() http.Handler {
 	mux := http.NewServeMux()
@@ -29,8 +31,27 @@ func (r *Recorder) MetricsHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Status())
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s := r.Status()
+		h := health{Status: "ok", Round: s.Round, Running: s.Running}
+		if !s.StartedAt.IsZero() {
+			h.UptimeSeconds = time.Since(s.StartedAt).Seconds()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(h)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
+}
+
+// health is the /healthz response body: enough for standard probe
+// tooling to confirm the server is alive and the run is moving.
+type health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Round         int     `json:"round"`
+	Running       bool    `json:"running"`
 }
 
 // PprofHandler returns a mux serving the net/http/pprof profile
@@ -48,19 +69,29 @@ func PprofHandler() http.Handler {
 
 // Server is a live HTTP introspection server.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error // set before done closes; read only after <-done
 }
 
 // Serve listens on addr (":0" picks a free port) and serves h in a
-// background goroutine until Close.
+// background goroutine until Close. A failure to serve after a
+// successful bind (the listener yanked away, an accept error) is
+// retained and visible through Err.
 func Serve(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: h}}
-	go func() { _ = s.srv.Serve(ln) }()
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}, done: make(chan struct{})}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+		}
+		close(s.done)
+	}()
 	return s, nil
 }
 
@@ -72,12 +103,35 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the server down, waiting briefly for in-flight requests.
+// Err returns the background serve error, if any. It is nil while the
+// server is still serving and after a clean Close (http.ErrServerClosed
+// is the normal shutdown signal, not an error). Inspect it after Close
+// to distinguish a clean shutdown from a server that died early.
+func (s *Server) Err() error {
+	if s == nil {
+		return nil
+	}
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests,
+// and reports the first failure: the shutdown's own error, or the
+// background serve error retained by Err.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	return s.srv.Shutdown(ctx)
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	if err != nil {
+		return err
+	}
+	return s.err
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -70,6 +71,71 @@ func TestServerEndpoints(t *testing.T) {
 	code, vars := get(t, base+"/debug/vars")
 	if code != http.StatusOK || !strings.Contains(vars, "memstats") {
 		t.Fatalf("/debug/vars status %d:\n%.120s", code, vars)
+	}
+
+	code, healthz := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var h struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Round         int     `json:"round"`
+		Running       bool    `json:"running"`
+	}
+	if err := json.Unmarshal([]byte(healthz), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, healthz)
+	}
+	if h.Status != "ok" || h.Round != 4 || !h.Running || h.UptimeSeconds < 0 {
+		t.Fatalf("/healthz = %+v", h)
+	}
+}
+
+func TestServeBindConflict(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", http.NotFoundHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := Serve(srv.Addr(), http.NotFoundHandler()); err == nil {
+		t.Fatalf("Serve on taken address %s: want bind error, got nil", srv.Addr())
+	}
+}
+
+func TestServerErr(t *testing.T) {
+	// A clean Close is not an error: http.ErrServerClosed is the normal
+	// shutdown signal and must not surface through Err or Close.
+	srv, err := Serve("127.0.0.1:0", http.NotFoundHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("Err while serving = %v, want nil", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("clean Close = %v, want nil", err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("Err after clean Close = %v, want nil", err)
+	}
+
+	// A server whose listener dies underneath it is a real failure:
+	// Serve returns a non-ErrServerClosed error that Err must retain
+	// (previously it was dropped on the floor).
+	srv, err = Serve("127.0.0.1:0", http.NotFoundHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ln.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Err never surfaced the background serve failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Err(); err == nil || strings.Contains(err.Error(), "Server closed") {
+		t.Fatalf("Err = %v, want the underlying accept failure", err)
 	}
 }
 

@@ -12,6 +12,7 @@ package seals
 import (
 	"context"
 	"sort"
+	"strings"
 	"time"
 
 	"accals/internal/aig"
@@ -19,6 +20,7 @@ import (
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
+	"accals/internal/mapping"
 	"accals/internal/obs"
 	"accals/internal/runctl"
 	"accals/internal/simulate"
@@ -85,6 +87,29 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	result := &core.Result{}
 	noProgress := 0
 	reason := runctl.Bounded
+
+	// Round ledger (see internal/ledger): the single-selection flow
+	// emits the subset of the event vocabulary it has — one applied LAC
+	// per round, no conflict graph or duel columns. Guarded by led so an
+	// unledgered run never invokes the technology mapper.
+	led := rec.Ledgering()
+	if led {
+		area, _ := mapping.AreaDelay(g)
+		rec.EmitMeta(obs.RunMeta{
+			Method:       "seals",
+			Circuit:      orig.Name,
+			Metric:       strings.ToLower(cmp.Kind().String()),
+			Bound:        errBound,
+			Seed:         params.Seed,
+			Patterns:     patCount,
+			Workers:      runner.Workers(),
+			InitialAnds:  g.NumAnds(),
+			InitialArea:  area,
+			InitialDepth: g.Depth(),
+			StartRound:   round0,
+			Resumed:      opt.Start != nil && opt.Start.Graph != nil,
+		})
+	}
 
 	for round := round0; ; round++ {
 		if e > errBound {
@@ -167,6 +192,25 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		rec.CountApplied(1)
 		roundSpan.End()
 		rec.EndRound(round, e, gNew.NumAnds(), noProgress, 1)
+		if led {
+			ev := obs.RoundEvent{
+				Round:      round,
+				Candidates: rs.Candidates,
+				BudgetLeft: errBound - eG,
+				EstErr:     rs.EstimatedErr,
+				Error:      e,
+				NumAnds:    gNew.NumAnds(),
+				Depth:      gNew.Depth(),
+				NoProgress: noProgress,
+				DurationUS: rs.RoundDuration.Microseconds(),
+				Applied: []obs.AppliedLAC{{
+					Target: best.Target, Gain: best.Gain,
+					DeltaE: best.DeltaE, MeasuredErr: e,
+				}},
+			}
+			ev.Area, _ = mapping.AreaDelay(gNew)
+			rec.EmitRound(ev)
+		}
 		if opt.Progress != nil {
 			snap := rs
 			snap.Graph = gNew.Clone()
@@ -178,6 +222,19 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	result.Error = eG
 	result.StopReason = reason
 	result.Runtime = time.Since(start)
+	if led {
+		area, _ := mapping.AreaDelay(g)
+		rec.EmitFinish(obs.RunFinish{
+			StopReason:  reason.String(),
+			Rounds:      round0 + len(result.Rounds),
+			Error:       eG,
+			NumAnds:     g.NumAnds(),
+			Area:        area,
+			Depth:       g.Depth(),
+			LACsApplied: result.LACsApplied,
+			RuntimeUS:   result.Runtime.Microseconds(),
+		})
+	}
 	rec.Finish(reason.String())
 	return result
 }

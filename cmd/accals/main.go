@@ -200,9 +200,15 @@ func main() {
 	}
 
 	// SIGINT/SIGTERM cancels the run after the current round; the
-	// best-so-far circuit is still reported and written below.
+	// best-so-far circuit is still reported and written below, and with
+	// -checkpoint the last accepted round is snapshotted even between
+	// cadence points, so a signalled run resumes without losing work.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// After the first signal the handler is deregistered, restoring the
+	// default disposition: a second signal terminates immediately
+	// instead of waiting for the drain.
+	context.AfterFunc(ctx, stop)
 
 	if err := run(ctx, cfg, os.Stdout); err != nil {
 		fatal(err)
@@ -337,6 +343,15 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		fmt.Fprintf(w, "bundle:    %s\n", bundle.Dir())
 	}
 
+	// lastAccepted holds a ready-to-write snapshot of the newest
+	// accepted round; lastSaved is the newest round already on disk.
+	// Together they let an interrupted run persist its final accepted
+	// round even when the cadence would have skipped it.
+	var lastAccepted *checkpoint.Snapshot
+	lastSaved := -1
+	if ropt.Start != nil {
+		lastSaved = ropt.Start.Round - 1
+	}
 	lastProgress := time.Now()
 	progress := func(rs core.RoundStats) {
 		if bundle != nil {
@@ -360,8 +375,10 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		// trajectory — snapshotting it would make a resume adopt a
 		// circuit that violates the bound. Only accepted rounds are
 		// checkpointed, so the latest snapshot always restarts the run
-		// on the exact trajectory it was interrupted on.
-		if ckpt != nil && rs.Graph != nil && rs.Error <= cfg.bound && ckpt.Due(rs.Round) {
+		// on the exact trajectory it was interrupted on. The snapshot is
+		// built for every accepted round (not just cadence rounds) so an
+		// interrupt can persist the last accepted round off-cadence.
+		if ckpt != nil && rs.Graph != nil && rs.Error <= cfg.bound {
 			s := &checkpoint.Snapshot{
 				Round:   rs.Round,
 				Error:   rs.Error,
@@ -377,12 +394,19 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			if bundle != nil {
 				s.LedgerBytes = bundle.LedgerSize()
 			}
-			if err := s.SetGraph(rs.Graph); err == nil {
-				err = ckpt.Save(s)
-			}
-			if err != nil {
+			if err := s.SetGraph(rs.Graph); err != nil {
 				fmt.Fprintf(os.Stderr, "accals: checkpoint round %d: %v\n", rs.Round, err)
+				return
 			}
+			lastAccepted = s
+			if !ckpt.Due(rs.Round) {
+				return
+			}
+			if err := ckpt.Save(s); err != nil {
+				fmt.Fprintf(os.Stderr, "accals: checkpoint round %d: %v\n", rs.Round, err)
+				return
+			}
+			lastSaved = rs.Round
 		}
 	}
 	ropt.Progress = progress
@@ -393,6 +417,18 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		res = core.RunCtx(ctx, g, metric, cfg.bound, ropt)
 	case "seals":
 		res = seals.RunCtx(ctx, g, metric, cfg.bound, ropt)
+	}
+
+	// Checkpoint-on-signal: an interrupted run (SIGINT/SIGTERM or
+	// -max-runtime) force-saves its last accepted round even between
+	// cadence points, so resuming loses no completed work.
+	if ckpt != nil && res.StopReason.Interrupted() &&
+		lastAccepted != nil && lastAccepted.Round > lastSaved {
+		if err := ckpt.Save(lastAccepted); err != nil {
+			fmt.Fprintf(os.Stderr, "accals: final checkpoint round %d: %v\n", lastAccepted.Round, err)
+		} else {
+			fmt.Fprintf(w, "checkpoint: final snapshot at round %d (interrupted off-cadence)\n", lastAccepted.Round)
+		}
 	}
 
 	oa, od := mapping.AreaDelay(g)

@@ -530,3 +530,97 @@ func TestResumeRestoresMetricCounters(t *testing.T) {
 		t.Fatalf("resumed summary counts %d rounds, snapshot already had %v", sum.Obs.Rounds, saved)
 	}
 }
+
+// interruptWriter forwards to buf and cancels the run's context once
+// it has seen n per-round progress lines — a deterministic stand-in
+// for SIGTERM arriving mid-run.
+type interruptWriter struct {
+	buf    bytes.Buffer
+	cancel context.CancelFunc
+	rounds int
+	after  int
+}
+
+func (w *interruptWriter) Write(p []byte) (int, error) {
+	n, err := w.buf.Write(p)
+	w.rounds += bytes.Count(p, []byte("round "))
+	if w.rounds >= w.after {
+		w.cancel()
+	}
+	return n, err
+}
+
+func TestRunInterruptSavesFinalSnapshotOffCadence(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	out := filepath.Join(dir, "interrupted.blif")
+
+	// Cadence 1000 never fires on its own: any snapshot present after
+	// the interrupt is the forced checkpoint-on-signal one.
+	cfg := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7", "-v",
+		"-checkpoint", ckpt, "-checkpoint-every", "1000",
+		"-out", out)
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &interruptWriter{cancel: cancel, after: 2}
+	if err := run(ctx, cfg, w); err != nil {
+		t.Fatalf("interrupted run: %v\n%s", err, w.buf.String())
+	}
+	if !strings.Contains(w.buf.String(), "stopped:   cancelled") {
+		t.Fatalf("run was not interrupted:\n%s", w.buf.String())
+	}
+	if !strings.Contains(w.buf.String(), "final snapshot at round") {
+		t.Fatalf("no forced final snapshot reported:\n%s", w.buf.String())
+	}
+	snap, err := checkpoint.Latest(ckpt)
+	if err != nil {
+		t.Fatalf("interrupt left no snapshot: %v", err)
+	}
+	if snap.Round < 1 || snap.Error > 0.05 {
+		t.Fatalf("forced snapshot unusable: round %d error %g", snap.Round, snap.Error)
+	}
+
+	// The forced snapshot resumes onto the original trajectory: the
+	// resumed run's final circuit is byte-identical to an
+	// uninterrupted run of the same configuration.
+	resumed := filepath.Join(dir, "resumed.blif")
+	cfg2 := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7",
+		"-checkpoint", ckpt, "-checkpoint-every", "1000", "-resume",
+		"-out", resumed)
+	if err := cfg2.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := run(context.Background(), cfg2, &buf2); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, buf2.String())
+	}
+	clean := filepath.Join(dir, "clean.blif")
+	cfg3 := mustParse(t,
+		"-circuit", "mtp8", "-metric", "er", "-bound", "0.05",
+		"-patterns", "512", "-seed", "7",
+		"-out", clean)
+	if err := cfg3.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), cfg3, &bytes.Buffer{}); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	br, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(br, bc) {
+		t.Fatal("resume from the forced snapshot diverged from the uninterrupted run")
+	}
+}

@@ -1,0 +1,171 @@
+// Command accalsd is the crash-safe synthesis daemon: an HTTP/JSON
+// service that accepts concurrent approximate-synthesis jobs, streams
+// their per-round progress, and survives restarts without losing or
+// corrupting work.
+//
+//	accalsd -addr :8642 -dir /var/lib/accalsd
+//
+// Jobs are submitted as JSON specs and run through the same AccALS /
+// SEALS flows as the accals CLI:
+//
+//	curl -s :8642/v1/jobs -d '{"circuit":"mtp8","metric":"er","bound":0.05,"seed":7}'
+//	curl -s :8642/v1/jobs/j-000000
+//	curl -N :8642/v1/jobs/j-000000/events
+//	curl -s :8642/v1/jobs/j-000000/result | jq -r .blif
+//
+// Every accepted job is journaled (fsync'd) before the submission is
+// acknowledged, progress is checkpointed, and on restart the daemon
+// re-runs interrupted jobs from their latest snapshot onto the exact
+// trajectory they were on — synthesis is deterministic, so the
+// recovered result is byte-identical to an uninterrupted run.
+//
+// SIGINT/SIGTERM drains gracefully: running jobs stop after their
+// current round and snapshot, queued jobs stay journaled, and the next
+// start resumes both. A second signal terminates immediately; the
+// journal tolerates the resulting torn tail.
+//
+// The -faults flag arms the deterministic fault-injection harness
+// (see internal/faultinject) for chaos testing a live daemon:
+//
+//	accalsd -dir /tmp/d -faults 'ckpt.write:error:0.1,round.hang:delay:0.05:2s' -fault-seed 1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accals/internal/faultinject"
+	"accals/internal/serve"
+)
+
+type config struct {
+	addr            string
+	dir             string
+	maxRunning      int
+	maxQueue        int
+	tenantQuota     int
+	checkpointEvery int
+	watchdog        time.Duration
+	maxRuntime      time.Duration
+	workers         int
+	drainTimeout    time.Duration
+	faults          string
+	faultSeed       int64
+	verbose         bool
+}
+
+func parseFlags(args []string) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("accalsd", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8642", "HTTP listen address")
+	fs.StringVar(&cfg.dir, "dir", "", "state directory (journal, checkpoints, results); required")
+	fs.IntVar(&cfg.maxRunning, "max-running", 0, "concurrent synthesis jobs (0 = serve default)")
+	fs.IntVar(&cfg.maxQueue, "max-queue", 0, "queued-job admission limit (0 = serve default)")
+	fs.IntVar(&cfg.tenantQuota, "tenant-quota", 0, "active jobs allowed per tenant (0 = unlimited)")
+	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 10, "per-job snapshot cadence in rounds")
+	fs.DurationVar(&cfg.watchdog, "watchdog", 2*time.Minute, "fail a running job that completes no round for this long (0 disables)")
+	fs.DurationVar(&cfg.maxRuntime, "max-runtime", 0, "default per-job wall-clock budget (a spec's max_runtime overrides; 0 = unbounded)")
+	fs.IntVar(&cfg.workers, "workers", 1, "default evaluation workers per job (results are identical at any setting)")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", time.Minute, "graceful-shutdown budget before the process exits anyway")
+	fs.StringVar(&cfg.faults, "faults", "", "arm fault-injection points, e.g. 'ckpt.write:error:0.1,round.hang:delay:0.02:2s' (testing only)")
+	fs.Int64Var(&cfg.faultSeed, "fault-seed", 1, "fault-injection RNG seed (with -faults)")
+	fs.BoolVar(&cfg.verbose, "v", false, "log per-job lifecycle events")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.dir == "" {
+		return nil, errors.New("no state directory: use -dir <path>")
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// A second signal restores the default disposition and kills the
+	// process mid-drain; the journal and checkpoints are built for it.
+	context.AfterFunc(ctx, stop)
+	if err := runDaemon(ctx, cfg, log.New(os.Stderr, "accalsd: ", log.LstdFlags)); err != nil {
+		fmt.Fprintln(os.Stderr, "accalsd:", err)
+		os.Exit(1)
+	}
+}
+
+// runDaemon opens (recovering) the manager, serves the API until ctx
+// is cancelled, then drains: HTTP first (no new submissions race the
+// shutdown), manager second (running jobs snapshot and queued jobs
+// stay journaled for the next start).
+func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
+	var inj *faultinject.Injector
+	if cfg.faults != "" {
+		var err error
+		inj, err = faultinject.Parse(cfg.faultSeed, cfg.faults)
+		if err != nil {
+			return err
+		}
+		lg.Printf("fault injection armed (seed %d): %s", cfg.faultSeed, cfg.faults)
+	}
+	mcfg := serve.Config{
+		Dir:               cfg.dir,
+		MaxRunning:        cfg.maxRunning,
+		MaxQueue:          cfg.maxQueue,
+		TenantQuota:       cfg.tenantQuota,
+		CheckpointEvery:   cfg.checkpointEvery,
+		Watchdog:          cfg.watchdog,
+		DefaultMaxRuntime: cfg.maxRuntime,
+		DefaultWorkers:    cfg.workers,
+		Inj:               inj,
+	}
+	if cfg.verbose {
+		mcfg.Logf = lg.Printf
+	}
+	m, err := serve.Open(mcfg)
+	if err != nil {
+		return err
+	}
+	st := m.Stats()
+	lg.Printf("recovered %d jobs (%d queued) from %s", st.Total, st.Queued, cfg.dir)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		_ = m.Close(context.Background())
+		return err
+	}
+	srv := &http.Server{Handler: serve.Handler(m)}
+	lg.Printf("serving on http://%s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		_ = m.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	lg.Printf("signal received; draining (budget %v)", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		lg.Printf("http shutdown: %v", err)
+	}
+	if err := m.Close(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	st = m.Stats()
+	lg.Printf("drained; %d jobs snapshotted for the next start", st.Queued+st.Running)
+	return nil
+}

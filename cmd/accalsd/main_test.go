@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logBuf is a concurrency-safe log sink the test scans for the
+// daemon's "serving on" line to learn the bound port.
+type logBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`serving on http://(\S+)`)
+
+// startDaemon runs runDaemon on an ephemeral port and returns its
+// base URL, a cancel that triggers the graceful drain, and a channel
+// with the daemon's exit error.
+func startDaemon(t *testing.T, dir string, extra *config) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	cfg := &config{
+		addr:            "127.0.0.1:0",
+		dir:             dir,
+		checkpointEvery: 1,
+		watchdog:        10 * time.Second,
+		workers:         1,
+		drainTimeout:    30 * time.Second,
+	}
+	if extra != nil {
+		if extra.maxRunning != 0 {
+			cfg.maxRunning = extra.maxRunning
+		}
+		if extra.faults != "" {
+			cfg.faults = extra.faults
+			cfg.faultSeed = extra.faultSeed
+		}
+	}
+	lb := &logBuf{}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runDaemon(ctx, cfg, log.New(lb, "", 0))
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(lb.String()); m != nil {
+			return "http://" + m[1], cancel, errc
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited during startup: %v\n%s", err, lb.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never bound a port\n%s", lb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func submit(t *testing.T, base, spec string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || j.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, j.ID)
+	}
+	return j.ID
+}
+
+func jobState(t *testing.T, base, id string) (state, stopReason string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j struct {
+		State      string `json:"state"`
+		StopReason string `json:"stop_reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j.State, j.StopReason
+}
+
+func waitDone(t *testing.T, base, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		state, _ := jobState(t, base, id)
+		switch state {
+		case "done":
+			return
+		case "failed", "cancelled":
+			t.Fatalf("job %s ended %s", id, state)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", id, state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDaemonLifecycleAndRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	base, cancel, errc := startDaemon(t, dir, nil)
+
+	// A job runs to completion and its result is served.
+	id := submit(t, base, `{"circuit":"rca32","metric":"er","bound":0.05,"patterns":256,"seed":7,"max_rounds":3}`)
+	waitDone(t, base, id, 60*time.Second)
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		BLIF    string  `json:"blif"`
+		Error   float64 `json:"error"`
+		NumAnds int     `json:"num_ands"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.BLIF == "" || res.NumAnds <= 0 {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+	firstBLIF := res.BLIF
+
+	// Queue more work than the drain will finish, then shut down
+	// gracefully: the daemon must exit cleanly with jobs outstanding.
+	var pending []string
+	for i := 0; i < 6; i++ {
+		pending = append(pending,
+			submit(t, base, fmt.Sprintf(`{"circuit":"cla32","metric":"er","bound":0.05,"patterns":256,"seed":%d,"max_rounds":4}`, 100+i)))
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon drain: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never exited after signal")
+	}
+
+	// Restart over the same directory: the finished job's result is
+	// still served and the outstanding jobs run to completion.
+	base2, cancel2, errc2 := startDaemon(t, dir, nil)
+	resp, err = http.Get(base2 + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res2 struct {
+		BLIF string `json:"blif"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res2.BLIF != firstBLIF {
+		t.Fatal("restart changed a finished job's result")
+	}
+	for _, pid := range pending {
+		waitDone(t, base2, pid, 120*time.Second)
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func TestDaemonFaultFlag(t *testing.T) {
+	// An armed fault spec must parse and the daemon still serves; a
+	// bad spec must be rejected before the daemon starts.
+	dir := t.TempDir()
+	base, cancel, errc := startDaemon(t, dir, &config{faults: "ckpt.write:error:0.01", faultSeed: 3})
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	err = runDaemon(context.Background(), &config{
+		addr: "127.0.0.1:0", dir: t.TempDir(),
+		faults: "nonsense", drainTimeout: time.Second,
+	}, log.New(&logBuf{}, "", 0))
+	if err == nil {
+		t.Fatal("bad -faults spec accepted")
+	}
+}
+
+func TestParseFlagsRequiresDir(t *testing.T) {
+	if _, err := parseFlags(nil); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+	cfg, err := parseFlags([]string{"-dir", "/tmp/x", "-addr", ":0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.dir != "/tmp/x" || cfg.addr != ":0" {
+		t.Fatalf("flags misparsed: %+v", cfg)
+	}
+}

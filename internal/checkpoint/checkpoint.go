@@ -16,6 +16,7 @@ package checkpoint
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,6 +27,13 @@ import (
 	"accals/internal/aig"
 	"accals/internal/blif"
 )
+
+// ErrCorruptSnapshot reports a snapshot file that exists but cannot be
+// used: truncated JSON (a torn write that escaped the atomic-rename
+// protocol, e.g. through a failing disk), or an embedded BLIF that no
+// longer parses. Match with errors.Is; the wrapped message carries the
+// decode detail.
+var ErrCorruptSnapshot = errors.New("checkpoint: corrupt snapshot")
 
 // Snapshot is one recoverable point of a synthesis run. Round is the
 // global round counter (rounds completed before this snapshot was
@@ -139,10 +147,33 @@ func (w *Writer) Save(s *Snapshot) error {
 	return nil
 }
 
-// Latest scans dir for the highest-round snapshot that decodes and
-// whose embedded BLIF parses. Corrupt or torn files are skipped, not
-// fatal. It returns os.ErrNotExist (wrapped) when the directory holds
-// no usable snapshot.
+// Load reads and validates one snapshot file. A file that cannot be
+// read reports the underlying I/O error; a file that reads but does
+// not decode — truncated JSON, or an embedded BLIF that fails to
+// parse — reports an error wrapping ErrCorruptSnapshot, so callers
+// can distinguish "disk problem" from "torn or damaged snapshot".
+func Load(path string) (*Snapshot, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptSnapshot, filepath.Base(path), err)
+	}
+	if _, err := s.Graph(); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptSnapshot, filepath.Base(path), err)
+	}
+	return &s, nil
+}
+
+// Latest scans dir for the highest-round snapshot that loads (see
+// Load). Corrupt or torn files are skipped, not fatal, so a damaged
+// newest snapshot falls back to the previous one. It returns
+// os.ErrNotExist (wrapped) when the directory holds no snapshot files
+// at all, and ErrCorruptSnapshot (wrapped) when files exist but every
+// one of them is corrupt — the caller then knows state was written
+// and lost, rather than never written.
 func Latest(dir string) (*Snapshot, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -158,19 +189,17 @@ func Latest(dir string) (*Snapshot, error) {
 	// Zero-padded round numbers make lexical order round order; walk
 	// from the newest back to the first snapshot that validates.
 	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	var lastErr error
 	for _, n := range names {
-		body, err := os.ReadFile(filepath.Join(dir, n))
+		s, err := Load(filepath.Join(dir, n))
 		if err != nil {
+			lastErr = err
 			continue
 		}
-		var s Snapshot
-		if err := json.Unmarshal(body, &s); err != nil {
-			continue
-		}
-		if _, err := s.Graph(); err != nil {
-			continue
-		}
-		return &s, nil
+		return s, nil
+	}
+	if lastErr != nil && errors.Is(lastErr, ErrCorruptSnapshot) {
+		return nil, fmt.Errorf("no usable snapshot in %s: %w", dir, lastErr)
 	}
 	return nil, fmt.Errorf("checkpoint: no usable snapshot in %s: %w", dir, os.ErrNotExist)
 }

@@ -122,6 +122,72 @@ func TestLatestSkipsCorruptSnapshots(t *testing.T) {
 	}
 }
 
+func TestLoadCorruptSnapshotTyped(t *testing.T) {
+	g, err := circuits.ByName("rca32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Snapshot{Round: 3, Metric: "er", Bound: 0.1, Method: "accals"}
+	if err := s.SetGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ckpt-00000003.json")
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("intact snapshot must load: %v", err)
+	}
+
+	// A byte-chopped snapshot (torn write) must surface the typed
+	// ErrCorruptSnapshot, not a raw json decode error.
+	for _, keep := range []int{0, 1, len(body) / 2, len(body) - 1} {
+		if err := os.WriteFile(path, body[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(path)
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("Load of %d/%d-byte snapshot: want ErrCorruptSnapshot, got %v", keep, len(body), err)
+		}
+	}
+
+	// Valid JSON whose embedded BLIF is damaged is corrupt too.
+	if err := os.WriteFile(path, []byte(`{"round": 3, "blif": ".latch a b\n"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("broken embedded BLIF: want ErrCorruptSnapshot, got %v", err)
+	}
+
+	// A missing file is an I/O error, not corruption.
+	if _, err := Load(filepath.Join(dir, "nope.json")); errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatal("missing file misreported as corrupt")
+	}
+}
+
+func TestLatestAllCorruptReportsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-00000001.json"), []byte(`{"round`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Latest(dir)
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("directory of only corrupt snapshots: want ErrCorruptSnapshot, got %v", err)
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt-only directory must not report os.ErrNotExist")
+	}
+}
+
 func TestLatestEmptyDir(t *testing.T) {
 	_, err := Latest(t.TempDir())
 	if !errors.Is(err, os.ErrNotExist) {

@@ -1,0 +1,312 @@
+// Package faultinject provides deterministic, seed-driven fault
+// points for robustness testing. A test (or a chaos harness) arms an
+// Injector with per-point rules — return an error, truncate a byte
+// payload, sleep until cancelled, or panic — each firing with a
+// configured probability from a seeded per-point random stream, and
+// production code consults the injector at named points:
+//
+//	inj := faultinject.New(1)
+//	inj.Set("journal.write", faultinject.Rule{Prob: 0.1, Err: someErr})
+//	...
+//	if err := inj.Fail("journal.write"); err != nil { return err }
+//
+// A nil *Injector is a valid always-off injector, so production call
+// sites cost one nil check and need no build tags. Each point draws
+// from its own RNG derived from (seed, point name), so the decision
+// sequence at a point is independent of how other points interleave;
+// the Fired counters make a chaos run's fault census assertable.
+//
+// The package deliberately depends only on the standard library.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by an error-mode rule
+// with no explicit Err; injected failures wrap it, so call sites and
+// tests can match with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule arms one fault point. Prob is the chance in [0,1] that a given
+// check fires; Count, when positive, caps the total number of fires
+// (after which the point goes quiet). Exactly one effect applies per
+// mode: Err for Fail, TruncateFrac for Data, Delay for Sleep, and
+// Panic for Crash — a rule may set several, letting one point back
+// checks of different shapes.
+type Rule struct {
+	// Prob is the per-check fire probability; values outside [0,1]
+	// are clamped. Prob 1 fires on every check.
+	Prob float64
+	// Count, when positive, limits how many times the point fires.
+	Count int
+	// Err is returned by Fail when the point fires; nil means
+	// ErrInjected.
+	Err error
+	// TruncateFrac is the fraction of a payload Data keeps when the
+	// point fires (0 keeps nothing, 0.5 chops the second half).
+	TruncateFrac float64
+	// Delay is how long Sleep blocks when the point fires.
+	Delay time.Duration
+	// Panic makes Crash panic when the point fires.
+	Panic bool
+}
+
+// point is one armed fault point's mutable state.
+type point struct {
+	rule  Rule
+	rng   *rand.Rand
+	fired int
+}
+
+// Injector is a set of armed fault points. The zero value and nil are
+// both valid and never fire. All methods are safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	seed   int64
+	points map[string]*point
+}
+
+// New returns an injector whose per-point random streams derive from
+// seed, so the same seed and per-point check sequence reproduce the
+// same faults.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, points: make(map[string]*point)}
+}
+
+// Set arms (or re-arms) the named point with r, resetting its fire
+// count and random stream.
+func (in *Injector) Set(name string, r Rule) {
+	if in == nil {
+		return
+	}
+	if r.Prob < 0 {
+		r.Prob = 0
+	} else if r.Prob > 1 {
+		r.Prob = 1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.points == nil {
+		in.points = make(map[string]*point)
+	}
+	in.points[name] = &point{
+		rule: r,
+		rng:  rand.New(rand.NewSource(in.seed ^ int64(h.Sum64()))),
+	}
+}
+
+// fire reports whether the named point fires now, consuming one draw
+// from its stream, and returns the rule.
+func (in *Injector) fire(name string) (Rule, bool) {
+	if in == nil {
+		return Rule{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p := in.points[name]
+	if p == nil {
+		return Rule{}, false
+	}
+	if p.rule.Count > 0 && p.fired >= p.rule.Count {
+		return Rule{}, false
+	}
+	if p.rule.Prob < 1 && p.rng.Float64() >= p.rule.Prob {
+		return Rule{}, false
+	}
+	p.fired++
+	return p.rule, true
+}
+
+// Fail returns the point's injected error when it fires, nil
+// otherwise. The returned error wraps ErrInjected unless the rule
+// carries its own Err.
+func (in *Injector) Fail(name string) error {
+	r, ok := in.fire(name)
+	if !ok {
+		return nil
+	}
+	if r.Err != nil {
+		return r.Err
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, name)
+}
+
+// Data passes a byte payload through the point: when it fires, the
+// payload is truncated to TruncateFrac of its length (simulating a
+// torn write); otherwise it is returned unchanged. The truncated
+// slice aliases b.
+func (in *Injector) Data(name string, b []byte) []byte {
+	r, ok := in.fire(name)
+	if !ok {
+		return b
+	}
+	n := int(float64(len(b)) * r.TruncateFrac)
+	if n < 0 {
+		n = 0
+	}
+	if n > len(b) {
+		n = len(b)
+	}
+	return b[:n]
+}
+
+// Sleep blocks for the rule's Delay when the point fires, returning
+// early if ctx is cancelled first. It reports whether the point fired
+// (so a hung-round simulation can tell a watchdog trip apart from a
+// quiet pass).
+func (in *Injector) Sleep(ctx context.Context, name string) bool {
+	r, ok := in.fire(name)
+	if !ok || r.Delay <= 0 {
+		return ok
+	}
+	t := time.NewTimer(r.Delay)
+	defer t.Stop()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	return true
+}
+
+// Crash panics with an ErrInjected-wrapping error when the point
+// fires and its rule has Panic set.
+func (in *Injector) Crash(name string) {
+	r, ok := in.fire(name)
+	if ok && r.Panic {
+		panic(fmt.Errorf("%w: panic at %s", ErrInjected, name))
+	}
+}
+
+// Fired returns how many times the named point has fired.
+func (in *Injector) Fired(name string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if p := in.points[name]; p != nil {
+		return p.fired
+	}
+	return 0
+}
+
+// Census returns the fire count of every armed point, for end-of-run
+// reporting in chaos harnesses.
+func (in *Injector) Census() map[string]int {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := make(map[string]int, len(in.points))
+	for n, p := range in.points {
+		c[n] = p.fired
+	}
+	return c
+}
+
+// String summarises the armed points and their fire counts in name
+// order (stable for logs).
+func (in *Injector) String() string {
+	c := in.Census()
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%d", n, c[n])
+	}
+	return sb.String()
+}
+
+// Parse builds an injector from a comma-separated spec, one clause
+// per point:
+//
+//	point:mode:prob[:arg]
+//
+// Modes: "error" (Fail returns ErrInjected), "truncate" (Data keeps
+// arg fraction, default 0.5), "delay" (Sleep blocks for arg duration,
+// default 1s), "panic" (Crash fires). An optional "@N" suffix on prob
+// caps the fire count. Example:
+//
+//	journal.write:error:0.05,ckpt.write:truncate:0.1:0.5,round:delay:0.02:2s
+func Parse(seed int64, spec string) (*Injector, error) {
+	in := New(seed)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return in, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(clause), ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("faultinject: clause %q: want point:mode:prob[:arg]", clause)
+		}
+		name, mode, probSpec := parts[0], parts[1], parts[2]
+		var r Rule
+		if at := strings.IndexByte(probSpec, '@'); at >= 0 {
+			n, err := strconv.Atoi(probSpec[at+1:])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: clause %q: bad fire cap %q", clause, probSpec[at+1:])
+			}
+			r.Count = n
+			probSpec = probSpec[:at]
+		}
+		prob, err := strconv.ParseFloat(probSpec, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("faultinject: clause %q: bad probability %q", clause, probSpec)
+		}
+		r.Prob = prob
+		arg := ""
+		if len(parts) > 3 {
+			arg = parts[3]
+		}
+		switch mode {
+		case "error":
+			// Err stays nil: Fail reports ErrInjected.
+		case "truncate":
+			r.TruncateFrac = 0.5
+			if arg != "" {
+				f, err := strconv.ParseFloat(arg, 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("faultinject: clause %q: bad truncate fraction %q", clause, arg)
+				}
+				r.TruncateFrac = f
+			}
+		case "delay":
+			r.Delay = time.Second
+			if arg != "" {
+				d, err := time.ParseDuration(arg)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("faultinject: clause %q: bad delay %q", clause, arg)
+				}
+				r.Delay = d
+			}
+		case "panic":
+			r.Panic = true
+		default:
+			return nil, fmt.Errorf("faultinject: clause %q: unknown mode %q (want error, truncate, delay or panic)", clause, mode)
+		}
+		in.Set(name, r)
+	}
+	return in, nil
+}

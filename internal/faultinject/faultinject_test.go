@@ -1,0 +1,225 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if err := in.Fail("x"); err != nil {
+		t.Fatalf("nil injector Fail: %v", err)
+	}
+	if got := in.Data("x", []byte("abc")); string(got) != "abc" {
+		t.Fatalf("nil injector Data: %q", got)
+	}
+	if in.Sleep(context.Background(), "x") {
+		t.Fatal("nil injector Sleep fired")
+	}
+	in.Crash("x") // must not panic
+	if in.Fired("x") != 0 {
+		t.Fatal("nil injector Fired != 0")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(7)
+	for i := 0; i < 100; i++ {
+		if err := in.Fail("unarmed"); err != nil {
+			t.Fatalf("unarmed point fired: %v", err)
+		}
+	}
+}
+
+func TestFailDeterministicAcrossInjectors(t *testing.T) {
+	seq := func() []bool {
+		in := New(42)
+		in.Set("p", Rule{Prob: 0.3})
+		var s []bool
+		for i := 0; i < 200; i++ {
+			s = append(s, in.Fail("p") != nil)
+		}
+		return s
+	}
+	a, b := seq(), seq()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between same-seed injectors", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.3 fired %d/%d times", fired, len(a))
+	}
+	if got := New(42); func() bool {
+		got.Set("p", Rule{Prob: 0.3})
+		return (got.Fail("p") != nil) != a[0]
+	}() {
+		t.Fatal("fresh injector deviates on first draw")
+	}
+}
+
+func TestPointStreamsAreIndependent(t *testing.T) {
+	// Interleaving checks of point b must not change point a's
+	// decision sequence.
+	solo := New(9)
+	solo.Set("a", Rule{Prob: 0.5})
+	var want []bool
+	for i := 0; i < 50; i++ {
+		want = append(want, solo.Fail("a") != nil)
+	}
+
+	mixed := New(9)
+	mixed.Set("a", Rule{Prob: 0.5})
+	mixed.Set("b", Rule{Prob: 0.5})
+	for i := 0; i < 50; i++ {
+		mixed.Fail("b")
+		mixed.Fail("b")
+		if got := mixed.Fail("a") != nil; got != want[i] {
+			t.Fatalf("draw %d: interleaved b checks perturbed a's stream", i)
+		}
+	}
+}
+
+func TestErrWrapsSentinel(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Prob: 1})
+	if err := in.Fail("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fail error %v does not wrap ErrInjected", err)
+	}
+	custom := errors.New("boom")
+	in.Set("q", Rule{Prob: 1, Err: custom})
+	if err := in.Fail("q"); !errors.Is(err, custom) {
+		t.Fatalf("Fail error %v does not wrap the rule's Err", err)
+	}
+}
+
+func TestCountCapsFires(t *testing.T) {
+	in := New(3)
+	in.Set("p", Rule{Prob: 1, Count: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Fail("p") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("Count=2 point fired %d times", fired)
+	}
+	if in.Fired("p") != 2 {
+		t.Fatalf("Fired = %d, want 2", in.Fired("p"))
+	}
+}
+
+func TestDataTruncates(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Prob: 1, TruncateFrac: 0.5})
+	b := []byte("12345678")
+	if got := in.Data("p", b); len(got) != 4 {
+		t.Fatalf("truncated to %d bytes, want 4", len(got))
+	}
+	in.Set("z", Rule{Prob: 1, TruncateFrac: 0})
+	if got := in.Data("z", b); len(got) != 0 {
+		t.Fatalf("TruncateFrac 0 kept %d bytes", len(got))
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Prob: 1, Delay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() { done <- in.Sleep(ctx, "p") }()
+	cancel()
+	select {
+	case fired := <-done:
+		if !fired {
+			t.Fatal("Sleep did not report firing")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep ignored context cancellation")
+	}
+}
+
+func TestCrashPanicsWithTypedError(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Prob: 1, Panic: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Crash did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v is not an ErrInjected error", r)
+		}
+	}()
+	in.Crash("p")
+}
+
+func TestConcurrentChecksAreSafe(t *testing.T) {
+	in := New(5)
+	in.Set("p", Rule{Prob: 0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				in.Fail("p")
+				in.Data("p", []byte("xy"))
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Fired("p") == 0 {
+		t.Fatal("concurrent checks never fired")
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse(1, "j.write:error:0.05,c.write:truncate:0.1:0.25,round:delay:0.02:50ms,job:panic:0.01@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"j.write", "c.write", "round", "job"} {
+		in.mu.Lock()
+		p := in.points[name]
+		in.mu.Unlock()
+		if p == nil {
+			t.Fatalf("point %s not armed", name)
+		}
+	}
+	in.mu.Lock()
+	if f := in.points["c.write"].rule.TruncateFrac; f != 0.25 {
+		t.Errorf("truncate fraction = %v, want 0.25", f)
+	}
+	if d := in.points["round"].rule.Delay; d != 50*time.Millisecond {
+		t.Errorf("delay = %v, want 50ms", d)
+	}
+	if c := in.points["job"].rule.Count; c != 3 {
+		t.Errorf("fire cap = %d, want 3", c)
+	}
+	if !in.points["job"].rule.Panic {
+		t.Error("panic mode not set")
+	}
+	in.mu.Unlock()
+
+	if in, err := Parse(1, ""); err != nil || in == nil {
+		t.Fatalf("empty spec: %v, %v", in, err)
+	}
+	for _, bad := range []string{
+		"p:error", "p:weird:0.5", "p:error:2", "p:error:x",
+		"p:delay:0.5:nope", "p:truncate:0.5:7", "p:error:0.5@0",
+	} {
+		if _, err := Parse(1, bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -148,5 +151,83 @@ func TestPprofServer(t *testing.T) {
 	code, body := get(t, fmt.Sprintf("http://%s/debug/pprof/", srv.Addr()))
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("pprof index status %d:\n%.120s", code, body)
+	}
+}
+
+// TestServerCloseUnderLoad shuts the server down while a pool of
+// clients hammers it. Close must return with Err() nil (a clean
+// shutdown), every in-flight request must get either a response or a
+// connection error — never a hang — and the server's goroutines must
+// be gone afterwards.
+func TestServerCloseUnderLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	r := NewRecorder()
+	r.SetRunInfo("accals", "mtp8", "er", 0.05, 337)
+	srv, err := Serve("127.0.0.1:0", r.MetricsHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + srv.Addr() + "/metrics"
+
+	// Clients loop until the server goes away; each request must
+	// terminate promptly one way or the other.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var served atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(url)
+				if err != nil {
+					continue // shutdown raced the request; expected
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				served.Add(1)
+			}
+		}()
+	}
+
+	// Let the load build, then close mid-flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for served.Load() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no request succeeded before shutdown")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close under load: %v", err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("Err after clean Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// A second Close is a harmless no-op.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// The accept loop and every per-connection goroutine must exit.
+	hygiene := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(hygiene) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines %d > baseline %d after Close\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP/JSON API over the manager:
+//
+//	POST   /v1/jobs             submit a JobSpec; 202 + the accepted Job
+//	GET    /v1/jobs             list jobs (snapshot array)
+//	GET    /v1/jobs/{id}        one job's status
+//	POST   /v1/jobs/{id}/cancel cancel (also DELETE /v1/jobs/{id})
+//	GET    /v1/jobs/{id}/result the terminal result artifact
+//	GET    /v1/jobs/{id}/events SSE progress stream (replay + live)
+//	GET    /healthz             job counts by state
+//
+// Admission failures map to 429 (queue full, tenant quota), spec
+// errors to 400, drain to 503, unknown jobs to 404, and a result
+// requested before the job is terminal to 409.
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, fmt.Errorf("%w: body: %v", ErrBadSpec, err))
+			return
+		}
+		job, err := m.Submit(spec)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	}
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", cancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, err := m.Result(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(m, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+	return mux
+}
+
+// serveSSE streams a job's events as server-sent events: one
+// `event: <type>` + `data: <json>` frame per Event, ending when the
+// job reaches a terminal state or the client goes away.
+func serveSSE(m *Manager, w http.ResponseWriter, r *http.Request) {
+	events, stop, err := m.Subscribe(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer stop()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, errors.New("serve: response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			body, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, body); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// httpError maps the serve package's typed errors onto status codes
+// and emits a JSON error body.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotReady):
+		code = http.StatusConflict
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuotaExceeded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (*Job, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, resp
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return &j, resp
+}
+
+func TestHTTPJobRoundTrip(t *testing.T) {
+	m := openManager(t, Config{MaxRunning: 2})
+	defer closeManager(t, m)
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	j, resp := postJob(t, ts, smallSpec("http"))
+	if j == nil {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	waitTerminal(t, m, j.ID, 30*time.Second)
+
+	// Status endpoint.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Job
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.State != StateDone {
+		t.Fatalf("status says %s", got.State)
+	}
+
+	// List endpoint.
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Job
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 {
+		t.Fatalf("list has %d jobs", len(list))
+	}
+
+	// Result endpoint.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.BLIF == "" || res.NumAnds <= 0 {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+
+	// Health endpoint.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Done != 1 {
+		t.Fatalf("healthz %+v, want 1 done", st)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	m := openManager(t, Config{MaxRunning: 1})
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	// Bad spec → 400.
+	if _, resp := postJob(t, ts, JobSpec{Circuit: "nope"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: %d", resp.StatusCode)
+	}
+	// Unparsable body → 400.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", resp.StatusCode)
+	}
+	// Unknown job → 404.
+	resp, err = http.Get(ts.URL + "/v1/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+	// Result before terminal → 409.
+	j, _ := postJob(t, ts, smallSpec("a"))
+	if j == nil {
+		t.Fatal("submit failed")
+	}
+	// Poll the result endpoint from submission: before the job
+	// finishes it must answer 409, never 500.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err = http.Get(ts.URL + "/v1/jobs/" + j.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("result while running: %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Draining → 503.
+	closeManager(t, m)
+	if _, resp := postJob(t, ts, smallSpec("a")); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	m := openManager(t, Config{MaxRunning: 1})
+	defer closeManager(t, m)
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	// Two jobs: cancel the queued one over HTTP.
+	first, _ := postJob(t, ts, smallSpec("a"))
+	second, _ := postJob(t, ts, smallSpec("a"))
+	if first == nil || second == nil {
+		t.Fatal("submits failed")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+second.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Job
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	// A still-queued job cancels synchronously; one that started
+	// running cancels at its next round boundary. Either way the job
+	// must reach a terminal state (cancelled, or done if the run beat
+	// the cancellation).
+	fin := waitTerminal(t, m, second.ID, 30*time.Second)
+	if fin.State != StateCancelled && fin.State != StateDone {
+		t.Fatalf("cancelled job ended %s (failure %q)", fin.State, fin.Failure)
+	}
+	waitTerminal(t, m, first.ID, 30*time.Second)
+}
+
+func TestHTTPEventStream(t *testing.T) {
+	m := openManager(t, Config{MaxRunning: 1})
+	defer closeManager(t, m)
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	j, _ := postJob(t, ts, smallSpec("a"))
+	if j == nil {
+		t.Fatal("submit failed")
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	// The stream ends at the terminal event, so reading to EOF
+	// terminates. Count event frames by type.
+	types := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			types[name]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if types["round"] == 0 || types["state"] == 0 || types["finish"] == 0 {
+		t.Fatalf("stream missing frames: %v", types)
+	}
+}

@@ -144,7 +144,15 @@ func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
 		_ = m.Close(context.Background())
 		return err
 	}
-	srv := &http.Server{Handler: serve.Handler(m)}
+	// connCtx parents every request context; cancelling it ends the
+	// otherwise-unbounded SSE streams so srv.Shutdown cannot sit on a
+	// connected watcher for the whole drain budget.
+	connCtx, closeConns := context.WithCancel(context.Background())
+	defer closeConns()
+	srv := &http.Server{
+		Handler:     serve.Handler(m),
+		BaseContext: func(net.Listener) context.Context { return connCtx },
+	}
 	lg.Printf("serving on http://%s", ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -159,9 +167,19 @@ func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
 	lg.Printf("signal received; draining (budget %v)", cfg.drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
+	// End streaming handlers first, then give HTTP shutdown a short
+	// slice of the budget so m.Close keeps the bulk of the drain time
+	// for snapshotting running rounds.
+	closeConns()
+	httpBudget := cfg.drainTimeout / 4
+	if httpBudget > 5*time.Second {
+		httpBudget = 5 * time.Second
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), httpBudget)
+	if err := srv.Shutdown(httpCtx); err != nil {
 		lg.Printf("http shutdown: %v", err)
 	}
+	httpCancel()
 	if err := m.Close(drainCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}

@@ -137,6 +137,11 @@ type Manager struct {
 	nextID   int
 	draining bool
 	killed   bool
+	// pending counts submissions whose fsync'd journal append is in
+	// flight outside m.mu; pendingTenant is the same per tenant. Both
+	// keep the queue bound and quotas exact while the disk is slow.
+	pending       int
+	pendingTenant map[string]int
 
 	wg           sync.WaitGroup // runner goroutines
 	watchdogOnce sync.Once
@@ -155,9 +160,10 @@ func Open(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{
-		cfg:   cfg,
-		store: st,
-		jobs:  make(map[string]*job),
+		cfg:           cfg,
+		store:         st,
+		jobs:          make(map[string]*job),
+		pendingTenant: make(map[string]int),
 	}
 	if err := m.recover(); err != nil {
 		st.close()
@@ -250,15 +256,16 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.draining || m.killed {
+		m.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if len(m.queue) >= m.cfg.MaxQueue {
-		return nil, fmt.Errorf("%w: %d job(s) queued", ErrQueueFull, len(m.queue))
+	if queued := len(m.queue) + m.pending; queued >= m.cfg.MaxQueue {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d job(s) queued", ErrQueueFull, queued)
 	}
 	if q := m.cfg.TenantQuota; q > 0 {
-		active := 0
+		active := m.pendingTenant[spec.Tenant]
 		for _, j := range m.jobs {
 			j.mu.Lock()
 			if !j.info.State.Terminal() && j.info.Spec.Tenant == spec.Tenant {
@@ -267,15 +274,35 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 			j.mu.Unlock()
 		}
 		if active >= q {
+			m.mu.Unlock()
 			return nil, fmt.Errorf("%w: tenant %q has %d active job(s)", ErrQuotaExceeded, spec.Tenant, active)
 		}
 	}
 	id := fmt.Sprintf("j-%06d", m.nextID)
+	m.nextID++
+	m.pending++
+	m.pendingTenant[spec.Tenant]++
+	m.mu.Unlock()
+
+	// The fsync'd append runs outside m.mu so disk-sync latency stalls
+	// only this submission, never Get/List/Stats/Cancel or dispatch;
+	// the reserved ID and pending counts hold its admission slot open.
 	now := time.Now()
-	if err := m.store.append(journalRec{Op: "accept", ID: id, Spec: &spec, At: now}); err != nil {
+	err := m.store.append(journalRec{Op: "accept", ID: id, Spec: &spec, At: now})
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending--
+	if m.pendingTenant[spec.Tenant]--; m.pendingTenant[spec.Tenant] <= 0 {
+		delete(m.pendingTenant, spec.Tenant)
+	}
+	if err != nil {
 		return nil, err
 	}
-	m.nextID++
+	// A drain or kill that began during the append does not undo the
+	// acceptance: the record is durable, so the job is registered as
+	// queued (dispatchLocked refuses to start it) and the next Open
+	// resumes it — exactly the crash-recovery contract.
 	j := &job{info: Job{ID: id, State: StateQueued, Spec: spec, SubmittedAt: now}}
 	m.jobs[id] = j
 	m.queue = append(m.queue, j)
@@ -407,22 +434,23 @@ func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
 	if j == nil {
 		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	sub := &subscriber{ch: make(chan Event, 256)}
 	j.mu.Lock()
-	replay := make([]Event, len(j.events))
-	copy(replay, j.events)
+	// The replay happens under j.mu with a channel sized for the whole
+	// backlog: no publish can interleave live events ahead of the
+	// replay or close the subscriber mid-replay, and the replay cannot
+	// overflow the buffer, so the stream is gapless and in order.
+	sub := &subscriber{ch: make(chan Event, len(j.events)+256)}
+	for _, ev := range j.events {
+		sub.trySend(ev)
+	}
 	terminal := j.info.State.Terminal()
-	if !terminal {
+	if terminal {
+		close(sub.ch)
+	} else {
 		j.subs = append(j.subs, sub)
 	}
 	j.mu.Unlock()
-	for _, ev := range replay {
-		if !sub.trySend(ev) {
-			break
-		}
-	}
 	if terminal {
-		close(sub.ch)
 		return sub.ch, func() {}, nil
 	}
 	stop := func() {
@@ -434,7 +462,8 @@ func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
 }
 
 // trySend delivers without blocking; a full channel means the
-// consumer stalled and reports failure.
+// consumer stalled and reports failure. Callers hold the owning
+// job's mu, which also guards s.closed.
 func (s *subscriber) trySend(ev Event) bool {
 	if s.closed {
 		return false

@@ -149,7 +149,13 @@ func (s *store) append(rec journalRec) error {
 		}
 		return fmt.Errorf("%w: %v", ErrDisk, err)
 	}
-	if _, err := s.journal.Write(line); err != nil {
+	if n, err := s.journal.Write(line); err != nil {
+		// A real short write (ENOSPC, EIO) tears the tail exactly like
+		// the injected crash above: arm the framing repair so the torn
+		// bytes cannot swallow the next acknowledged record.
+		if n > 0 && line[n-1] != '\n' {
+			s.needNL = true
+		}
 		return fmt.Errorf("%w: %v", ErrDisk, err)
 	}
 	if err := s.journal.Sync(); err != nil {

@@ -24,6 +24,18 @@
 // start resumes both. A second signal terminates immediately; the
 // journal tolerates the resulting torn tail.
 //
+// With -metrics-addr the daemon serves its observability surface on a
+// second listener: /metrics (Prometheus text: queue depth, admission
+// rejections, per-tenant job counters, journal fsync latency, SSE
+// fanout health), /status (uptime + build info + job census), and
+// /debug/pprof/. With -bundles every job records a run bundle (round
+// ledger, manifest, phase trace, summary, slow-round profiles) served
+// as a tar.gz at GET /v1/jobs/{id}/bundle and decodable offline with
+// `report -job`:
+//
+//	accalsd -dir /var/lib/accalsd -metrics-addr 127.0.0.1:8643 -bundles
+//	curl -s :8642/v1/jobs/j-000000/bundle -o j0.tar.gz && report -job j0.tar.gz
+//
 // The -faults flag arms the deterministic fault-injection harness
 // (see internal/faultinject) for chaos testing a live daemon:
 //
@@ -35,7 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -44,11 +56,13 @@ import (
 	"time"
 
 	"accals/internal/faultinject"
+	"accals/internal/obs"
 	"accals/internal/serve"
 )
 
 type config struct {
 	addr            string
+	metricsAddr     string
 	dir             string
 	maxRunning      int
 	maxQueue        int
@@ -58,6 +72,8 @@ type config struct {
 	maxRuntime      time.Duration
 	workers         int
 	drainTimeout    time.Duration
+	bundles         bool
+	bundleSlowRound time.Duration
 	faults          string
 	faultSeed       int64
 	verbose         bool
@@ -67,6 +83,7 @@ func parseFlags(args []string) (*config, error) {
 	cfg := &config{}
 	fs := flag.NewFlagSet("accalsd", flag.ContinueOnError)
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8642", "HTTP listen address")
+	fs.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /status and /debug/pprof/ on this address (empty disables service metrics entirely)")
 	fs.StringVar(&cfg.dir, "dir", "", "state directory (journal, checkpoints, results); required")
 	fs.IntVar(&cfg.maxRunning, "max-running", 0, "concurrent synthesis jobs (0 = serve default)")
 	fs.IntVar(&cfg.maxQueue, "max-queue", 0, "queued-job admission limit (0 = serve default)")
@@ -76,14 +93,22 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.maxRuntime, "max-runtime", 0, "default per-job wall-clock budget (a spec's max_runtime overrides; 0 = unbounded)")
 	fs.IntVar(&cfg.workers, "workers", 1, "default evaluation workers per job (results are identical at any setting)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", time.Minute, "graceful-shutdown budget before the process exits anyway")
+	fs.BoolVar(&cfg.bundles, "bundles", false, "record a run bundle per job (ledger, manifest, trace, summary), downloadable at /v1/jobs/{id}/bundle")
+	fs.DurationVar(&cfg.bundleSlowRound, "bundle-slow-round", 0, "capture CPU/heap profiles into a job's bundle once one of its rounds takes at least this long (0 disables)")
 	fs.StringVar(&cfg.faults, "faults", "", "arm fault-injection points, e.g. 'ckpt.write:error:0.1,round.hang:delay:0.02:2s' (testing only)")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 1, "fault-injection RNG seed (with -faults)")
-	fs.BoolVar(&cfg.verbose, "v", false, "log per-job lifecycle events")
+	fs.BoolVar(&cfg.verbose, "v", false, "log per-job lifecycle events (warnings always log)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if cfg.dir == "" {
 		return nil, errors.New("no state directory: use -dir <path>")
+	}
+	if cfg.bundleSlowRound < 0 {
+		return nil, fmt.Errorf("-bundle-slow-round %v out of range: want a non-negative duration", cfg.bundleSlowRound)
+	}
+	if cfg.bundleSlowRound > 0 && !cfg.bundles {
+		return nil, errors.New("-bundle-slow-round needs -bundles to store the profiles in")
 	}
 	return cfg, nil
 }
@@ -98,17 +123,36 @@ func main() {
 	// A second signal restores the default disposition and kills the
 	// process mid-drain; the journal and checkpoints are built for it.
 	context.AfterFunc(ctx, stop)
-	if err := runDaemon(ctx, cfg, log.New(os.Stderr, "accalsd: ", log.LstdFlags)); err != nil {
+	if err := runDaemon(ctx, cfg, slog.New(slog.NewTextHandler(os.Stderr, nil))); err != nil {
 		fmt.Fprintln(os.Stderr, "accalsd:", err)
 		os.Exit(1)
 	}
+}
+
+// minLevel filters a slog handler to records at or above min: without
+// -v the manager's Info-level job lifecycle records are dropped while
+// its warnings (lost journal records, watchdog fires) still reach the
+// operator.
+type minLevel struct {
+	slog.Handler
+	min slog.Level
+}
+
+func (h minLevel) Enabled(ctx context.Context, l slog.Level) bool {
+	return l >= h.min && h.Handler.Enabled(ctx, l)
+}
+func (h minLevel) WithAttrs(as []slog.Attr) slog.Handler {
+	return minLevel{h.Handler.WithAttrs(as), h.min}
+}
+func (h minLevel) WithGroup(g string) slog.Handler {
+	return minLevel{h.Handler.WithGroup(g), h.min}
 }
 
 // runDaemon opens (recovering) the manager, serves the API until ctx
 // is cancelled, then drains: HTTP first (no new submissions race the
 // shutdown), manager second (running jobs snapshot and queued jobs
 // stay journaled for the next start).
-func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
+func runDaemon(ctx context.Context, cfg *config, lg *slog.Logger) error {
 	var inj *faultinject.Injector
 	if cfg.faults != "" {
 		var err error
@@ -116,7 +160,7 @@ func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
 		if err != nil {
 			return err
 		}
-		lg.Printf("fault injection armed (seed %d): %s", cfg.faultSeed, cfg.faults)
+		lg.Info("fault injection armed", "seed", cfg.faultSeed, "spec", cfg.faults)
 	}
 	mcfg := serve.Config{
 		Dir:               cfg.dir,
@@ -128,16 +172,36 @@ func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
 		DefaultMaxRuntime: cfg.maxRuntime,
 		DefaultWorkers:    cfg.workers,
 		Inj:               inj,
+		Bundles:           cfg.bundles,
+		BundleSlowRound:   cfg.bundleSlowRound,
+		Log:               lg,
 	}
-	if cfg.verbose {
-		mcfg.Logf = lg.Printf
+	if !cfg.verbose {
+		mcfg.Log = slog.New(minLevel{lg.Handler(), slog.LevelWarn})
+	}
+	// Service metrics exist iff they are served: without -metrics-addr
+	// the manager gets a nil registry and every instrumentation point
+	// collapses to one nil check (the zero-cost-when-disabled contract).
+	if cfg.metricsAddr != "" {
+		mcfg.Metrics = obs.NewRegistry()
 	}
 	m, err := serve.Open(mcfg)
 	if err != nil {
 		return err
 	}
 	st := m.Stats()
-	lg.Printf("recovered %d jobs (%d queued) from %s", st.Total, st.Queued, cfg.dir)
+	lg.Info("recovered state", "jobs", st.Total, "queued", st.Queued, "dir", cfg.dir)
+
+	var obsSrv *obs.Server
+	if cfg.metricsAddr != "" {
+		obsSrv, err = obs.Serve(cfg.metricsAddr, serve.ObsHandler(m))
+		if err != nil {
+			_ = m.Close(context.Background())
+			return err
+		}
+		defer obsSrv.Close()
+		lg.Info("observability serving", "addr", obsSrv.Addr())
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -153,7 +217,7 @@ func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
 		Handler:     serve.Handler(m),
 		BaseContext: func(net.Listener) context.Context { return connCtx },
 	}
-	lg.Printf("serving on http://%s", ln.Addr())
+	lg.Info("serving", "addr", ln.Addr().String())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -164,7 +228,7 @@ func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
 		return err
 	case <-ctx.Done():
 	}
-	lg.Printf("signal received; draining (budget %v)", cfg.drainTimeout)
+	lg.Info("signal received; draining", "budget", cfg.drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	// End streaming handlers first, then give HTTP shutdown a short
@@ -177,13 +241,13 @@ func runDaemon(ctx context.Context, cfg *config, lg *log.Logger) error {
 	}
 	httpCtx, httpCancel := context.WithTimeout(context.Background(), httpBudget)
 	if err := srv.Shutdown(httpCtx); err != nil {
-		lg.Printf("http shutdown: %v", err)
+		lg.Warn("http shutdown", "err", err)
 	}
 	httpCancel()
 	if err := m.Close(drainCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	st = m.Stats()
-	lg.Printf("drained; %d jobs snapshotted for the next start", st.Queued+st.Running)
+	lg.Info("drained", "snapshotted", st.Queued+st.Running)
 	return nil
 }

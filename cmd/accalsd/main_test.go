@@ -1,17 +1,22 @@
 package main
 
 import (
+	"archive/tar"
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"accals/internal/ledger"
 )
 
 // logBuf is a concurrency-safe log sink the test scans for the
@@ -33,12 +38,14 @@ func (b *logBuf) String() string {
 	return b.buf.String()
 }
 
-var addrRe = regexp.MustCompile(`serving on http://(\S+)`)
+var addrRe = regexp.MustCompile(`msg=serving addr=(\S+)`)
+var obsAddrRe = regexp.MustCompile(`msg="observability serving" addr=(\S+)`)
 
 // startDaemon runs runDaemon on an ephemeral port and returns its
-// base URL, a cancel that triggers the graceful drain, and a channel
-// with the daemon's exit error.
-func startDaemon(t *testing.T, dir string, extra *config) (string, context.CancelFunc, chan error) {
+// base URL, a cancel that triggers the graceful drain, a channel with
+// the daemon's exit error, and the captured log (which tests scan for
+// the observability listener's address).
+func startDaemon(t *testing.T, dir string, extra *config) (string, context.CancelFunc, chan error, *logBuf) {
 	t.Helper()
 	cfg := &config{
 		addr:            "127.0.0.1:0",
@@ -56,17 +63,20 @@ func startDaemon(t *testing.T, dir string, extra *config) (string, context.Cance
 			cfg.faults = extra.faults
 			cfg.faultSeed = extra.faultSeed
 		}
+		cfg.metricsAddr = extra.metricsAddr
+		cfg.bundles = extra.bundles
+		cfg.verbose = extra.verbose
 	}
 	lb := &logBuf{}
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		errc <- runDaemon(ctx, cfg, log.New(lb, "", 0))
+		errc <- runDaemon(ctx, cfg, slog.New(slog.NewTextHandler(lb, nil)))
 	}()
 	deadline := time.Now().Add(15 * time.Second)
 	for {
 		if m := addrRe.FindStringSubmatch(lb.String()); m != nil {
-			return "http://" + m[1], cancel, errc
+			return "http://" + m[1], cancel, errc, lb
 		}
 		select {
 		case err := <-errc:
@@ -136,7 +146,7 @@ func waitDone(t *testing.T, base, id string, timeout time.Duration) {
 
 func TestDaemonLifecycleAndRestartResume(t *testing.T) {
 	dir := t.TempDir()
-	base, cancel, errc := startDaemon(t, dir, nil)
+	base, cancel, errc, _ := startDaemon(t, dir, nil)
 
 	// A job runs to completion and its result is served.
 	id := submit(t, base, `{"circuit":"rca32","metric":"er","bound":0.05,"patterns":256,"seed":7,"max_rounds":3}`)
@@ -178,7 +188,7 @@ func TestDaemonLifecycleAndRestartResume(t *testing.T) {
 
 	// Restart over the same directory: the finished job's result is
 	// still served and the outstanding jobs run to completion.
-	base2, cancel2, errc2 := startDaemon(t, dir, nil)
+	base2, cancel2, errc2, _ := startDaemon(t, dir, nil)
 	resp, err = http.Get(base2 + "/v1/jobs/" + id + "/result")
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +216,7 @@ func TestDaemonFaultFlag(t *testing.T) {
 	// An armed fault spec must parse and the daemon still serves; a
 	// bad spec must be rejected before the daemon starts.
 	dir := t.TempDir()
-	base, cancel, errc := startDaemon(t, dir, &config{faults: "ckpt.write:error:0.01", faultSeed: 3})
+	base, cancel, errc, _ := startDaemon(t, dir, &config{faults: "ckpt.write:error:0.01", faultSeed: 3})
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -223,10 +233,181 @@ func TestDaemonFaultFlag(t *testing.T) {
 	err = runDaemon(context.Background(), &config{
 		addr: "127.0.0.1:0", dir: t.TempDir(),
 		faults: "nonsense", drainTimeout: time.Second,
-	}, log.New(&logBuf{}, "", 0))
+	}, slog.New(slog.NewTextHandler(&logBuf{}, nil)))
 	if err == nil {
 		t.Fatal("bad -faults spec accepted")
 	}
+}
+
+// TestDaemonObservability drives the full instrumented surface of a
+// live daemon: the second listener's /metrics, /status and
+// /debug/pprof/, the API's /v1/stats, and a bundle download that
+// decodes end to end.
+func TestDaemonObservability(t *testing.T) {
+	dir := t.TempDir()
+	base, cancel, errc, lb := startDaemon(t, dir, &config{
+		metricsAddr: "127.0.0.1:0", bundles: true, verbose: true,
+	})
+
+	// The observability listener logs its bound address too.
+	var obsBase string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := obsAddrRe.FindStringSubmatch(lb.String()); m != nil {
+			obsBase = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("observability listener never logged its address\n%s", lb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	id := submit(t, base, `{"tenant":"acme","circuit":"rca32","metric":"er","bound":0.05,"patterns":256,"seed":7,"max_rounds":3}`)
+	waitDone(t, base, id, 60*time.Second)
+
+	// /metrics exports the documented families with the job accounted.
+	text := httpBody(t, obsBase+"/metrics")
+	for _, want := range []string{
+		"# TYPE accalsd_queue_depth gauge",
+		"# TYPE accalsd_jobs_total counter",
+		"# TYPE accalsd_journal_append_seconds histogram",
+		`accalsd_jobs_total{event="submitted",tenant="acme"} 1`,
+		`accalsd_jobs_total{event="done",tenant="acme"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /status carries uptime, build identity and the job census.
+	var status struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		GoVersion     string  `json:"go_version"`
+		Stats         struct {
+			Done int `json:"done"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(httpBody(t, obsBase+"/status")), &status); err != nil {
+		t.Fatalf("/status: %v", err)
+	}
+	if status.UptimeSeconds <= 0 || status.GoVersion == "" || status.Stats.Done != 1 {
+		t.Errorf("/status incomplete: %+v", status)
+	}
+
+	// /v1/stats on the API listener serves the same census.
+	var stats struct {
+		Done          int     `json:"done"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(httpBody(t, base+"/v1/stats")), &stats); err != nil {
+		t.Fatalf("/v1/stats: %v", err)
+	}
+	if stats.Done != 1 || stats.UptimeSeconds <= 0 {
+		t.Errorf("/v1/stats incomplete: %+v", stats)
+	}
+
+	// pprof answers on the observability listener.
+	resp, err := http.Get(obsBase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof: %d", resp.StatusCode)
+	}
+
+	// The bundle downloads as a tar.gz whose ledger analyses cleanly.
+	// job.json lands just after the terminal state becomes visible, so
+	// retry the download until it is in the archive.
+	var files map[string][]byte
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/bundle")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("bundle download: %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+			t.Fatalf("bundle content-type %q", ct)
+		}
+		files = untarAll(t, resp.Body)
+		resp.Body.Close()
+		if _, ok := files["job.json"]; ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bundle never gained job.json after the job finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, want := range []string{ledger.LedgerFile, ledger.ManifestFile, ledger.SummaryFile} {
+		if _, ok := files[want]; !ok {
+			t.Errorf("bundle misses %s", want)
+		}
+	}
+	events, err := ledger.Decode(bytes.NewReader(files[ledger.LedgerFile]))
+	if err != nil {
+		t.Fatalf("bundle ledger: %v", err)
+	}
+	traj, err := ledger.Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Finish == nil || len(traj.Rounds) == 0 {
+		t.Errorf("bundle ledger incomplete: %d rounds, finish %v", len(traj.Rounds), traj.Finish)
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func httpBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// untarAll decodes a tar.gz stream into filename -> contents.
+func untarAll(t *testing.T, r io.Reader) map[string][]byte {
+	t.Helper()
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	tr := tar.NewReader(gz)
+	files := make(map[string][]byte)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("bundle tar: %v", err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("bundle entry %s: %v", hdr.Name, err)
+		}
+		files[hdr.Name] = body
+	}
+	return files
 }
 
 func TestParseFlagsRequiresDir(t *testing.T) {

@@ -8,6 +8,13 @@
 //	report <bundle-dir>              analyse a bundle
 //	report -csv rounds.csv <dir>     also export the round table
 //	report -diff A B                 compare two bundles (or JSON files)
+//	report -job j0.tar.gz            decode a daemon job bundle download
+//
+// Job mode takes a bundle downloaded from a running accalsd
+// (GET /v1/jobs/{id}/bundle, a tar.gz) or the job's bundle directory
+// on the daemon's disk, and prefixes the run analysis with the
+// job-level story: admission, queue wait, execution segment, terminal
+// state and failure detail from the bundle's job.json.
 //
 // Diff mode compares the numeric leaves of two bundles' summary.json
 // (or of two arbitrary JSON documents, e.g. committed BENCH_*.json
@@ -17,6 +24,8 @@
 package main
 
 import (
+	"archive/tar"
+	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -28,8 +37,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"accals/internal/ledger"
+	"accals/internal/serve"
 )
 
 func main() {
@@ -42,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	diff := fs.Bool("diff", false, "compare two bundles (or two JSON files) instead of analysing one")
+	job := fs.Bool("job", false, "the argument is a daemon job bundle (directory or tar.gz download); print the job story before the run analysis")
 	threshold := fs.Float64("threshold", 0.0, "relative difference above which -diff reports a regression (e.g. 0.05 = 5%)")
 	ignore := fs.String("ignore", "", "comma-separated path substrings to skip in -diff (e.g. runtime,seconds)")
 	csvPath := fs.String("csv", "", "export the per-round table as CSV to this file")
@@ -56,14 +68,138 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runDiff(fs.Arg(0), fs.Arg(1), *threshold, *ignore, stdout, stderr)
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: report [-csv file] <bundle-dir>  |  report -diff [-threshold x] <a> <b>")
+		fmt.Fprintln(stderr, "usage: report [-job] [-csv file] <bundle>  |  report -diff [-threshold x] <a> <b>")
 		return 2
 	}
-	if err := analyse(fs.Arg(0), *csvPath, stdout); err != nil {
+	arg := fs.Arg(0)
+	if *job {
+		dir, cleanup, err := resolveJobBundle(arg)
+		if err != nil {
+			fmt.Fprintln(stderr, "report:", err)
+			return 2
+		}
+		defer cleanup()
+		printJobStory(dir, stdout)
+		arg = dir
+	}
+	if err := analyse(arg, *csvPath, stdout); err != nil {
 		fmt.Fprintln(stderr, "report:", err)
 		return 2
 	}
 	return 0
+}
+
+// resolveJobBundle turns a -job argument into a bundle directory: a
+// directory passes through, a tar.gz (the /v1/jobs/{id}/bundle
+// download) is extracted into a temp directory the cleanup removes.
+func resolveJobBundle(arg string) (dir string, cleanup func(), err error) {
+	st, err := os.Stat(arg)
+	if err != nil {
+		return "", nil, err
+	}
+	if st.IsDir() {
+		return arg, func() {}, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s: not a bundle directory or tar.gz download: %v", arg, err)
+	}
+	tmp, err := os.MkdirTemp("", "report-job-*")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup = func() { os.RemoveAll(tmp) }
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			cleanup()
+			return "", nil, fmt.Errorf("%s: %v", arg, err)
+		}
+		name := filepath.Clean(filepath.FromSlash(hdr.Name))
+		if filepath.IsAbs(name) || name == ".." || strings.HasPrefix(name, ".."+string(filepath.Separator)) {
+			cleanup()
+			return "", nil, fmt.Errorf("%s: unsafe path %q in archive", arg, hdr.Name)
+		}
+		dst := filepath.Join(tmp, name)
+		if hdr.Typeflag == tar.TypeDir {
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			cleanup()
+			return "", nil, err
+		}
+		out, err := os.Create(dst)
+		if err != nil {
+			cleanup()
+			return "", nil, err
+		}
+		if _, err := io.Copy(out, tr); err != nil {
+			out.Close()
+			cleanup()
+			return "", nil, fmt.Errorf("%s: %v", arg, err)
+		}
+		if err := out.Close(); err != nil {
+			cleanup()
+			return "", nil, err
+		}
+	}
+	return tmp, cleanup, nil
+}
+
+// printJobStory renders the service-side half of a job bundle: the
+// admission→queue→run→terminal timeline from job.json. A bundle
+// without one (the job has not finished, or the bundle came from the
+// accals CLI) just skips to the run analysis.
+func printJobStory(dir string, w io.Writer) {
+	body, err := os.ReadFile(filepath.Join(dir, serve.BundleJobFile))
+	if err != nil {
+		fmt.Fprintf(w, "job:       no %s in bundle (job not terminal yet, or a CLI bundle)\n\n", serve.BundleJobFile)
+		return
+	}
+	var j serve.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		fmt.Fprintf(w, "job:       unreadable %s: %v\n\n", serve.BundleJobFile, err)
+		return
+	}
+	tenant := j.Spec.Tenant
+	if tenant == "" {
+		tenant = "(anonymous)"
+	}
+	fmt.Fprintf(w, "job:       %s, tenant %s — %s\n", j.ID, tenant, j.State)
+	var flags []string
+	if j.Recovered {
+		flags = append(flags, "recovered after a daemon restart")
+	}
+	if j.Resumed {
+		flags = append(flags, "resumed from a checkpoint")
+	}
+	if len(flags) > 0 {
+		fmt.Fprintf(w, "           %s\n", strings.Join(flags, "; "))
+	}
+	fmt.Fprintf(w, "admitted:  %s\n", j.SubmittedAt.Format(time.RFC3339))
+	if !j.StartedAt.IsZero() {
+		fmt.Fprintf(w, "queued:    %v until dispatch\n", j.StartedAt.Sub(j.SubmittedAt).Round(time.Millisecond))
+		if !j.FinishedAt.IsZero() {
+			fmt.Fprintf(w, "ran:       %v (last segment)\n", j.FinishedAt.Sub(j.StartedAt).Round(time.Millisecond))
+		}
+	}
+	switch {
+	case j.Failure != "":
+		fmt.Fprintf(w, "failed:    [%s] %s\n", j.FailureKind, j.Failure)
+	case j.StopReason != "":
+		fmt.Fprintf(w, "stopped:   %s at round %d, error %.6f, %d ANDs\n",
+			j.StopReason, j.Round, j.Error, j.NumAnds)
+	}
+	fmt.Fprintln(w)
 }
 
 // ledgerPath resolves the argument to a ledger file: a directory means

@@ -1,16 +1,20 @@
 package main
 
 import (
+	"archive/tar"
 	"bytes"
+	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"accals/internal/ledger"
 	"accals/internal/obs"
+	"accals/internal/serve"
 )
 
 // writeBundle fabricates a small but complete bundle: meta, three
@@ -181,6 +185,174 @@ func TestReportDiff(t *testing.T) {
 	code = run([]string{"-diff", "-ignore", "error", filepath.Join(a, ledger.SummaryFile), mod}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("ignored diff exit %d, want 0; out: %s", code, out.String())
+	}
+}
+
+// writeJobBundle extends writeBundle with the daemon's terminal
+// job.json, making the directory look exactly like an extracted
+// /v1/jobs/{id}/bundle download.
+func writeJobBundle(t *testing.T, dir string) serve.Job {
+	t.Helper()
+	writeBundle(t, dir)
+	sub := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	j := serve.Job{
+		ID:    "j-000042",
+		State: serve.StateDone,
+		Spec: serve.JobSpec{
+			Tenant: "acme", Circuit: "toy", Metric: "er", Bound: 0.05, Seed: 3,
+		},
+		SubmittedAt: sub,
+		StartedAt:   sub.Add(1500 * time.Millisecond),
+		FinishedAt:  sub.Add(5 * time.Second),
+		Round:       3, Error: 0.045, NumAnds: 93,
+		StopReason: "bounded",
+		Recovered:  true, Resumed: true,
+	}
+	body, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, serve.BundleJobFile), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// tarGz packs a flat directory the way Manager.WriteBundle does.
+func tarGz(t *testing.T, dir, dst string) {
+	t.Helper()
+	f, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	tw := tar.NewWriter(gz)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.WriteHeader(&tar.Header{Name: e.Name(), Mode: 0o644, Size: int64(len(body))}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportJobStory(t *testing.T) {
+	dir := t.TempDir()
+	writeJobBundle(t, dir)
+
+	assertStory := func(got string) {
+		t.Helper()
+		for _, want := range []string{
+			"job:       j-000042, tenant acme — done",
+			"recovered after a daemon restart; resumed from a checkpoint",
+			"admitted:  2026-08-08T10:00:00Z",
+			"queued:    1.5s until dispatch",
+			"ran:       3.5s (last segment)",
+			"stopped:   bounded at round 3, error 0.045000, 93 ANDs",
+			// The engine-side analysis still follows the story.
+			"accals toy, metric er, bound 0.05, seed 3",
+			"finish:       bounded after 3 rounds",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("output missing %q:\n%s", want, got)
+			}
+		}
+	}
+
+	// Directory form.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-job", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	assertStory(out.String())
+
+	// tar.gz download form: same report from the packed archive.
+	tgz := filepath.Join(t.TempDir(), "j42.tar.gz")
+	tarGz(t, dir, tgz)
+	out.Reset()
+	if code := run([]string{"-job", tgz}, &out, &errb); code != 0 {
+		t.Fatalf("tar.gz exit %d, stderr: %s", code, errb.String())
+	}
+	assertStory(out.String())
+}
+
+func TestReportJobWithoutJobJSON(t *testing.T) {
+	// A CLI bundle (no job.json) still analyses; the story line says
+	// why it is missing.
+	dir := t.TempDir()
+	writeBundle(t, dir)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-job", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no job.json in bundle") {
+		t.Errorf("missing job.json not explained:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finish:       bounded after 3 rounds") {
+		t.Errorf("analysis skipped:\n%s", out.String())
+	}
+}
+
+func TestReportJobRejectsUnsafeArchive(t *testing.T) {
+	// An archive entry escaping the extraction directory is refused.
+	evil := filepath.Join(t.TempDir(), "evil.tar.gz")
+	f, err := os.Create(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	tw := tar.NewWriter(gz)
+	body := []byte("pwned")
+	if err := tw.WriteHeader(&tar.Header{Name: "../escape.txt", Mode: 0o644, Size: int64(len(body))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-job", evil}, &out, &errb); code != 2 {
+		t.Fatalf("unsafe archive exit %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unsafe path") {
+		t.Errorf("unsafe path not named: %s", errb.String())
+	}
+	// A plain file that is not gzip is a usage error, not a panic.
+	notGz := filepath.Join(t.TempDir(), "x.bin")
+	if err := os.WriteFile(notGz, []byte("not a gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-job", notGz}, &out, &errb); code != 2 {
+		t.Fatalf("non-gzip exit %d, want 2", code)
 	}
 }
 

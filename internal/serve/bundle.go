@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// BundleJobFile is the terminal Job snapshot inside a run bundle,
+// written next to the ledger/manifest/trace files when the job
+// finishes. It carries the service-side story (tenant, submission and
+// dispatch times, failure detail) the engine-side artifacts cannot.
+const BundleJobFile = "job.json"
+
+// bundleReady reports whether the job exists and has a bundle
+// directory to serve, with the typed error the HTTP layer maps to
+// 404/409.
+func (m *Manager) bundleReady(id string) error {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if fi, err := os.Stat(m.store.bundleDir(id)); err != nil || !fi.IsDir() {
+		return fmt.Errorf("%w: no bundle recorded for %s (bundling disabled or job not started)", ErrNotReady, id)
+	}
+	return nil
+}
+
+// WriteBundle streams the job's run bundle to w as a gzipped tar
+// archive (ledger.jsonl, manifest.json, trace.jsonl, summary.json,
+// job.json once terminal, profiles/*). It fails with ErrNotFound for
+// an unknown job and ErrNotReady when the job has not started a
+// bundled execution segment yet (or the Manager runs with bundling
+// disabled).
+//
+// The bundle of a running job is a valid point-in-time artifact: every
+// file is read fully into memory before its tar header is written, so
+// a ledger growing under a concurrent append cannot tear the archive —
+// the download just ends at the rounds recorded when it started.
+func (m *Manager) WriteBundle(id string, w io.Writer) error {
+	if err := m.bundleReady(id); err != nil {
+		return err
+	}
+	dir := m.store.bundleDir(id)
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			return rerr
+		}
+		body, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				return nil // raced a rename; the file was optional
+			}
+			return rerr
+		}
+		mod := time.Now()
+		if fi, serr := d.Info(); serr == nil {
+			mod = fi.ModTime()
+		}
+		hdr := &tar.Header{
+			Name:    filepath.ToSlash(rel),
+			Mode:    0o644,
+			Size:    int64(len(body)),
+			ModTime: mod,
+		}
+		if herr := tw.WriteHeader(hdr); herr != nil {
+			return herr
+		}
+		_, werr = tw.Write(body)
+		return werr
+	})
+	if cerr := tw.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := gz.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("serve: bundle %s: %w", id, err)
+	}
+	return nil
+}

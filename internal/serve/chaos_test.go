@@ -14,6 +14,7 @@ import (
 	"accals/internal/blif"
 	"accals/internal/core"
 	"accals/internal/faultinject"
+	"accals/internal/obs"
 )
 
 // TestChaos is the end-to-end fault harness: hundreds of small jobs
@@ -71,6 +72,7 @@ func TestChaos(t *testing.T) {
 		CheckpointEvery: 1,
 		Watchdog:        400 * time.Millisecond,
 		Inj:             inj,
+		Metrics:         obs.NewRegistry(),
 	}
 	m, err := Open(cfg)
 	if err != nil {
@@ -132,6 +134,28 @@ func TestChaos(t *testing.T) {
 	// One extra beat so at least one tripped watchdog reaches its
 	// terminal record before the plug is pulled.
 	time.Sleep(600 * time.Millisecond)
+
+	// Mid-run observability: under full chaos load the scrape must
+	// still export the complete admission story. The submission phase
+	// is over, so those counters are exact even while the fleet churns.
+	midSnap := m.Metrics().CounterSnapshot()
+	if v := sumCounters(midSnap, "accalsd_jobs_total", `event="submitted"`); v != float64(len(accepted)) {
+		t.Errorf("mid-run submitted counter %v, want %d", v, len(accepted))
+	}
+	if v := sumCounters(midSnap, "accalsd_admission_rejections_total", `reason="disk"`); v != float64(rejected) {
+		t.Errorf("mid-run disk rejections %v, want %d", v, rejected)
+	}
+	midText := scrapeRegistry(t, m.Metrics())
+	for _, fam := range []string{
+		"accalsd_queue_depth", "accalsd_jobs_running",
+		"accalsd_journal_append_seconds", "accalsd_checkpoint_total",
+		"accalsd_watchdog_fires_total",
+	} {
+		if !strings.Contains(midText, "# TYPE "+fam+" ") {
+			t.Errorf("mid-run scrape misses family %s", fam)
+		}
+	}
+
 	preKill := m.Stats()
 	m.Kill()
 	t.Logf("killed with %d running / %d queued / %d done", preKill.Running, preKill.Queued, preKill.Done)
@@ -142,12 +166,16 @@ func TestChaos(t *testing.T) {
 	// Phase 2: recover over the same directory with a clean injector
 	// so the fleet converges. Recovery must resume every job the
 	// journal calls non-terminal.
+	// A fresh registry: the conservation law below is a per-manager-
+	// lifetime invariant (recovered jobs are re-admitted), so sharing
+	// the killed manager's registry would double-count them.
 	m2, err := Open(Config{
 		Dir:             dir,
 		MaxRunning:      8,
 		MaxQueue:        numJobs + 16,
 		CheckpointEvery: 1,
 		Watchdog:        2 * time.Second,
+		Metrics:         obs.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatalf("recovery open: %v", err)
@@ -256,6 +284,18 @@ func TestChaos(t *testing.T) {
 	if checked == 0 {
 		t.Fatal("byte-identity check covered no jobs")
 	}
+
+	// Metrics conservation at quiesce: every admission this lifetime
+	// (all of them recoveries — nothing was submitted to m2) is
+	// accounted for by a terminal counter, and SSE drops cannot exceed
+	// subscriptions. The chaos fleet is the adversarial witness: missed
+	// instrumentation on any lifecycle edge (panic, watchdog, cancel,
+	// resume) breaks the equation.
+	recSnap := m2.Metrics().CounterSnapshot()
+	if v := sumCounters(recSnap, "accalsd_jobs_total", `event="recovered"`); v != float64(recovered) {
+		t.Errorf("recovered counter %v, want %d", v, recovered)
+	}
+	assertMetricsConservation(t, m2)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"accals/internal/obs"
 )
 
 // Handler returns the daemon's HTTP/JSON API over the manager:
@@ -15,11 +17,13 @@ import (
 //	POST   /v1/jobs/{id}/cancel cancel (also DELETE /v1/jobs/{id})
 //	GET    /v1/jobs/{id}/result the terminal result artifact
 //	GET    /v1/jobs/{id}/events SSE progress stream (replay + live)
+//	GET    /v1/jobs/{id}/bundle the run bundle as a tar.gz download
+//	GET    /v1/stats            job counts by state (Manager.Stats)
 //	GET    /healthz             job counts by state
 //
 // Admission failures map to 429 (queue full, tenant quota), spec
 // errors to 400, drain to 503, unknown jobs to 404, and a result
-// requested before the job is terminal to 409.
+// (or bundle) requested before the job produced one to 409.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -67,9 +71,50 @@ func Handler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveSSE(m, w, r)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/bundle", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		// Probe before the first body byte so failures are clean JSON
+		// errors, not torn archives.
+		if err := m.bundleReady(id); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+"-bundle.tar.gz"))
+		// Mid-stream errors can only truncate the download; the gzip
+		// framing makes the truncation detectable client-side.
+		_ = m.WriteBundle(id, w)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Stats())
 	})
+	return mux
+}
+
+// ObsHandler returns the daemon's observability mux, the service-side
+// sibling of obs.(*Recorder).MetricsHandler:
+//
+//	/metrics      Prometheus text of the Config.Metrics registry
+//	/status       DaemonStatus JSON (uptime, build info, job census)
+//	/debug/pprof/ live profiling
+//
+// cmd/accalsd serves it on -metrics-addr, separate from the API
+// listener so operators can firewall introspection independently.
+func ObsHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg := m.Metrics(); reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, m.StatusInfo())
+	})
+	mux.Handle("/debug/pprof/", obs.PprofHandler())
 	return mux
 }
 

@@ -249,13 +249,18 @@ type JobResult struct {
 type EventType string
 
 // Event types: a job state transition, the run's opening metadata,
-// one synthesis round, and the run's closing summary. The last three
-// carry the obs ledger event vocabulary verbatim.
+// one synthesis round, and the run's closing summary. The middle three
+// carry the obs ledger event vocabulary verbatim. EventDropped is the
+// synthetic final event a subscriber receives when the server drops it
+// for not draining its channel: the stream ends with an explicit
+// marker (re-subscribe and replay to recover) instead of a silent
+// close indistinguishable from job completion.
 const (
-	EventState  EventType = "state"
-	EventMeta   EventType = "meta"
-	EventRound  EventType = "round"
-	EventFinish EventType = "finish"
+	EventState   EventType = "state"
+	EventMeta    EventType = "meta"
+	EventRound   EventType = "round"
+	EventFinish  EventType = "finish"
+	EventDropped EventType = "dropped"
 )
 
 // Event is one entry of a job's progress stream. Exactly one payload

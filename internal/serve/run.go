@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"accals/internal/checkpoint"
 	"accals/internal/core"
 	"accals/internal/errmetric"
+	"accals/internal/ledger"
 	"accals/internal/obs"
 	"accals/internal/runctl"
 	"accals/internal/seals"
@@ -63,6 +65,7 @@ func (m *Manager) finishJob(j *job, state JobState, ti terminalInfo) {
 	now := time.Now()
 	j.mu.Lock()
 	id := j.info.ID
+	tenant := j.info.Spec.Tenant
 	round := j.info.Round
 	j.mu.Unlock()
 	if ti.round > round {
@@ -74,7 +77,8 @@ func (m *Manager) finishJob(j *job, state JobState, ti terminalInfo) {
 		StopReason: ti.stopReason, Round: round, At: now,
 	})
 	if err != nil {
-		m.logf("job %s: terminal journal record lost (%v); job will re-run after restart", id, err)
+		m.cfg.Log.Warn("terminal journal record lost; job will re-run after restart",
+			"job", id, "tenant", tenant, "state", state, "err", err)
 	}
 	j.mu.Lock()
 	j.info.State = state
@@ -84,6 +88,16 @@ func (m *Manager) finishJob(j *job, state JobState, ti terminalInfo) {
 	j.info.FailureKind = ti.kind
 	info := j.info
 	j.mu.Unlock()
+	m.met.jobEvent(tenant, terminalEvent(state))
+	m.cfg.Log.Info("job finished",
+		"job", id, "tenant", tenant, "state", state, "round", round,
+		"stop_reason", ti.stopReason, "failure_kind", ti.kind)
+	// The bundle's job.json is the terminal Job snapshot: it ties the
+	// ledger/trace artifacts to their admission story (queue wait,
+	// tenant, failure detail) so a downloaded bundle is self-describing.
+	if m.cfg.Bundles {
+		m.writeBundleJob(&info)
+	}
 	j.publish(Event{Type: EventState, Job: &info}, true)
 }
 
@@ -103,20 +117,28 @@ func (m *Manager) runJob(j *job) {
 	now := time.Now()
 	j.mu.Lock()
 	id := j.info.ID
+	tenant := j.info.Spec.Tenant
 	j.info.State = StateRunning
 	j.info.StartedAt = now
 	j.lastBeat = now
+	enqueued := j.enqueuedAt
 	info := j.info
 	j.mu.Unlock()
+	if !enqueued.IsZero() {
+		m.met.observeQueueWait(now.Sub(enqueued))
+	}
 	// The running transition is journaled best-effort: losing it only
 	// costs a restart the StartedAt timestamp, not correctness —
 	// recovery re-queues on "accepted without terminal record".
 	if err := m.store.append(journalRec{Op: "state", ID: id, State: StateRunning, At: now}); err != nil {
-		m.logf("job %s: running journal record lost: %v", id, err)
+		m.cfg.Log.Warn("running journal record lost", "job", id, "tenant", tenant, "err", err)
 	}
+	m.cfg.Log.Info("job running", "job", id, "tenant", tenant,
+		"queue_wait", now.Sub(enqueued).Round(time.Millisecond))
 	j.publish(Event{Type: EventState, Job: &info}, false)
 
 	res, runtime, err := m.execute(j)
+	m.met.observeRun(runtime)
 
 	j.mu.Lock()
 	reason := j.reason
@@ -133,7 +155,7 @@ func (m *Manager) runJob(j *job) {
 		case errors.Is(err, ErrDisk):
 			kind = "disk"
 		}
-		m.logf("job %s failed (%s): %v", id, kind, err)
+		m.cfg.Log.Warn("job failed", "job", id, "tenant", tenant, "kind", kind, "err", err)
 		m.finishJob(j, StateFailed, terminalInfo{failure: err.Error(), kind: kind})
 	case res.StopReason == runctl.Cancelled && reason == cancelDrain:
 		// Graceful shutdown: the run stopped after its current round
@@ -144,8 +166,10 @@ func (m *Manager) runJob(j *job) {
 		j.mu.Lock()
 		j.info.State = StateQueued
 		j.info.StartedAt = time.Time{}
+		j.enqueuedAt = time.Now()
 		info := j.info
 		j.mu.Unlock()
+		m.cfg.Log.Info("job re-queued for drain", "job", id, "tenant", tenant, "round", info.Round)
 		j.publish(Event{Type: EventState, Job: &info}, true)
 	case res.StopReason == runctl.Cancelled && reason == cancelWatchdog:
 		m.finishJob(j, StateFailed, terminalInfo{
@@ -264,6 +288,7 @@ func (m *Manager) execute(j *job) (res *core.Result, runtime time.Duration, err 
 	// with nothing usable starts from scratch (never an error — the
 	// accepted spec is the durable source of truth).
 	ckptDir := m.store.ckptDir(id)
+	var resumeSnap *checkpoint.Snapshot
 	if snap, lerr := checkpoint.Latest(ckptDir); lerr == nil {
 		sg, gerr := snap.Graph()
 		if gerr == nil && sg.NumPIs() == g.NumPIs() && sg.NumPOs() == g.NumPOs() {
@@ -272,19 +297,70 @@ func (m *Manager) execute(j *job) (res *core.Result, runtime time.Duration, err 
 			ropt.Params.HasSeed = snap.HasSeed
 			ropt.PatternSeed = snap.Seed
 			ropt.HasPatternSeed = snap.HasSeed
+			resumeSnap = snap
 			j.mu.Lock()
 			j.info.Resumed = true
 			j.info.Round = snap.Round
 			j.info.Error = snap.Error
 			j.mu.Unlock()
-			m.logf("job %s: resuming from checkpoint round %d", id, snap.Round)
+			m.cfg.Log.Info("resuming from checkpoint", "job", id, "tenant", spec.Tenant, "round", snap.Round)
 		}
 	}
 
 	rec := obs.NewRecorder()
 	rec.SetRunInfo(spec.method(), g.Name, spec.Metric, spec.Bound, g.NumAnds())
 	rec.AddSink(&jobSink{j: j})
+	if resumeSnap != nil && resumeSnap.Metrics != nil {
+		// Counters ride checkpoint snapshots (PR 2), so a resumed
+		// segment's summary reflects the whole run, not just the tail.
+		rec.Registry().RestoreCounters(resumeSnap.Metrics)
+	}
 	ropt.Recorder = rec
+
+	// Per-job run bundle: the same flight-recorder artifact the accals
+	// CLI's -bundle writes (ledger + manifest + trace + summary + slow-
+	// round profiles), rooted in the job's state directory so
+	// GET /v1/jobs/{id}/bundle can serve it after the client is gone. A
+	// resumed segment truncates the ledger to the snapshot's byte offset
+	// (LedgerBytes is 0 when the snapshot predates bundling — the
+	// whole-file truncate then simply starts the ledger fresh), so
+	// re-executed rounds never appear twice. Bundle failures are logged
+	// and dropped: bundling is observability, the journal is correctness.
+	bundle, traceFile := m.openBundle(id, spec, g.Name, ropt, resumeSnap, rec)
+	defer func() {
+		// Runs on every exit, including a propagating panic (before the
+		// recover above converts it): the summary needs res, so a panic
+		// segment closes the ledger without one.
+		if bundle == nil {
+			return
+		}
+		if res != nil {
+			sum := ledger.RunSummary{
+				Circuit:        g.Name,
+				Method:         spec.method(),
+				Metric:         spec.Metric,
+				Bound:          spec.Bound,
+				Error:          res.Error,
+				InitialAnds:    g.NumAnds(),
+				FinalAnds:      res.Final.NumAnds(),
+				Rounds:         len(res.Rounds),
+				LACsApplied:    res.LACsApplied,
+				RuntimeSeconds: time.Since(start).Seconds(),
+				StopReason:     res.StopReason.String(),
+				IndpWinRate:    res.IndpRatio(),
+				Obs:            rec.Summary(),
+			}
+			if werr := bundle.WriteSummary(sum); werr != nil {
+				m.cfg.Log.Warn("bundle summary write failed", "job", id, "err", werr)
+			}
+		}
+		if cerr := bundle.Close(); cerr != nil {
+			m.cfg.Log.Warn("bundle close failed", "job", id, "err", cerr)
+		}
+		if traceFile != nil {
+			_ = traceFile.Close()
+		}
+	}()
 
 	ckpt, err := checkpoint.NewWriter(ckptDir, m.cfg.CheckpointEvery)
 	if err != nil {
@@ -313,6 +389,9 @@ func (m *Manager) execute(j *job) (res *core.Result, runtime time.Duration, err 
 		// and an in-run panic for the isolation contract.
 		m.cfg.Inj.Sleep(ctx, FaultRoundHang)
 		m.cfg.Inj.Crash(FaultJobPanic)
+		if bundle != nil {
+			bundle.ObserveRound(rs.Round, rs.RoundDuration)
+		}
 		if rs.Graph == nil || rs.Error > spec.Bound {
 			return // rejected round: never checkpoint an over-bound circuit
 		}
@@ -325,11 +404,19 @@ func (m *Manager) execute(j *job) (res *core.Result, runtime time.Duration, err 
 			Bound:   spec.Bound,
 			Method:  spec.method(),
 		}
+		if bundle != nil {
+			// The snapshot pins the ledger offset and engine counters so
+			// a resumed segment truncates re-executed rounds and keeps
+			// whole-run counter continuity.
+			s.Metrics = rec.Registry().CounterSnapshot()
+			s.LedgerBytes = bundle.LedgerSize()
+		}
 		if err := s.SetGraph(rs.Graph); err != nil {
 			return
 		}
 		lastAccepted = s
 		if !ckpt.Due(rs.Round) {
+			m.met.checkpoint(ckptSkipped, 0)
 			return
 		}
 		m.saveSnapshot(id, ckpt, s, &lastSaved)
@@ -358,24 +445,98 @@ func (m *Manager) execute(j *job) (res *core.Result, runtime time.Duration, err 
 // file on disk like a torn write surviving a crash.
 func (m *Manager) saveSnapshot(id string, ckpt *checkpoint.Writer, s *checkpoint.Snapshot, lastSaved *int) {
 	if s.Round <= *lastSaved {
+		m.met.checkpoint(ckptSkipped, 0)
 		return
 	}
 	if m.store.frozen.Load() {
 		return
 	}
 	if err := m.cfg.Inj.Fail(FaultCkptWrite); err != nil {
-		m.logf("job %s: checkpoint round %d: %v", id, s.Round, err)
+		m.met.checkpoint(ckptFailed, 0)
+		m.cfg.Log.Warn("checkpoint save failed", "job", id, "round", s.Round, "err", err)
 		return
 	}
+	start := time.Now()
 	if err := ckpt.Save(s); err != nil {
-		m.logf("job %s: checkpoint round %d: %v", id, s.Round, err)
+		m.met.checkpoint(ckptFailed, 0)
+		m.cfg.Log.Warn("checkpoint save failed", "job", id, "round", s.Round, "err", err)
 		return
 	}
+	m.met.checkpoint(ckptSaved, time.Since(start))
 	*lastSaved = s.Round
 	path := filepath.Join(ckpt.Dir(), fmt.Sprintf("ckpt-%08d.json", s.Round))
 	if fi, err := os.Stat(path); err == nil {
 		if kept := m.cfg.Inj.Data(FaultCkptCorrupt, make([]byte, fi.Size())); int64(len(kept)) < fi.Size() {
 			_ = os.Truncate(path, int64(len(kept)))
 		}
+	}
+}
+
+// openBundle opens (or resumes) the job's run bundle and attaches its
+// ledger writer and a per-segment phase tracer to rec. Returns nils
+// when bundling is disabled or the open fails — the run proceeds
+// unrecorded either way, because the bundle is an artifact, not a
+// correctness dependency. The trace file is truncated per segment: a
+// resumed segment's trace documents that segment's phases, while the
+// ledger spans the whole run via the checkpoint truncation protocol.
+func (m *Manager) openBundle(id string, spec JobSpec, circuit string, ropt core.Options, resumeSnap *checkpoint.Snapshot, rec *obs.Recorder) (*ledger.Bundle, *os.File) {
+	if !m.cfg.Bundles {
+		return nil, nil
+	}
+	dir := m.store.bundleDir(id)
+	var bundle *ledger.Bundle
+	var err error
+	if resumeSnap != nil {
+		bundle, err = ledger.Resume(dir, resumeSnap.LedgerBytes)
+	} else {
+		bundle, err = ledger.Create(dir)
+	}
+	if err != nil {
+		m.cfg.Log.Warn("bundle open failed; running without one", "job", id, "err", err)
+		return nil, nil
+	}
+	rec.AddSink(bundle.Writer())
+	bundle.SetSlowRoundThreshold(m.cfg.BundleSlowRound)
+	var traceFile *os.File
+	if tf, terr := os.Create(bundle.Path(ledger.TraceFile)); terr == nil {
+		rec.AddTracer(obs.NewTracer(tf, obs.TraceJSONL))
+		traceFile = tf
+	} else {
+		m.cfg.Log.Warn("bundle trace open failed", "job", id, "err", terr)
+	}
+	man := ledger.Manifest{
+		CreatedAt:   time.Now(),
+		Command:     []string{"accalsd", "job=" + id, "tenant=" + spec.Tenant},
+		Circuit:     circuit,
+		Method:      spec.method(),
+		Metric:      spec.Metric,
+		Bound:       spec.Bound,
+		Seed:        ropt.Params.Seed,
+		Patterns:    ropt.NumPatterns,
+		Workers:     ropt.Workers,
+		Incremental: ropt.Incremental,
+		Resumed:     resumeSnap != nil,
+	}
+	man.FillEnvironment()
+	if merr := bundle.WriteManifest(man); merr != nil {
+		m.cfg.Log.Warn("bundle manifest write failed", "job", id, "err", merr)
+	}
+	return bundle, traceFile
+}
+
+// writeBundleJob drops the terminal Job snapshot into the bundle
+// directory as job.json. Best-effort, and only when the bundle exists
+// (a job that failed validation before execute never opened one).
+func (m *Manager) writeBundleJob(info *Job) {
+	dir := m.store.bundleDir(info.ID)
+	if _, err := os.Stat(dir); err != nil {
+		return
+	}
+	body, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.WriteFile(filepath.Join(dir, BundleJobFile), body, 0o644); err != nil {
+		m.cfg.Log.Warn("bundle job.json write failed", "job", info.ID, "err", err)
 	}
 }

@@ -24,6 +24,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"accals/internal/faultinject"
+	"accals/internal/obs"
 )
 
 // Config parameterises a Manager. The zero value serves from the
@@ -64,8 +66,26 @@ type Config struct {
 	// Inj, when non-nil, arms the fault-injection points (see the
 	// Fault* constants). Production leaves it nil.
 	Inj *faultinject.Injector
-	// Logf, when non-nil, receives operational log lines.
-	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the daemon's service-level
+	// Prometheus series (queue depth, admission rejections, journal
+	// latency, per-tenant job counters, SSE fanout health, ...). Nil
+	// disables service metrics at provably zero cost: every
+	// instrumentation point is one nil check.
+	Metrics *obs.Registry
+	// Bundles, when set, makes every job write a run bundle (round
+	// ledger, manifest, phase trace, summary, profiles on slow rounds)
+	// under its state directory — the downloadable flight-recorder
+	// artifact served at /v1/jobs/{id}/bundle. Off by default because
+	// ledgering buys per-round measurement work.
+	Bundles bool
+	// BundleSlowRound arms per-job profile capture: the first round of
+	// a job that takes at least this long triggers CPU/heap profiles
+	// into its bundle. Zero disables. Only meaningful with Bundles.
+	BundleSlowRound time.Duration
+	// Log, when non-nil, receives structured operational log records
+	// (job lifecycle, recovery, watchdog) tagged with job/tenant/state
+	// attributes. Nil discards them.
+	Log *slog.Logger
 }
 
 // withDefaults fills zero fields.
@@ -85,8 +105,20 @@ func (c Config) withDefaults() Config {
 	if c.DefaultWorkers <= 0 {
 		c.DefaultWorkers = 1
 	}
+	if c.Log == nil {
+		c.Log = slog.New(nopHandler{})
+	}
 	return c
 }
+
+// nopHandler is the discard slog handler behind an unset Config.Log:
+// Enabled is false, so call sites skip attribute evaluation.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
 
 // job is the runtime state behind one Job snapshot.
 type job struct {
@@ -100,10 +132,17 @@ type job struct {
 	// lastBeat is the watchdog heartbeat: the time the job last made
 	// observable progress. Guarded by mu.
 	lastBeat time.Time
+	// enqueuedAt is when the job last entered the queue (submission,
+	// recovery, or the drain back-edge); the dispatch latency between
+	// it and runJob feeds the queue-wait histogram. Guarded by mu.
+	enqueuedAt time.Time
 	// events is the replay buffer for late subscribers; subs the live
 	// fanout. Guarded by mu.
 	events []Event
 	subs   []*subscriber
+	// met is the owning Manager's service metrics (nil when metrics
+	// are off); the fanout counts published events and drops on it.
+	met *metrics
 }
 
 type cancelReason int
@@ -129,6 +168,8 @@ type subscriber struct {
 type Manager struct {
 	cfg   Config
 	store *store
+	met   *metrics
+	start time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -155,13 +196,16 @@ type Manager struct {
 // resume from its latest valid checkpoint snapshot.
 func Open(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
-	st, err := openStore(cfg.Dir, cfg.Inj)
+	met := newMetrics(cfg.Metrics)
+	st, err := openStore(cfg.Dir, cfg.Inj, met)
 	if err != nil {
 		return nil, err
 	}
 	m := &Manager{
 		cfg:           cfg,
 		store:         st,
+		met:           met,
+		start:         time.Now(),
 		jobs:          make(map[string]*job),
 		pendingTenant: make(map[string]int),
 	}
@@ -194,7 +238,7 @@ func (m *Manager) recover() error {
 			if _, dup := m.jobs[rec.ID]; dup {
 				continue // replayed accept can never duplicate a job
 			}
-			m.jobs[rec.ID] = &job{info: Job{
+			m.jobs[rec.ID] = &job{met: m.met, info: Job{
 				ID:          rec.ID,
 				State:       StateQueued,
 				Spec:        *rec.Spec,
@@ -225,6 +269,7 @@ func (m *Manager) recover() error {
 		}
 	}
 	requeued := 0
+	now := time.Now()
 	for _, id := range order {
 		j := m.jobs[id]
 		if j.info.State.Terminal() {
@@ -236,13 +281,17 @@ func (m *Manager) recover() error {
 		j.info.State = StateQueued
 		j.info.Recovered = true
 		j.info.StartedAt = time.Time{}
+		j.enqueuedAt = now
 		m.queue = append(m.queue, j)
+		m.met.jobEvent(j.info.Spec.Tenant, jobRecovered)
 		requeued++
 	}
 	if requeued > 0 {
-		m.logf("recovered %d interrupted job(s), %d total journaled", requeued, len(order))
+		m.cfg.Log.Info("recovered interrupted jobs",
+			"requeued", requeued, "journaled", len(order))
 	}
 	m.mu.Lock()
+	m.met.setQueue(len(m.queue)+m.pending, m.running)
 	m.dispatchLocked()
 	m.mu.Unlock()
 	return nil
@@ -253,15 +302,18 @@ func (m *Manager) recover() error {
 // returned snapshot is the accepted job in its initial state.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
+		m.met.reject(rejectBadSpec)
 		return nil, err
 	}
 	m.mu.Lock()
 	if m.draining || m.killed {
 		m.mu.Unlock()
+		m.met.reject(rejectDraining)
 		return nil, ErrDraining
 	}
 	if queued := len(m.queue) + m.pending; queued >= m.cfg.MaxQueue {
 		m.mu.Unlock()
+		m.met.reject(rejectQueueFull)
 		return nil, fmt.Errorf("%w: %d job(s) queued", ErrQueueFull, queued)
 	}
 	if q := m.cfg.TenantQuota; q > 0 {
@@ -275,6 +327,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		}
 		if active >= q {
 			m.mu.Unlock()
+			m.met.reject(rejectQuota)
 			return nil, fmt.Errorf("%w: tenant %q has %d active job(s)", ErrQuotaExceeded, spec.Tenant, active)
 		}
 	}
@@ -282,6 +335,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.nextID++
 	m.pending++
 	m.pendingTenant[spec.Tenant]++
+	m.met.setQueue(len(m.queue)+m.pending, m.running)
 	m.mu.Unlock()
 
 	// The fsync'd append runs outside m.mu so disk-sync latency stalls
@@ -297,15 +351,23 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		delete(m.pendingTenant, spec.Tenant)
 	}
 	if err != nil {
+		m.met.setQueue(len(m.queue)+m.pending, m.running)
+		m.met.reject(rejectDisk)
 		return nil, err
 	}
 	// A drain or kill that began during the append does not undo the
 	// acceptance: the record is durable, so the job is registered as
 	// queued (dispatchLocked refuses to start it) and the next Open
 	// resumes it — exactly the crash-recovery contract.
-	j := &job{info: Job{ID: id, State: StateQueued, Spec: spec, SubmittedAt: now}}
+	j := &job{met: m.met, info: Job{ID: id, State: StateQueued, Spec: spec, SubmittedAt: now}}
+	j.enqueuedAt = now
 	m.jobs[id] = j
 	m.queue = append(m.queue, j)
+	m.met.jobEvent(spec.Tenant, jobSubmitted)
+	m.met.setQueue(len(m.queue)+m.pending, m.running)
+	m.cfg.Log.Info("job accepted",
+		"job", id, "tenant", spec.Tenant, "circuit", spec.Circuit,
+		"metric", spec.Metric, "bound", spec.Bound)
 	m.dispatchLocked()
 	info := j.snapshot()
 	return &info, nil
@@ -321,6 +383,7 @@ func (m *Manager) dispatchLocked() {
 		m.wg.Add(1)
 		go m.runJob(j)
 	}
+	m.met.setQueue(len(m.queue)+m.pending, m.running)
 }
 
 // Get returns a snapshot of the job.
@@ -391,6 +454,7 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 		for i, q := range m.queue {
 			if q == j {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				m.met.setQueue(len(m.queue)+m.pending, m.running)
 				removed = true
 				break
 			}
@@ -436,9 +500,10 @@ func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
 	}
 	j.mu.Lock()
 	// The replay happens under j.mu with a channel sized for the whole
-	// backlog: no publish can interleave live events ahead of the
-	// replay or close the subscriber mid-replay, and the replay cannot
-	// overflow the buffer, so the stream is gapless and in order.
+	// backlog (plus live headroom and the reserved drop slot): no
+	// publish can interleave live events ahead of the replay or close
+	// the subscriber mid-replay, and the replay cannot overflow the
+	// buffer, so the stream is gapless and in order.
 	sub := &subscriber{ch: make(chan Event, len(j.events)+256)}
 	for _, ev := range j.events {
 		sub.trySend(ev)
@@ -450,22 +515,24 @@ func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
 		j.subs = append(j.subs, sub)
 	}
 	j.mu.Unlock()
+	m.met.subscribed(!terminal)
 	if terminal {
 		return sub.ch, func() {}, nil
 	}
 	stop := func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
-		j.dropSub(sub)
+		j.dropSub(sub, false)
 	}
 	return sub.ch, stop, nil
 }
 
-// trySend delivers without blocking; a full channel means the
-// consumer stalled and reports failure. Callers hold the owning
+// trySend delivers without blocking, keeping the channel's last slot
+// free for the synthetic dropped marker; a (near-)full channel means
+// the consumer stalled and reports failure. Callers hold the owning
 // job's mu, which also guards s.closed.
 func (s *subscriber) trySend(ev Event) bool {
-	if s.closed {
+	if s.closed || len(s.ch) >= cap(s.ch)-1 {
 		return false
 	}
 	select {
@@ -476,8 +543,12 @@ func (s *subscriber) trySend(ev Event) bool {
 	}
 }
 
-// dropSub removes and closes one subscriber. Caller holds j.mu.
-func (j *job) dropSub(sub *subscriber) {
+// dropSub removes and closes one subscriber. With forced set (the
+// consumer stopped draining) a final synthetic EventDropped is
+// delivered into the reserved buffer slot first, so the client's
+// stream ends with an explicit marker instead of a silent close.
+// Caller holds j.mu.
+func (j *job) dropSub(sub *subscriber, forced bool) {
 	for i, s := range j.subs {
 		if s == sub {
 			j.subs = append(j.subs[:i], j.subs[i+1:]...)
@@ -485,15 +556,22 @@ func (j *job) dropSub(sub *subscriber) {
 		}
 	}
 	if !sub.closed {
+		if forced {
+			select {
+			case sub.ch <- Event{Type: EventDropped}:
+			default:
+			}
+		}
 		sub.closed = true
 		close(sub.ch)
+		j.met.unsubscribed(forced)
 	}
 }
 
 // publish records ev in the job's replay buffer and fans it out;
-// subscribers that stopped draining are dropped so a stalled consumer
-// cannot stall the run. When terminal is set, all subscribers are
-// closed after delivery.
+// subscribers that stopped draining are dropped (with a final
+// EventDropped marker) so a stalled consumer cannot stall the run.
+// When terminal is set, all subscribers are closed after delivery.
 func (j *job) publish(ev Event, terminal bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -502,10 +580,11 @@ func (j *job) publish(ev Event, terminal bool) {
 		j.events = append(j.events[:0], j.events[len(j.events)-replayCap/2:]...)
 	}
 	j.events = append(j.events, ev)
+	j.met.published()
 	for i := len(j.subs) - 1; i >= 0; i-- {
 		sub := j.subs[i]
 		if !sub.trySend(ev) {
-			j.dropSub(sub)
+			j.dropSub(sub, true)
 		}
 	}
 	if terminal {
@@ -513,6 +592,7 @@ func (j *job) publish(ev Event, terminal bool) {
 			if !sub.closed {
 				sub.closed = true
 				close(sub.ch)
+				j.met.unsubscribed(false)
 			}
 		}
 		j.subs = nil
@@ -526,7 +606,7 @@ func (j *job) snapshot() Job {
 	return j.info
 }
 
-// Stats is the health summary served by /healthz.
+// Stats is the health summary served by /healthz and /v1/stats.
 type Stats struct {
 	Total     int  `json:"total"`
 	Queued    int  `json:"queued"`
@@ -535,6 +615,9 @@ type Stats struct {
 	Failed    int  `json:"failed"`
 	Cancelled int  `json:"cancelled"`
 	Draining  bool `json:"draining"`
+	// UptimeSeconds is how long this Manager has been open; it resets
+	// on restart (job counts, being journal-derived, do not).
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // Stats counts jobs by state.
@@ -545,6 +628,7 @@ func (m *Manager) Stats() Stats {
 		jobs = append(jobs, j)
 	}
 	st := Stats{Total: len(jobs), Draining: m.draining}
+	st.UptimeSeconds = time.Since(m.start).Seconds()
 	m.mu.Unlock()
 	for _, j := range jobs {
 		switch j.snapshot().State {
@@ -598,7 +682,10 @@ func (m *Manager) watchdog() {
 			}
 			j.mu.Unlock()
 			if cancel != nil {
-				m.logf("watchdog: job %s made no progress in %v, cancelling", j.info.ID, m.cfg.Watchdog)
+				m.met.watchdogFired()
+				m.cfg.Log.Warn("watchdog cancelling hung job",
+					"job", j.info.ID, "tenant", j.info.Spec.Tenant,
+					"interval", m.cfg.Watchdog)
 				cancel()
 			}
 		}
@@ -707,10 +794,4 @@ func (m *Manager) stopWatchdog() {
 	}
 	m.watchdogOnce.Do(func() { close(m.watchdogStop) })
 	<-m.watchdogDone
-}
-
-func (m *Manager) logf(format string, args ...any) {
-	if m.cfg.Logf != nil {
-		m.cfg.Logf(format, args...)
-	}
 }

@@ -48,6 +48,7 @@ type store struct {
 	// running goroutines.
 	frozen atomic.Bool
 	inj    *faultinject.Injector
+	met    *metrics
 }
 
 // Fault-injection point names the store consults. Tests arm them on
@@ -90,7 +91,7 @@ type journalRec struct {
 
 // openStore prepares dir and opens the journal for appending,
 // detecting a torn tail left by a previous crash.
-func openStore(dir string, inj *faultinject.Injector) (*store, error) {
+func openStore(dir string, inj *faultinject.Injector, met *metrics) (*store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -98,7 +99,7 @@ func openStore(dir string, inj *faultinject.Injector) (*store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	s := &store{dir: dir, journal: f, inj: inj}
+	s := &store{dir: dir, journal: f, inj: inj, met: met}
 	if end, err := f.Seek(0, io.SeekEnd); err == nil && end > 0 {
 		var last [1]byte
 		if _, err := f.ReadAt(last[:], end-1); err == nil && last[0] != '\n' {
@@ -149,6 +150,7 @@ func (s *store) append(rec journalRec) error {
 		}
 		return fmt.Errorf("%w: %v", ErrDisk, err)
 	}
+	start := time.Now()
 	if n, err := s.journal.Write(line); err != nil {
 		// A real short write (ENOSPC, EIO) tears the tail exactly like
 		// the injected crash above: arm the framing repair so the torn
@@ -158,9 +160,12 @@ func (s *store) append(rec journalRec) error {
 		}
 		return fmt.Errorf("%w: %v", ErrDisk, err)
 	}
+	fsyncStart := time.Now()
 	if err := s.journal.Sync(); err != nil {
 		return fmt.Errorf("%w: %v", ErrDisk, err)
 	}
+	now := time.Now()
+	s.met.observeJournal(now.Sub(start), now.Sub(fsyncStart))
 	return nil
 }
 
@@ -209,6 +214,12 @@ func (s *store) jobDir(id string) (string, error) {
 // checkpoint.NewWriter creates it on first use).
 func (s *store) ckptDir(id string) string {
 	return filepath.Join(s.dir, "jobs", id, "ckpt")
+}
+
+// bundleDir returns the job's run-bundle directory path (created by
+// ledger.Create/Resume on first use).
+func (s *store) bundleDir(id string) string {
+	return filepath.Join(s.dir, "jobs", id, "bundle")
 }
 
 // writeResult persists a terminal job's result atomically

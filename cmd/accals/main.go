@@ -25,6 +25,15 @@
 //
 //	accals -circuit mtp8 -bound 0.05 -bundle runs/mtp8
 //	report runs/mtp8
+//
+// Candidate evaluation can be farmed out to external evaluator
+// processes (the same binary in -serve-eval mode) and overlapped
+// across rounds with -speculate; both switches are bit-identical to a
+// local sequential run:
+//
+//	accals -serve-eval -listen 127.0.0.1:7001 &
+//	accals -serve-eval -listen 127.0.0.1:7002 &
+//	accals -circuit mtp8 -bound 0.05 -evaluators 127.0.0.1:7001,127.0.0.1:7002 -speculate
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -47,7 +57,9 @@ import (
 	"accals/internal/checkpoint"
 	"accals/internal/circuits"
 	"accals/internal/core"
+	"accals/internal/dispatch"
 	"accals/internal/errmetric"
+	"accals/internal/faultinject"
 	"accals/internal/ledger"
 	"accals/internal/mapping"
 	"accals/internal/obs"
@@ -68,6 +80,7 @@ type config struct {
 	patterns    int
 	workers     int
 	incremental bool
+	speculate   bool
 	seed        int64
 	hasSeed     bool // -seed given explicitly
 	outPath     string
@@ -80,6 +93,12 @@ type config struct {
 	checkpointEvery int
 	resume          bool
 	maxRuntime      time.Duration
+
+	evaluators    string
+	evalFaults    string
+	evalFaultSeed int64
+	serveEval     bool
+	listenAddr    string
 
 	tracePath       string
 	traceChromePath string
@@ -111,6 +130,7 @@ func parseFlags(args []string) (*config, bool, error) {
 	fs.IntVar(&cfg.patterns, "patterns", 8192, "Monte-Carlo pattern budget")
 	fs.IntVar(&cfg.workers, "workers", 0, "evaluation worker count (0 = one per CPU, 1 = sequential); results are identical at any setting")
 	fs.BoolVar(&cfg.incremental, "incremental", true, "reuse cached LAC candidates outside each round's dirty cone; results are identical either way")
+	fs.BoolVar(&cfg.speculate, "speculate", false, "overlap rounds by speculatively generating the next round's candidates while the current round measures; results are identical either way")
 	fs.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.outPath, "out", "", "write the approximate circuit as BLIF")
 	fs.StringVar(&cfg.aigerPath, "aiger", "", "write the approximate circuit as binary AIGER")
@@ -121,6 +141,11 @@ func parseFlags(args []string) (*config, bool, error) {
 	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 10, "snapshot cadence in rounds (with -checkpoint)")
 	fs.BoolVar(&cfg.resume, "resume", false, "resume from the latest snapshot in -checkpoint")
 	fs.DurationVar(&cfg.maxRuntime, "max-runtime", 0, "stop after this wall-clock budget, keeping the best so far (e.g. 30s, 10m)")
+	fs.StringVar(&cfg.evaluators, "evaluators", "", "comma-separated addresses of -serve-eval processes to farm candidate evaluation to; results are identical with or without them")
+	fs.StringVar(&cfg.evalFaults, "eval-faults", "", "fault-injection spec for the evaluator transport (point:mode:prob[:arg][@N], comma-separated; see internal/faultinject)")
+	fs.Int64Var(&cfg.evalFaultSeed, "eval-fault-seed", 1, "random seed for -eval-faults")
+	fs.BoolVar(&cfg.serveEval, "serve-eval", false, "run as a candidate-evaluation server instead of synthesising (use with -listen and -workers)")
+	fs.StringVar(&cfg.listenAddr, "listen", "127.0.0.1:0", "listen address for -serve-eval")
 	fs.StringVar(&cfg.tracePath, "trace", "", "write per-phase span events as JSONL to this file")
 	fs.StringVar(&cfg.traceChromePath, "trace-chrome", "", "write a Chrome trace_event file (open in chrome://tracing or Perfetto)")
 	fs.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus), /status (JSON) and /debug/vars on this address (e.g. :9090, 127.0.0.1:0)")
@@ -181,6 +206,17 @@ func (c *config) validate() error {
 	if c.bundleSlowRound > 0 && c.bundleDir == "" {
 		return errors.New("-bundle-slow-round needs -bundle <dir> to store the profiles in")
 	}
+	if c.evalFaults != "" && c.evaluators == "" {
+		return errors.New("-eval-faults needs -evaluators <addrs> to inject faults into")
+	}
+	if c.method != "accals" && (c.evaluators != "" || c.speculate) {
+		return fmt.Errorf("-evaluators and -speculate require -method accals (got %s)", c.method)
+	}
+	if c.evalFaults != "" {
+		if _, err := faultinject.Parse(c.evalFaultSeed, c.evalFaults); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -195,9 +231,6 @@ func main() {
 		}
 		return
 	}
-	if err := cfg.validate(); err != nil {
-		fatal(err)
-	}
 
 	// SIGINT/SIGTERM cancels the run after the current round; the
 	// best-so-far circuit is still reported and written below, and with
@@ -210,9 +243,38 @@ func main() {
 	// instead of waiting for the drain.
 	context.AfterFunc(ctx, stop)
 
+	// Server mode needs no circuit or bound: it receives everything
+	// over the wire, so it skips the synthesis-flag validation.
+	if cfg.serveEval {
+		if err := serveEval(ctx, cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := cfg.validate(); err != nil {
+		fatal(err)
+	}
+
 	if err := run(ctx, cfg, os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// serveEval runs the process as a candidate-evaluation server: it
+// listens on cfg.listenAddr and serves dispatch protocol sessions
+// until ctx is cancelled. The resolved address is printed so callers
+// binding port 0 can discover it.
+func serveEval(ctx context.Context, cfg *config, w io.Writer) error {
+	if cfg.workers < 0 {
+		return fmt.Errorf("-workers %d out of range: want 0 (all CPUs) or a positive worker count", cfg.workers)
+	}
+	ln, err := net.Listen("tcp", cfg.listenAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving eval on %s\n", ln.Addr())
+	srv := &dispatch.Server{Workers: cfg.workers}
+	return srv.Serve(ctx, ln)
 }
 
 // run executes one synthesis according to cfg, writing the human
@@ -244,6 +306,7 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		MaxRuntime:  cfg.maxRuntime,
 		Workers:     cfg.workers,
 		Incremental: cfg.incremental,
+		Speculate:   cfg.speculate,
 	}
 	ropt.HasPatternSeed = cfg.hasSeed
 
@@ -273,6 +336,34 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "resuming:  round %d, error %.6f (from %s)\n",
 			ropt.Start.Round, snap.Error, cfg.checkpointDir)
+	}
+
+	// The evaluator pool is built after the resume snapshot is loaded:
+	// prepareResume adopts the snapshot's seed into ropt.PatternSeed, and
+	// the pool must ship the exact pattern set the run will use so remote
+	// shards stay bit-identical to local evaluation.
+	evalCount := 0
+	if cfg.evaluators != "" {
+		var inj *faultinject.Injector
+		if cfg.evalFaults != "" {
+			if inj, err = faultinject.Parse(cfg.evalFaultSeed, cfg.evalFaults); err != nil {
+				return err
+			}
+		}
+		var addrs []string
+		for _, a := range strings.Split(cfg.evaluators, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return errors.New("-evaluators lists no addresses")
+		}
+		pool := dispatch.NewPool(addrs, metric, g, ropt.Patterns(g), inj)
+		defer pool.Close()
+		ropt.Evaluators = pool
+		evalCount = pool.Evaluators()
+		fmt.Fprintf(w, "evaluators: %d remote\n", evalCount)
 	}
 
 	// The run bundle is opened after the resume snapshot is loaded: a
@@ -334,6 +425,8 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			Patterns:    cfg.patterns,
 			Workers:     cfg.workers,
 			Incremental: cfg.incremental,
+			Speculate:   cfg.speculate,
+			Evaluators:  evalCount,
 			Resumed:     cfg.resume,
 		}
 		m.FillEnvironment()

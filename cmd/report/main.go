@@ -265,6 +265,10 @@ func analyse(arg, csvPath string, w io.Writer) error {
 		acc.MeanAbs, acc.MaxAbs, acc.MaxRound, acc.Rounds)
 	single, reverts := t.Guards()
 	fmt.Fprintf(w, "guards:       %d single-LAC fallbacks, %d negative-set reverts\n", single, reverts)
+	if launched, hits := t.Speculation(); launched > 0 {
+		fmt.Fprintf(w, "speculation:  %d of %d predictions hit (%.1f%% of %d rounds pipelined)\n",
+			hits, launched, 100*float64(hits)/float64(launched), launched)
+	}
 	if f := t.Finish; f != nil {
 		fmt.Fprintf(w, "finish:       %s after %d rounds, error %.6f, %d ANDs, %d LACs, %.3fs\n",
 			f.StopReason, f.Rounds, f.Error, f.NumAnds, f.LACsApplied,
@@ -332,6 +336,7 @@ func writeCSV(path string, t *ledger.Trajectory) error {
 	cw := csv.NewWriter(f)
 	header := []string{
 		"round", "multi", "guard_single", "reverted", "picked_indp",
+		"speculated", "spec_hit",
 		"applied", "candidates", "budget_left", "top_size",
 		"conflict_nodes", "conflict_edges", "sol_size",
 		"infl_pairs", "infl_above", "mis_size", "indp_size", "rand_size",
@@ -358,6 +363,7 @@ func writeCSV(path string, t *ledger.Trajectory) error {
 	for _, r := range t.Rounds {
 		rec := []string{
 			strconv.Itoa(r.Round), fb(r.Multi), fb(r.GuardSingle), fb(r.Reverted), fb(r.PickedIndp),
+			fb(r.Speculated), fb(r.SpecHit),
 			strconv.Itoa(len(r.Applied)), strconv.Itoa(r.Candidates), ff(r.BudgetLeft), strconv.Itoa(r.TopSize),
 			strconv.Itoa(r.ConflictNodes), strconv.Itoa(r.ConflictEdges), strconv.Itoa(r.SolSize),
 			strconv.Itoa(r.InflPairs), strconv.Itoa(r.InflAbove), strconv.Itoa(r.MISSize),

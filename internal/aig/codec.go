@@ -1,0 +1,195 @@
+package aig
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary graph codec: a compact, versioned encoding of a Graph used by
+// the distributed evaluation protocol (internal/dispatch) to ship the
+// reference and per-epoch circuits to evaluator processes. The format
+// preserves node ids exactly — the decoder appends nodes positionally
+// instead of re-running And()'s simplifications — because LAC targets
+// and substitute nodes are communicated as node ids and must mean the
+// same node on both sides. Decode∘Encode is the identity on the
+// observable graph (ids, kinds, fanins, PI/PO order and names), which
+// the roundtrip tests pin via byte-equal re-encoding and BLIF output.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic "AGB" + 1 version byte (currently 1)
+//	name length, name bytes
+//	node count N (including the constant node 0)
+//	for each id in [1, N): kind byte (1 = PI, 2 = AND);
+//	    for AND: fanin0 literal, fanin1 literal
+//	for each PI in declaration order: name length, name bytes
+//	PO count; for each PO: literal, name length, name bytes
+//
+// Primary inputs are declared in ascending id order by construction
+// (AddPI appends), so the PI list is recovered from the node kinds.
+
+// codecVersion is the current binary codec version.
+const codecVersion = 1
+
+// ErrBadBinary is wrapped by every DecodeBinary error.
+var ErrBadBinary = errors.New("aig: bad binary graph encoding")
+
+// AppendBinary appends the binary encoding of g to buf and returns the
+// extended slice.
+func (g *Graph) AppendBinary(buf []byte) []byte {
+	buf = append(buf, 'A', 'G', 'B', codecVersion)
+	buf = appendString(buf, g.Name)
+	buf = binary.AppendUvarint(buf, uint64(len(g.nodes)))
+	for id := 1; id < len(g.nodes); id++ {
+		n := g.nodes[id]
+		buf = append(buf, byte(n.Kind))
+		if n.Kind == KindAnd {
+			buf = binary.AppendUvarint(buf, uint64(n.Fanin0))
+			buf = binary.AppendUvarint(buf, uint64(n.Fanin1))
+		}
+	}
+	for _, name := range g.piNames {
+		buf = appendString(buf, name)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(g.pos)))
+	for i, l := range g.pos {
+		buf = binary.AppendUvarint(buf, uint64(l))
+		buf = appendString(buf, g.poNames[i])
+	}
+	return buf
+}
+
+// DecodeBinary decodes a graph produced by AppendBinary, validating
+// the structural invariants (Check) before returning it. The input
+// must contain exactly one encoded graph; trailing bytes are an error
+// so framing bugs surface here instead of as truncated circuits.
+func DecodeBinary(data []byte) (*Graph, error) {
+	d := decoder{buf: data}
+	if len(data) < 4 || data[0] != 'A' || data[1] != 'G' || data[2] != 'B' {
+		return nil, fmt.Errorf("%w: missing magic", ErrBadBinary)
+	}
+	if data[3] != codecVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadBinary, data[3], codecVersion)
+	}
+	d.buf = data[4:]
+
+	name := d.string()
+	numNodes := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if numNodes < 1 || numNodes > 1<<28 {
+		return nil, fmt.Errorf("%w: node count %d out of range", ErrBadBinary, numNodes)
+	}
+	g := &Graph{
+		Name:   name,
+		nodes:  make([]Node, 1, numNodes),
+		strash: make(map[[2]Lit]int, numNodes),
+	}
+	g.nodes[0] = Node{Kind: KindConst}
+	for id := 1; id < numNodes; id++ {
+		kind := Kind(d.byte())
+		switch kind {
+		case KindPI:
+			g.nodes = append(g.nodes, Node{Kind: KindPI})
+			g.pis = append(g.pis, id)
+		case KindAnd:
+			f0 := Lit(d.uvarint())
+			f1 := Lit(d.uvarint())
+			g.nodes = append(g.nodes, Node{Kind: KindAnd, Fanin0: f0, Fanin1: f1})
+			key := [2]Lit{f0, f1}
+			// First id wins, matching And()'s insert-if-absent: a
+			// rebuilt graph could in principle carry structural twins.
+			if _, ok := g.strash[key]; !ok {
+				g.strash[key] = id
+			}
+		default:
+			if d.err == nil {
+				return nil, fmt.Errorf("%w: node %d has kind %d", ErrBadBinary, id, kind)
+			}
+			return nil, d.err
+		}
+	}
+	g.piNames = make([]string, 0, len(g.pis))
+	for range g.pis {
+		g.piNames = append(g.piNames, d.string())
+	}
+	numPOs := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if numPOs < 0 || numPOs > 1<<24 {
+		return nil, fmt.Errorf("%w: PO count %d out of range", ErrBadBinary, numPOs)
+	}
+	for i := 0; i < numPOs; i++ {
+		l := Lit(d.uvarint())
+		g.pos = append(g.pos, l)
+		g.poNames = append(g.poNames, d.string())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBinary, len(d.buf))
+	}
+	if err := g.Check(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBinary, err)
+	}
+	return g, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder consumes the encoding front to back, latching the first
+// error so call sites stay linear.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated", ErrBadBinary)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.buf) == 0 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}

@@ -1,0 +1,140 @@
+package aig_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/blif"
+	"accals/internal/circuits"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+// TestCodecRoundTrip checks that DecodeBinary∘AppendBinary preserves
+// the observable graph exactly: node ids, kinds, fanins, PI/PO lists
+// and names — pinned three ways (field comparison, byte-equal
+// re-encoding, byte-equal BLIF output).
+func TestCodecRoundTrip(t *testing.T) {
+	graphs := []*aig.Graph{
+		circuits.RCA(4),
+		circuits.CLA(6),
+		circuits.ArrayMult(4),
+	}
+	// Include a post-LAC rewritten graph: the dispatch protocol ships
+	// these every epoch, and Rebuild's id compaction is the case where
+	// positional decoding (rather than re-running And()) matters.
+	g := circuits.ArrayMult(3)
+	p := simulate.Exhaustive(g.NumPIs())
+	res := simulate.MustRun(g, p)
+	cands := lac.Generate(g, res, lac.Config{EnableResub: true})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	graphs = append(graphs, lac.Apply(g, cands[:1]))
+
+	for _, want := range graphs {
+		enc := want.AppendBinary(nil)
+		got, err := aig.DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Name, err)
+		}
+		if err := got.Check(); err != nil {
+			t.Fatalf("%s: decoded graph invalid: %v", want.Name, err)
+		}
+		if got.Name != want.Name || got.NumNodes() != want.NumNodes() || got.NumPIs() != want.NumPIs() || got.NumPOs() != want.NumPOs() {
+			t.Fatalf("%s: shape mismatch: %s %d/%d/%d vs %d/%d/%d", want.Name, got.Name,
+				got.NumNodes(), got.NumPIs(), got.NumPOs(), want.NumNodes(), want.NumPIs(), want.NumPOs())
+		}
+		for id := 0; id < want.NumNodes(); id++ {
+			if got.NodeAt(id) != want.NodeAt(id) {
+				t.Fatalf("%s: node %d: %+v vs %+v", want.Name, id, got.NodeAt(id), want.NodeAt(id))
+			}
+		}
+		for i := 0; i < want.NumPIs(); i++ {
+			if got.PI(i) != want.PI(i) || got.PIName(i) != want.PIName(i) {
+				t.Fatalf("%s: PI %d mismatch", want.Name, i)
+			}
+		}
+		for i := 0; i < want.NumPOs(); i++ {
+			if got.PO(i) != want.PO(i) || got.POName(i) != want.POName(i) {
+				t.Fatalf("%s: PO %d mismatch", want.Name, i)
+			}
+		}
+		if re := got.AppendBinary(nil); !bytes.Equal(re, enc) {
+			t.Fatalf("%s: re-encoding differs", want.Name)
+		}
+		var wantBlif, gotBlif bytes.Buffer
+		if err := blif.Write(&wantBlif, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := blif.Write(&gotBlif, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantBlif.Bytes(), gotBlif.Bytes()) {
+			t.Fatalf("%s: BLIF output differs after roundtrip", want.Name)
+		}
+	}
+}
+
+// TestCodecDecodedGraphIsBuildable checks that the decoder rebuilds the
+// structural hash: And() on a decoded graph finds existing nodes
+// instead of growing twins.
+func TestCodecDecodedGraphIsBuildable(t *testing.T) {
+	g := circuits.RCA(4)
+	dec, err := aig.DecodeBinary(g.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dec.NumNodes()
+	for id := 0; id < before; id++ {
+		if !dec.IsAnd(id) {
+			continue
+		}
+		n := dec.NodeAt(id)
+		if got := dec.And(n.Fanin0, n.Fanin1); got != aig.MakeLit(id, false) {
+			t.Fatalf("And(%v, %v) = %v, want existing node %d", n.Fanin0, n.Fanin1, got, id)
+		}
+	}
+	if dec.NumNodes() != before {
+		t.Fatalf("re-Anding existing structure grew the graph: %d -> %d nodes", before, dec.NumNodes())
+	}
+}
+
+// TestCodecDecodeErrors checks that corrupt encodings fail with
+// ErrBadBinary and never panic: truncation at every prefix, bad magic,
+// bad version, trailing garbage and invalid node kinds.
+func TestCodecDecodeErrors(t *testing.T) {
+	enc := circuits.CLA(4).AppendBinary(nil)
+	for n := 0; n < len(enc); n++ {
+		if _, err := aig.DecodeBinary(enc[:n]); !errors.Is(err, aig.ErrBadBinary) {
+			t.Fatalf("truncation at %d: err = %v, want ErrBadBinary", n, err)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := aig.DecodeBinary(bad); !errors.Is(err, aig.ErrBadBinary) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[3] = 99
+	if _, err := aig.DecodeBinary(bad); !errors.Is(err, aig.ErrBadBinary) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+	if _, err := aig.DecodeBinary(append(append([]byte(nil), enc...), 0)); !errors.Is(err, aig.ErrBadBinary) {
+		t.Fatalf("trailing byte: err = %v", err)
+	}
+	// Flip every byte position once; decode must return an error or a
+	// graph that still passes Check — never panic.
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x55
+		g, err := aig.DecodeBinary(mut)
+		if err == nil {
+			if cerr := g.Check(); cerr != nil {
+				t.Fatalf("byte %d corrupt: decode accepted invalid graph: %v", i, cerr)
+			}
+		}
+	}
+}

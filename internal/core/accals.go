@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"accals/internal/aig"
+	"accals/internal/dispatch"
 	"accals/internal/errmetric"
 	"accals/internal/estimator"
 	"accals/internal/lac"
@@ -95,6 +96,23 @@ type Options struct {
 	// The caches live in memory for the duration of one run; a resumed
 	// run's first round is a full generation.
 	Incremental bool
+	// Speculate enables speculative round pipelining: while a round
+	// measures its candidate sets, the predicted winner's circuit is
+	// simulated and its candidates generated on a background goroutine,
+	// so a correct prediction lets the next round skip straight to
+	// estimation. The trajectory is bit-identical with speculation on
+	// or off — every speculative artifact is a pure function of the
+	// inputs the normal path would use — so the switch only trades a
+	// background core for per-round latency. Unlike the plain
+	// simulation prefetch it also engages at Workers == 1.
+	Speculate bool
+	// Evaluators, when non-nil, farms candidate estimation out to the
+	// pool's external evaluator processes (accals -serve-eval),
+	// splitting each batch into per-evaluator slices plus a local
+	// share. Results are bit-identical to local evaluation and any
+	// transport failure falls back to it, so the pool only ever changes
+	// where the work runs.
+	Evaluators *dispatch.Pool
 }
 
 // StartState warm-starts a run from a previously checkpointed circuit
@@ -114,6 +132,9 @@ type StartState struct {
 // Estimator, threading the recorder through for the estimate-phase
 // span.
 func (o Options) estimate(est *estimator.Estimator, g *aig.Graph, simRes *simulate.Result, cmp *errmetric.Comparator, cands []*lac.LAC) float64 {
+	if o.Evaluators != nil {
+		return o.Evaluators.EstimateAll(est, g, simRes, cmp, cands, o.ExactEstimates, o.Recorder)
+	}
 	if o.ExactEstimates {
 		return est.EstimateAllExactRec(g, simRes, cmp, cands, o.Recorder)
 	}
@@ -271,6 +292,46 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		}
 	}
 
+	// The speculative round pipeline: spec owns the background slot and
+	// its dedicated simulation runner, ready carries a hit across the
+	// round boundary (its simulation and candidate list are the next
+	// round's simulate and generate phases, precomputed). settle runs at
+	// each round's end: a hit adopts the speculative state — the forked
+	// generator replaces the original and the influence index rebases
+	// through the speculative delta, exactly mirroring noteApply — while
+	// a miss (or an unspeculated round) does the normal cache rebase and
+	// simulation prefetch. One rebase per round either way, always with
+	// the rebuild that actually produced gNew.
+	var spec *speculator
+	if opt.Speculate {
+		spec = &speculator{
+			runner: simulate.NewRunner(opt.Workers),
+			pats:   cmp.Patterns(),
+			genCfg: genCfg,
+		}
+	}
+	var ready *specRound
+	settle := func(round int, specSp *specRound, match bool, g, gNew *aig.Graph, am []aig.Lit, applied []*lac.LAC) bool {
+		if specSp != nil {
+			if sp := spec.resolve(match); sp != nil {
+				ready = sp
+				if gen != nil {
+					gen = sp.gen
+					if infl != nil && infl.g == g {
+						infl = infl.rebase(sp.delta)
+					} else {
+						infl = nil
+					}
+				}
+				rec.CountSpeculation(true)
+				return true
+			}
+			rec.CountSpeculation(false)
+		}
+		noteApply(g, gNew, am, applied)
+		return false
+	}
+
 	// measure evaluates a candidate LAC set's true error under the
 	// measure-phase span. Rather than building and fully resimulating
 	// the candidate circuit, the targets are overlaid on the round's
@@ -299,6 +360,9 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		if pend != nil {
 			<-pend.done
 			runner.Release(pend.res)
+		}
+		if spec != nil {
+			spec.shutdown(ready)
 		}
 	}()
 	startPrefetch := func(round int) {
@@ -336,6 +400,18 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		sp := rec.StartPhase(round, obs.PhaseSimulate)
 		var simRes *simulate.Result
 		var serr error
+		if ready != nil {
+			if ready.g == g {
+				// Speculation hit: the base simulation (and, below, the
+				// candidate list) were precomputed last round.
+				simRes = ready.res
+			} else {
+				// Defensive: a hit must have installed its circuit as
+				// this round's base; recycle a mismatched one.
+				spec.runner.Release(ready.res)
+				ready = nil
+			}
+		}
 		if pend != nil {
 			<-pend.done
 			if pend.g == g {
@@ -361,7 +437,13 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		rec.CountSimPatterns(patCount)
 
 		sp = rec.StartPhase(round, obs.PhaseGenerate)
-		cands := generate(g, simRes)
+		var cands []*lac.LAC
+		if ready != nil {
+			cands = ready.cands
+			ready = nil
+		} else {
+			cands = generate(g, simRes)
+		}
 		sp.End()
 		rs.Candidates = len(cands)
 		rec.CountCandidates(len(cands))
@@ -383,14 +465,24 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			var am []aig.Lit
 			gNew, am = lac.ApplyMapped(g, applied)
 			sp.End()
-			noteApply(g, gNew, am, applied)
+			// The applied set is already final, so speculation here is a
+			// pure pipeline: the next round's simulate and generate
+			// overlap this round's measurement.
+			var specSp *specRound
+			if spec != nil && round+1 < params.MaxRounds {
+				specSp = spec.launch(g, applied, gNew, am, gen)
+				rs.Speculated = true
+			}
 			e = measure(round, g, simRes, applied)
 			var measured []float64
 			if led {
 				measured = est.MeasureEach(g, simRes, cmp, applied, rec)
 			}
 			runner.Release(simRes)
-			startPrefetch(round)
+			rs.SpecHit = settle(round, specSp, true, g, gNew, am, applied)
+			if !rs.SpecHit {
+				startPrefetch(round)
+			}
 			rs.AppliedLACs = 1
 			rs.Error = e
 			rs.EstimatedErr = estimatedError(eG, applied)
@@ -437,6 +529,30 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		rs.IndpSize = len(lIndp)
 		rs.RandSize = len(lRand)
 
+		// Speculation: predict the winner before measuring and pipeline
+		// the next round's front half against it. Single-set rounds are
+		// sure predictions; duels are predicted by the same comparison
+		// the duel makes, on estimated instead of measured errors.
+		var specSp *specRound
+		predIndp := false
+		if spec != nil && round+1 < params.MaxRounds {
+			switch {
+			case lIndp == nil:
+				specSp = spec.launch(g, lRand, nil, nil, gen)
+			case lRand == nil:
+				predIndp = true
+				specSp = spec.launch(g, lIndp, nil, nil, gen)
+			default:
+				predIndp = predictIndp(lIndp, lRand, eG)
+				if predIndp {
+					specSp = spec.launch(g, lIndp, nil, nil, gen)
+				} else {
+					specSp = spec.launch(g, lRand, nil, nil, gen)
+				}
+			}
+			rs.Speculated = true
+		}
+
 		var applied []*lac.LAC
 		switch {
 		case lIndp == nil:
@@ -467,8 +583,16 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			rec.DuelOutcome(rs.PickedIndp)
 		}
 		sp = rec.StartPhase(round, obs.PhaseApply)
+		match := specSp != nil && predIndp == rs.PickedIndp
 		var am []aig.Lit
-		gNew, am = lac.ApplyMapped(g, applied)
+		if match {
+			// The predicted rebuild was already built at launch; adopting
+			// it (rather than an identical re-Apply) is what lines the
+			// forked generator's pointer identities up with next round.
+			gNew, am = specSp.g, specSp.am
+		} else {
+			gNew, am = lac.ApplyMapped(g, applied)
+		}
 		sp.End()
 		rs.EstimatedErr = estimatedError(eG, applied)
 
@@ -490,12 +614,9 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 				e = cmp.ErrorFromPOs(estimator.ResimulateWithSet(g, simRes, applied))
 				sp.End()
 				rec.CountSimPatterns(patCount)
+				match = false
 			}
 		}
-		// One rebase per round, with the rebuild that actually produced
-		// gNew: the revert above overwrites both applied and am before
-		// the caches ever see the discarded multi-LAC rebuild.
-		noteApply(g, gNew, am, applied)
 
 		// Stagnation guard state: optimistic gain estimates can
 		// produce rounds that neither shrink the circuit nor move the
@@ -512,7 +633,14 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			measured = est.MeasureEach(g, simRes, cmp, applied, rec)
 		}
 		runner.Release(simRes)
-		startPrefetch(round)
+		// One rebase per round, with the rebuild that actually produced
+		// gNew: the revert above overwrites applied, am and the
+		// speculation match before the caches ever see the discarded
+		// multi-LAC rebuild.
+		rs.SpecHit = settle(round, specSp, match, g, gNew, am, applied)
+		if !rs.SpecHit {
+			startPrefetch(round)
+		}
 		rs.NoProgress = noProgress
 		rs.AppliedLACs = len(applied)
 		rs.Error = e
@@ -576,6 +704,8 @@ func ledgerRound(rs RoundStats, gNew *aig.Graph, budgetLeft float64, applied []*
 		Multi:         rs.MultiRound,
 		GuardSingle:   rs.GuardSingle,
 		Reverted:      rs.Reverted,
+		Speculated:    rs.Speculated,
+		SpecHit:       rs.SpecHit,
 		EstErr:        rs.EstimatedErr,
 		Error:         rs.Error,
 		NumAnds:       gNew.NumAnds(),

@@ -153,14 +153,20 @@ type RoundStats struct {
 	RandSize  int
 	// HasDuel marks rounds in which both candidate sets were measured;
 	// DuelIndpErr/DuelRandErr are then their measured errors.
-	HasDuel      bool
-	DuelIndpErr  float64
-	DuelRandErr  float64
-	AppliedLACs  int
-	PickedIndp   bool
-	MultiRound   bool // false when the single-LAC fallback ran
-	GuardSingle  bool // improvement technique 1 fired
-	Reverted     bool // improvement technique 2 fired
+	HasDuel     bool
+	DuelIndpErr float64
+	DuelRandErr float64
+	AppliedLACs int
+	PickedIndp  bool
+	MultiRound  bool // false when the single-LAC fallback ran
+	GuardSingle bool // improvement technique 1 fired
+	Reverted    bool // improvement technique 2 fired
+	// Speculated marks rounds that launched the speculative next-round
+	// pipeline (Options.Speculate); SpecHit marks those whose predicted
+	// winner matched the final applied set, letting the next round start
+	// from the precomputed simulation and candidate list.
+	Speculated   bool
+	SpecHit      bool
 	Error        float64
 	EstimatedErr float64
 	NumAnds      int

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"accals/internal/aig"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+// speculator runs the speculative round pipeline (Options.Speculate):
+// while round R is still measuring its candidate sets, the likely
+// winner's circuit is built and its simulation and candidate
+// generation — the front half of round R+1 — run on a background
+// goroutine. A correct prediction lets round R+1 skip straight to
+// estimation; a misprediction costs nothing but the wasted background
+// work, because the speculative state is assembled entirely from
+// copies (a forked incremental generator, a dedicated simulation
+// runner) and is simply dropped.
+//
+// Bit-identity: every speculative artifact is a pure function of the
+// same inputs the non-speculative path would use. lac.ApplyMapped is
+// deterministic, so the speculative circuit equals the one the round
+// would build after the duel; the dedicated runner's simulation is
+// bit-identical to the main runner's (fixed shard boundaries); and the
+// forked generator reproduces exactly what the original would generate
+// next round (its contract), so a run with speculation on follows the
+// identical trajectory to one with it off.
+//
+// The speculator owns one background slot: at most one speculation is
+// in flight, and an abandoned one (a miss) is drained lazily before
+// the next launch so a misprediction never blocks the round that
+// detected it.
+type speculator struct {
+	runner   *simulate.Runner
+	pats     *simulate.Patterns
+	genCfg   lac.Config
+	inflight *specRound
+	stale    *specRound
+}
+
+// specRound is one speculative next-round state: the predicted applied
+// set, the circuit built from it, and — once done is closed — its
+// simulation and candidate list.
+type specRound struct {
+	predicted []*lac.LAC
+	g         *aig.Graph
+	am        []aig.Lit
+	delta     *aig.Delta
+	gen       *lac.Generator
+	res       *simulate.Result
+	err       error
+	cands     []*lac.LAC
+	done      chan struct{}
+}
+
+// launch starts speculating the round that would follow applying
+// predicted to base. The circuit build (and the incremental-engine
+// fork, when gen is non-nil) happens synchronously — callers reuse
+// sp.g/sp.am as the round's own rebuild when the prediction holds —
+// while simulation and candidate generation run in the background.
+// gS/amS, when non-nil, supply an already-built rebuild of predicted
+// instead of recomputing it.
+func (s *speculator) launch(base *aig.Graph, predicted []*lac.LAC, gS *aig.Graph, amS []aig.Lit, gen *lac.Generator) *specRound {
+	s.drain()
+	if gS == nil {
+		gS, amS = lac.ApplyMapped(base, predicted)
+	}
+	sp := &specRound{predicted: predicted, g: gS, am: amS, done: make(chan struct{})}
+	if gen != nil {
+		sp.delta = aig.NewDelta(base, gS, amS, lac.Targets(predicted))
+		sp.gen = gen.Fork()
+		sp.gen.NoteApply(sp.delta, predicted)
+	}
+	s.inflight = sp
+	go func() {
+		defer close(sp.done)
+		sp.res, sp.err = s.runner.Run(sp.g, s.pats)
+		if sp.err != nil {
+			return
+		}
+		if sp.gen != nil {
+			sp.cands = sp.gen.Generate(sp.g, sp.res, s.genCfg, nil)
+		} else {
+			sp.cands = lac.Generate(sp.g, sp.res, s.genCfg)
+		}
+	}()
+	return sp
+}
+
+// resolve settles the in-flight speculation. On a match it joins the
+// background work and returns the completed state for the next round
+// to consume; on a miss (or a failed speculative simulation) it
+// returns nil, parking the abandoned work for a lazy drain.
+func (s *speculator) resolve(match bool) *specRound {
+	sp := s.inflight
+	s.inflight = nil
+	if sp == nil {
+		return nil
+	}
+	if !match {
+		s.stale = sp
+		return nil
+	}
+	<-sp.done
+	if sp.err != nil {
+		s.runner.Release(sp.res)
+		return nil
+	}
+	return sp
+}
+
+// drain joins and recycles an abandoned speculation. Blocking here is
+// bounded by one speculative simulate+generate and only happens when
+// the next launch (or shutdown) catches up with a recent miss.
+func (s *speculator) drain() {
+	if s.stale == nil {
+		return
+	}
+	<-s.stale.done
+	s.runner.Release(s.stale.res)
+	s.stale = nil
+}
+
+// shutdown joins all background work so a returning (or panicking) run
+// cannot leak the speculation goroutine and its pinned graph. ready,
+// when non-nil, is an adopted-but-unconsumed speculation whose
+// simulation must be recycled too.
+func (s *speculator) shutdown(ready *specRound) {
+	s.drain()
+	if s.inflight != nil {
+		<-s.inflight.done
+		s.runner.Release(s.inflight.res)
+		s.inflight = nil
+	}
+	if ready != nil {
+		s.runner.Release(ready.res)
+	}
+}
+
+// predictIndp predicts the duel's winner with the same comparison the
+// duel itself makes, estimated errors standing in for measured ones.
+func predictIndp(lIndp, lRand []*lac.LAC, eG float64) bool {
+	e1, e2 := estimatedError(eG, lIndp), estimatedError(eG, lRand)
+	return e1 < e2 || (e1 == e2 && len(lIndp) >= len(lRand))
+}

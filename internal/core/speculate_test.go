@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"accals/internal/aiger"
+	"accals/internal/checkpoint"
+	"accals/internal/circuits"
+	"accals/internal/dispatch"
+	"accals/internal/errmetric"
+	"accals/internal/runctl"
+)
+
+// runSpecTrajectory runs ArrayMult(4) with the given switches,
+// mirroring runIncTrajectory.
+func runSpecTrajectory(t *testing.T, metric errmetric.Kind, workers int, incremental, speculate bool, params Params) ([]byte, []float64, *Result) {
+	t.Helper()
+	g := circuits.ArrayMult(4)
+	if params.Seed == 0 {
+		params.Seed = 7
+	}
+	if params.MaxRounds == 0 {
+		params.MaxRounds = 30
+	}
+	res := Run(g, metric, 0.03, Options{
+		NumPatterns: 1024,
+		Workers:     workers,
+		Incremental: incremental,
+		Speculate:   speculate,
+		Params:      params,
+	})
+	var buf bytes.Buffer
+	if err := aiger.WriteASCII(&buf, res.Final); err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]float64, len(res.Rounds))
+	for i, r := range res.Rounds {
+		errs[i] = r.Error
+	}
+	return buf.Bytes(), errs, res
+}
+
+// specTally counts speculative launches and hits across a run.
+func specTally(res *Result) (launched, hits int) {
+	for _, r := range res.Rounds {
+		if r.Speculated {
+			launched++
+		}
+		if r.SpecHit {
+			hits++
+		}
+	}
+	return
+}
+
+// TestSpeculateBitIdentical is the pipelining correctness contract:
+// Speculate: true must produce a bit-identical trajectory to
+// Speculate: false across metrics, worker counts and the incremental
+// switch — speculation only moves work, never results.
+func TestSpeculateBitIdentical(t *testing.T) {
+	for _, metric := range []errmetric.Kind{errmetric.ER, errmetric.MHD, errmetric.NMED, errmetric.MRED} {
+		wantBytes, wantErrs, wantRes := runSpecTrajectory(t, metric, 1, false, false, Params{})
+		if len(wantErrs) < 3 {
+			t.Fatalf("%v: only %d rounds ran; trajectory too short to be meaningful", metric, len(wantErrs))
+		}
+		for _, workers := range []int{1, 4} {
+			for _, incremental := range []bool{false, true} {
+				gotBytes, gotErrs, gotRes := runSpecTrajectory(t, metric, workers, incremental, true, Params{})
+				compareTrajectories(t, fmt.Sprintf("%v workers=%d incremental=%v", metric, workers, incremental),
+					wantBytes, wantErrs, wantRes, gotBytes, gotErrs, gotRes)
+				launched, hits := specTally(gotRes)
+				if launched == 0 {
+					t.Fatalf("%v workers=%d: no round speculated; the pipeline never engaged", metric, workers)
+				}
+				if hits == 0 {
+					t.Fatalf("%v workers=%d: %d speculations, zero hits; the fast path is untested", metric, workers, launched)
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculateMispredictionRollback forces mispredictions through the
+// negative-set revert (LD < 0 reverts every multi-LAC round, and a
+// reverted round can never match the predicted set): the speculative
+// state must be rolled back — forked caches dropped, the normal rebase
+// taken — without disturbing the trajectory.
+func TestSpeculateMispredictionRollback(t *testing.T) {
+	params := Params{Seed: 7, MaxRounds: 30, LD: -0.5}
+	wantBytes, wantErrs, wantRes := runIncTrajectory(t, errmetric.ER, 1, false, params)
+	reverts := 0
+	for _, r := range wantRes.Rounds {
+		if r.Reverted {
+			reverts++
+		}
+	}
+	if reverts == 0 {
+		t.Fatal("LD=-0.5 produced no reverted rounds; the test exercises nothing")
+	}
+	for _, incremental := range []bool{false, true} {
+		gotBytes, gotErrs, gotRes := runSpecTrajectory(t, errmetric.ER, 4, incremental, true, params)
+		compareTrajectories(t, fmt.Sprintf("rollback incremental=%v", incremental),
+			wantBytes, wantErrs, wantRes, gotBytes, gotErrs, gotRes)
+		launched, hits := specTally(gotRes)
+		if launched == 0 || hits >= launched {
+			t.Fatalf("incremental=%v: %d speculations, %d hits; wanted forced misses", incremental, launched, hits)
+		}
+		for _, r := range gotRes.Rounds {
+			if r.Reverted && r.SpecHit {
+				t.Fatalf("round %d: reverted round recorded a speculation hit", r.Round)
+			}
+		}
+	}
+}
+
+// TestSpeculateCheckpointResume interrupts a speculating run mid-flight
+// and resumes it: the resumed trajectory must replay the uninterrupted
+// tail exactly. No speculative state is persisted — the resumed run's
+// first round is a full generation — so the cut can land anywhere,
+// including between a speculation launch and its resolution.
+func TestSpeculateCheckpointResume(t *testing.T) {
+	g := circuits.ArrayMult(5)
+	const bound = 0.4
+	opts := func() Options {
+		return Options{
+			NumPatterns: 2048,
+			Workers:     4,
+			Incremental: true,
+			Speculate:   true,
+			Params:      Params{Seed: 7, MaxRounds: 30},
+		}
+	}
+
+	want := Run(g, errmetric.ER, bound, opts())
+	if len(want.Rounds) < 6 {
+		t.Fatalf("reference run too short (%d rounds) to interrupt meaningfully", len(want.Rounds))
+	}
+	if launched, hits := specTally(want); launched == 0 || hits == 0 {
+		t.Fatalf("reference run speculated %d rounds with %d hits; resume would not cross the pipeline", launched, hits)
+	}
+
+	dir := t.TempDir()
+	w, err := checkpoint.NewWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := opts()
+	opt.Progress = func(rs RoundStats) {
+		snap := &checkpoint.Snapshot{Round: rs.Round, Error: rs.Error, Seed: 7, HasSeed: true}
+		if err := snap.SetGraph(rs.Graph); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := w.Save(snap); err != nil {
+			t.Error(err)
+			return
+		}
+		if rs.Round == 3 {
+			cancel()
+		}
+	}
+	interrupted := RunCtx(ctx, g, errmetric.ER, bound, opt)
+	if interrupted.StopReason != runctl.Cancelled {
+		t.Fatalf("interrupted run stopped with %v, want Cancelled", interrupted.StopReason)
+	}
+
+	snap, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := snap.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropt := opts()
+	ropt.Start = &StartState{Graph: sg, Round: snap.Round + 1}
+	got := Run(g, errmetric.ER, bound, ropt)
+
+	var wb, gb bytes.Buffer
+	if err := aiger.WriteASCII(&wb, want.Final); err != nil {
+		t.Fatal(err)
+	}
+	if err := aiger.WriteASCII(&gb, got.Final); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb.Bytes(), gb.Bytes()) || got.Error != want.Error || got.StopReason != want.StopReason {
+		t.Fatalf("resumed run diverged: (%g, %v) vs (%g, %v)",
+			got.Error, got.StopReason, want.Error, want.StopReason)
+	}
+	tail := want.Rounds[snap.Round+1:]
+	if len(got.Rounds) != len(tail) {
+		t.Fatalf("resumed run ran %d rounds, want %d", len(got.Rounds), len(tail))
+	}
+	for i := range tail {
+		if got.Rounds[i].Error != tail[i].Error || got.Rounds[i].Round != tail[i].Round {
+			t.Fatalf("resumed round %d: (%d, %g) vs (%d, %g)", i,
+				got.Rounds[i].Round, got.Rounds[i].Error, tail[i].Round, tail[i].Error)
+		}
+	}
+}
+
+// TestSpeculateJoinedOnCancel: a cancelled speculating run must join
+// the background speculation and leak no goroutine.
+func TestSpeculateJoinedOnCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := circuits.ArrayMult(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	res := RunCtx(ctx, g, errmetric.ER, 0.4, Options{
+		NumPatterns: 2048,
+		Workers:     4,
+		Incremental: true,
+		Speculate:   true,
+		Params:      Params{Seed: 1},
+		Progress: func(RoundStats) {
+			rounds++
+			if rounds == 3 {
+				cancel()
+			}
+		},
+	})
+	if res.StopReason != runctl.Cancelled {
+		t.Fatalf("stop reason %v, want Cancelled", res.StopReason)
+	}
+	if n := waitGoroutines(base, 2*time.Second); n > base {
+		t.Fatalf("%d goroutines alive after cancelled run, started with %d (speculation leak)", n, base)
+	}
+}
+
+// TestSpeculateJoinedOnPanic: a Progress panic unwinding the round loop
+// must still join the in-flight speculation during the unwind.
+func TestSpeculateJoinedOnPanic(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := circuits.ArrayMult(5)
+	rounds := 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the Progress panic to propagate")
+			}
+		}()
+		Run(g, errmetric.ER, 0.4, Options{
+			NumPatterns: 2048,
+			Workers:     4,
+			Speculate:   true,
+			Params:      Params{Seed: 1},
+			Progress: func(RoundStats) {
+				rounds++
+				if rounds == 2 {
+					panic("boom")
+				}
+			},
+		})
+	}()
+	if rounds != 2 {
+		t.Fatalf("panicked after %d rounds, want 2", rounds)
+	}
+	if n := waitGoroutines(base, 2*time.Second); n > base {
+		t.Fatalf("%d goroutines alive after panicking run, started with %d (speculation leak)", n, base)
+	}
+}
+
+// TestEvaluatorPoolBitIdentical runs a full synthesis with candidate
+// estimation farmed to an in-process dispatch server (plus speculative
+// pipelining, so the two tentpole halves compose) and asserts the
+// trajectory is bit-identical to a purely local run.
+func TestEvaluatorPoolBitIdentical(t *testing.T) {
+	wantBytes, wantErrs, wantRes := runSpecTrajectory(t, errmetric.NMED, 2, true, false, Params{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &dispatch.Server{Workers: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ctx, ln)
+	}()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	g := circuits.ArrayMult(4)
+	opt := Options{
+		NumPatterns: 1024,
+		Workers:     2,
+		Incremental: true,
+		Speculate:   true,
+		Params:      Params{Seed: 7, MaxRounds: 30},
+	}
+	pool := dispatch.NewPool([]string{ln.Addr().String()}, errmetric.NMED, g, opt.Patterns(g), nil)
+	pool.MinBatch = 1
+	defer pool.Close()
+	opt.Evaluators = pool
+
+	res := Run(g, errmetric.NMED, 0.03, opt)
+	var buf bytes.Buffer
+	if err := aiger.WriteASCII(&buf, res.Final); err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]float64, len(res.Rounds))
+	for i, r := range res.Rounds {
+		errs[i] = r.Error
+	}
+	compareTrajectories(t, "evaluator pool", wantBytes, wantErrs, wantRes, buf.Bytes(), errs, res)
+}

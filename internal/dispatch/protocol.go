@@ -1,0 +1,380 @@
+// Package dispatch farms candidate-batch error estimation to external
+// evaluator processes (`accals -serve-eval`, same binary) over a
+// length-prefixed binary protocol, breaking the one-process ceiling on
+// round time.
+//
+// Correctness rests on one property of the estimator: a candidate's
+// ΔE is a pure function of (graph, pattern set, metric, candidate) —
+// never of which other candidates share the batch — because every
+// per-output propagation mask is deterministic and every merge is
+// order-free (DESIGN §2d). Splitting a batch into slices and
+// evaluating the slices on different processes therefore yields
+// bit-identical DeltaE values to local evaluation, and the client
+// merges by writing each slice's results into disjoint slots. Any
+// transport error fails the slice over to local evaluation, so faults
+// cost time, never correctness.
+//
+// Wire format: every frame is a 4-byte big-endian payload length, a
+// 1-byte frame type, then the payload. The conversation per
+// connection:
+//
+//	client → init    version, metric kind, pattern words, reference circuit
+//	server → ok      (or error)
+//	client → epoch   epoch id + current circuit        } once per circuit
+//	server → ok      (or error)                        } change, per conn
+//	client → eval    epoch id, mode (fast|exact), candidate slice
+//	server → result  one IEEE-754 bit pattern per candidate (or error)
+//
+// The server keeps exactly one decoded circuit per connection — the
+// latest epoch — simulates it once on arrival, and rejects eval
+// frames whose epoch id does not match (the client then re-pushes).
+// Float64s cross the wire as math.Float64bits, so no precision is
+// lost and bit-identity survives the roundtrip.
+package dispatch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"accals/internal/errmetric"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+// protoVersion is the wire-protocol version carried by the init frame.
+const protoVersion = 1
+
+// Frame types.
+const (
+	frameInit byte = iota + 1
+	frameOK
+	frameEpoch
+	frameEval
+	frameResult
+	frameError
+)
+
+// Eval modes.
+const (
+	modeFast  byte = 0
+	modeExact byte = 1
+)
+
+// maxFrame bounds a frame payload (64 MiB): large enough for any
+// realistic pattern set or candidate batch, small enough that a
+// corrupt length prefix cannot provoke an absurd allocation.
+const maxFrame = 64 << 20
+
+// ErrProtocol is wrapped by every malformed-frame error.
+var ErrProtocol = errors.New("dispatch: protocol error")
+
+// ErrRemote is wrapped by errors the peer reported in an error frame.
+var ErrRemote = errors.New("dispatch: remote error")
+
+// writeFrame writes one frame: length prefix, type byte, payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) (int, error) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return 0, err
+		}
+	}
+	return len(hdr) + len(payload), nil
+}
+
+// readFrame reads one frame, returning its type and payload.
+func readFrame(r io.Reader) (byte, []byte, int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, 0, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, err
+	}
+	return hdr[4], payload, len(hdr) + int(n), nil
+}
+
+// encodeInit builds the init payload: protocol version, metric kind,
+// pattern set (PI count, pattern count, packed words per PI), and the
+// encoded reference circuit.
+func encodeInit(kind errmetric.Kind, ref []byte, p *simulate.Patterns) []byte {
+	words := p.Words()
+	buf := make([]byte, 0, 16+p.NumPIs()*words*8+len(ref))
+	buf = append(buf, protoVersion, byte(kind))
+	buf = binary.AppendUvarint(buf, uint64(p.NumPIs()))
+	buf = binary.AppendUvarint(buf, uint64(p.NumPatterns()))
+	for i := 0; i < p.NumPIs(); i++ {
+		row := p.PIValue(i)
+		for w := 0; w < words; w++ {
+			buf = binary.LittleEndian.AppendUint64(buf, row[w])
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ref)))
+	return append(buf, ref...)
+}
+
+func decodeInit(payload []byte) (errmetric.Kind, []byte, *simulate.Patterns, error) {
+	d := wireDecoder{buf: payload}
+	ver := d.byte()
+	kind := errmetric.Kind(d.byte())
+	if d.err == nil && ver != protoVersion {
+		return 0, nil, nil, fmt.Errorf("%w: protocol version %d, want %d", ErrProtocol, ver, protoVersion)
+	}
+	numPIs := int(d.uvarint())
+	numPatterns := int(d.uvarint())
+	if d.err != nil {
+		return 0, nil, nil, d.err
+	}
+	if numPIs < 0 || numPIs > 1<<20 || numPatterns < 1 || numPatterns > 1<<30 {
+		return 0, nil, nil, fmt.Errorf("%w: pattern set %d x %d out of range", ErrProtocol, numPIs, numPatterns)
+	}
+	words := (numPatterns + 63) / 64
+	rows := make([][]uint64, numPIs)
+	for i := range rows {
+		rows[i] = d.words(words)
+	}
+	ref := d.bytes()
+	if d.err != nil {
+		return 0, nil, nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return 0, nil, nil, fmt.Errorf("%w: %d trailing bytes in init", ErrProtocol, len(d.buf))
+	}
+	p, err := simulate.FromWords(numPIs, numPatterns, rows)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return kind, ref, p, nil
+}
+
+// encodeEpoch builds the epoch payload: epoch id + encoded circuit.
+func encodeEpoch(epoch uint64, g []byte) []byte {
+	buf := make([]byte, 0, 10+len(g))
+	buf = binary.AppendUvarint(buf, epoch)
+	return append(buf, g...)
+}
+
+func decodeEpoch(payload []byte) (uint64, []byte, error) {
+	d := wireDecoder{buf: payload}
+	epoch := d.uvarint()
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	return epoch, d.buf, nil
+}
+
+// snCount maps a replacement-function kind to its substitute-node
+// count, which the candidate encoding leaves implicit.
+func snCount(k lac.FnKind) int {
+	switch k {
+	case lac.FnConst0, lac.FnConst1:
+		return 0
+	case lac.FnWire:
+		return 1
+	case lac.FnAnd, lac.FnXor:
+		return 2
+	case lac.FnMux, lac.FnMaj:
+		return 3
+	}
+	return -1
+}
+
+// encodeEval builds the eval payload: epoch id, mode, candidate count,
+// then per candidate the target id, one packed function byte (kind in
+// the low 3 bits, then C0/C1/C2/OutC flags) and the substitute nodes.
+func encodeEval(epoch uint64, mode byte, lacs []*lac.LAC) []byte {
+	buf := make([]byte, 0, 16+8*len(lacs))
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = append(buf, mode)
+	buf = binary.AppendUvarint(buf, uint64(len(lacs)))
+	for _, l := range lacs {
+		buf = binary.AppendUvarint(buf, uint64(l.Target))
+		fb := byte(l.Fn.Kind) & 7
+		if l.Fn.C0 {
+			fb |= 1 << 3
+		}
+		if l.Fn.C1 {
+			fb |= 1 << 4
+		}
+		if l.Fn.C2 {
+			fb |= 1 << 5
+		}
+		if l.Fn.OutC {
+			fb |= 1 << 6
+		}
+		buf = append(buf, fb)
+		for _, sn := range l.SNs[:snCount(l.Fn.Kind)] {
+			buf = binary.AppendUvarint(buf, uint64(sn))
+		}
+	}
+	return buf
+}
+
+func decodeEval(payload []byte) (uint64, byte, []*lac.LAC, error) {
+	d := wireDecoder{buf: payload}
+	epoch := d.uvarint()
+	mode := d.byte()
+	n := int(d.uvarint())
+	if d.err != nil {
+		return 0, 0, nil, d.err
+	}
+	if mode != modeFast && mode != modeExact {
+		return 0, 0, nil, fmt.Errorf("%w: eval mode %d", ErrProtocol, mode)
+	}
+	if n < 0 || n > 1<<24 {
+		return 0, 0, nil, fmt.Errorf("%w: candidate count %d out of range", ErrProtocol, n)
+	}
+	lacs := make([]*lac.LAC, 0, n)
+	for i := 0; i < n; i++ {
+		target := int(d.uvarint())
+		fb := d.byte()
+		fn := lac.Fn{
+			Kind: lac.FnKind(fb & 7),
+			C0:   fb&(1<<3) != 0,
+			C1:   fb&(1<<4) != 0,
+			C2:   fb&(1<<5) != 0,
+			OutC: fb&(1<<6) != 0,
+		}
+		k := snCount(fn.Kind)
+		if k < 0 {
+			return 0, 0, nil, fmt.Errorf("%w: candidate %d has function kind %d", ErrProtocol, i, fn.Kind)
+		}
+		var sns []int
+		if k > 0 {
+			sns = make([]int, k)
+			for j := range sns {
+				sns[j] = int(d.uvarint())
+			}
+		}
+		if d.err != nil {
+			return 0, 0, nil, d.err
+		}
+		lacs = append(lacs, &lac.LAC{Target: target, SNs: sns, Fn: fn})
+	}
+	if d.err != nil {
+		return 0, 0, nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes in eval", ErrProtocol, len(d.buf))
+	}
+	return epoch, mode, lacs, nil
+}
+
+// encodeResult builds the result payload: one Float64bits per
+// candidate, in slice order.
+func encodeResult(deltas []float64) []byte {
+	buf := make([]byte, 0, 10+8*len(deltas))
+	buf = binary.AppendUvarint(buf, uint64(len(deltas)))
+	for _, v := range deltas {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeResult(payload []byte, want int) ([]float64, error) {
+	d := wireDecoder{buf: payload}
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n != want {
+		return nil, fmt.Errorf("%w: result carries %d values, want %d", ErrProtocol, n, want)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(d.u64())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in result", ErrProtocol, len(d.buf))
+	}
+	return out, nil
+}
+
+// wireDecoder consumes a payload front to back, latching the first
+// error (same discipline as the aig codec).
+type wireDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *wireDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated payload", ErrProtocol)
+	}
+}
+
+func (d *wireDecoder) byte() byte {
+	if d.err != nil || len(d.buf) == 0 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *wireDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *wireDecoder) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *wireDecoder) words(n int) []uint64 {
+	if d.err != nil || len(d.buf) < 8*n {
+		d.fail()
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(d.buf[8*i:])
+	}
+	d.buf = d.buf[8*n:]
+	return out
+}
+
+func (d *wireDecoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}

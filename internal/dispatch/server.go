@@ -1,0 +1,222 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"accals/internal/aig"
+	"accals/internal/errmetric"
+	"accals/internal/estimator"
+	"accals/internal/lac"
+	"accals/internal/simulate"
+)
+
+// Server is an evaluator process's accept loop: each connection is one
+// client session holding its own comparator, estimator, simulation
+// runner and current-epoch circuit, so concurrent clients never share
+// mutable state. Workers bounds the evaluation parallelism per
+// session (0 = all CPUs).
+type Server struct {
+	Workers int
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// Serve accepts sessions on ln until ctx is cancelled or the listener
+// fails. It closes the listener and every live session on shutdown and
+// returns nil on clean cancellation.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer ln.Close()
+	stop := context.AfterFunc(ctx, func() {
+		ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	defer stop()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		s.track(nc, true)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.track(nc, false)
+			defer nc.Close()
+			s.session(nc)
+		}()
+	}
+}
+
+func (s *Server) track(nc net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	if add {
+		s.conns[nc] = struct{}{}
+	} else {
+		delete(s.conns, nc)
+	}
+}
+
+// session services one client connection until EOF or a fatal error.
+// Malformed frames are answered with an error frame where possible;
+// the client treats any error as grounds for local failover, so the
+// server never needs to guess at recovery.
+func (s *Server) session(nc net.Conn) {
+	br := bufio.NewReaderSize(nc, 1<<16)
+	bw := bufio.NewWriterSize(nc, 1<<16)
+	var (
+		cmp    *errmetric.Comparator
+		est    *estimator.Estimator
+		runner *simulate.Runner
+		pats   *simulate.Patterns
+		epoch  uint64
+		g      *aig.Graph
+		res    *simulate.Result
+	)
+	reply := func(typ byte, payload []byte) bool {
+		if _, err := writeFrame(bw, typ, payload); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	fail := func(err error) bool {
+		return reply(frameError, []byte(err.Error()))
+	}
+	for {
+		typ, payload, _, err := readFrame(br)
+		if err != nil {
+			return // EOF or dead transport: nothing sensible to reply
+		}
+		switch typ {
+		case frameInit:
+			kind, refBytes, p, err := decodeInit(payload)
+			if err != nil {
+				fail(err)
+				return
+			}
+			ref, err := aig.DecodeBinary(refBytes)
+			if err != nil {
+				fail(err)
+				return
+			}
+			cmp, err = errmetric.NewComparatorChecked(kind, ref, p)
+			if err != nil {
+				fail(err)
+				return
+			}
+			pats = p
+			est = estimator.New(s.Workers)
+			runner = simulate.NewRunner(s.Workers)
+			epoch, g, res = 0, nil, nil
+			if !reply(frameOK, nil) {
+				return
+			}
+
+		case frameEpoch:
+			if cmp == nil {
+				fail(fmt.Errorf("%w: epoch before init", ErrProtocol))
+				return
+			}
+			id, gBytes, err := decodeEpoch(payload)
+			if err != nil {
+				fail(err)
+				return
+			}
+			ng, err := aig.DecodeBinary(gBytes)
+			if err != nil {
+				fail(err)
+				return
+			}
+			nres, err := runner.Run(ng, pats)
+			if err != nil {
+				fail(err)
+				return
+			}
+			runner.Release(res)
+			epoch, g, res = id, ng, nres
+			if !reply(frameOK, nil) {
+				return
+			}
+
+		case frameEval:
+			if g == nil {
+				fail(fmt.Errorf("%w: eval before epoch", ErrProtocol))
+				return
+			}
+			id, mode, lacs, err := decodeEval(payload)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if id != epoch {
+				// Stale or future epoch: the client pushes the current
+				// circuit before every eval on this connection, so a
+				// mismatch means a protocol bug or a crossed session —
+				// refuse rather than answer for the wrong circuit.
+				if !fail(fmt.Errorf("%w: eval for epoch %d, have %d", ErrProtocol, id, epoch)) {
+					return
+				}
+				continue
+			}
+			deltas, err := evalBatch(est, g, res, cmp, lacs, mode)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !reply(frameResult, encodeResult(deltas)) {
+				return
+			}
+
+		default:
+			fail(fmt.Errorf("%w: unexpected frame type %d", ErrProtocol, typ))
+			return
+		}
+	}
+}
+
+// evalBatch scores a candidate slice against the session's current
+// circuit. Candidates are validated before touching the estimator: one
+// referencing nodes outside the graph (or a non-AND target) means the
+// client and server disagree about the epoch and must be refused, not
+// scored. DeltaE per candidate is a pure function of (graph, patterns,
+// metric, candidate), so the returned values are bit-identical to the
+// ones local evaluation of any enclosing batch would produce.
+func evalBatch(est *estimator.Estimator, g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, mode byte) ([]float64, error) {
+	for i, l := range lacs {
+		if l.Target <= 0 || l.Target >= g.NumNodes() || !g.IsAnd(l.Target) {
+			return nil, fmt.Errorf("%w: candidate %d targets node %d", ErrProtocol, i, l.Target)
+		}
+		for _, sn := range l.SNs {
+			if sn < 0 || sn >= l.Target {
+				return nil, fmt.Errorf("%w: candidate %d has substitute node %d outside [0, %d)", ErrProtocol, i, sn, l.Target)
+			}
+		}
+	}
+	if mode == modeExact {
+		est.EstimateAllExactRec(g, res, cmp, lacs, nil)
+	} else {
+		est.EstimateAllRec(g, res, cmp, lacs, nil)
+	}
+	deltas := make([]float64, len(lacs))
+	for i, l := range lacs {
+		deltas[i] = l.DeltaE
+	}
+	return deltas, nil
+}

@@ -30,3 +30,28 @@ func BenchmarkEstimateAll(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEstimateAllSmallBatch pins the oversharding fix: a small
+// circuit with few outputs and a modest candidate list must not fan
+// out one goroutine per output at high worker counts. Before
+// par.BlocksMin, workers=8 here spawned eight propagators (each with a
+// graph-sized mask pool) for six outputs; with the min-work cap the
+// fan-out and per-op cost at workers>=4 stay close to workers=1.
+func BenchmarkEstimateAllSmallBatch(b *testing.B) {
+	g := circuits.ArrayMult(3)
+	p := simulate.NewPatterns(g.NumPIs(), 1<<10, 1)
+	res := simulate.MustRun(g, p)
+	cands := lac.Generate(g, res, lac.Config{})
+	for _, kind := range []errmetric.Kind{errmetric.ER, errmetric.NMED} {
+		cmp := errmetric.NewComparator(kind, g, p)
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%v/workers=%d", kind, workers), func(b *testing.B) {
+				e := New(workers)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e.EstimateAllRec(g, res, cmp, cands, nil)
+				}
+			})
+		}
+	}
+}

@@ -95,7 +95,7 @@ func (e *Estimator) EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errm
 		l.DeviationInto(devs[i], res)
 	}
 
-	blocks := par.Blocks(e.workers, numPOs)
+	blocks := par.BlocksMin(e.workers, numPOs, minPOsPerShard)
 	e.ensureProps(blocks, g, res)
 
 	switch cmp.Kind() {
@@ -107,7 +107,7 @@ func (e *Estimator) EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errm
 		// sequential one.
 		exact := cmp.ExactPOs()
 		arena := e.slabs.Get(blocks * nl * words)
-		e.runShards(numPOs, rec, func(shard, j0, j1 int) {
+		e.runShards(blocks, numPOs, rec, func(shard, j0, j1 int) {
 			prop := e.props[shard]
 			ad := arena[shard*nl*words : (shard+1)*nl*words]
 			for w := range ad {
@@ -158,7 +158,7 @@ func (e *Estimator) EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errm
 		// are exact regardless of order.
 		exact := cmp.ExactPOs()
 		arena := e.slabs.Get(blocks * nl)
-		e.runShards(numPOs, rec, func(shard, j0, j1 int) {
+		e.runShards(blocks, numPOs, rec, func(shard, j0, j1 int) {
 			prop := e.props[shard]
 			counts := arena[shard*nl : (shard+1)*nl]
 			for i := range counts {
@@ -206,7 +206,7 @@ func (e *Estimator) EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errm
 		for i := range flips {
 			flips[i] = make([]simulate.Vec, numPOs)
 		}
-		e.runShards(numPOs, rec, func(shard, j0, j1 int) {
+		e.runShards(blocks, numPOs, rec, func(shard, j0, j1 int) {
 			prop := e.props[shard]
 			for j := j0; j < j1; j++ {
 				masks := prop.run(j)
@@ -230,7 +230,8 @@ func (e *Estimator) EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errm
 			}
 		})
 		base := cmp.NewBaseEval(curPOs)
-		par.For(e.workers, nl, func(_, i0, i1 int) {
+		minLACs := minScoreWordOps / (numPOs*words + 1)
+		par.For(par.BlocksMin(e.workers, nl, minLACs), nl, func(_, i0, i1 int) {
 			for i := i0; i < i1; i++ {
 				lacs[i].DeltaE = cmp.ErrorWithFlips(base, flips[i]) - curErr
 			}
@@ -241,16 +242,30 @@ func (e *Estimator) EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errm
 	return curErr
 }
 
-// runShards executes body over [0,n) on the Estimator's workers,
-// feeding per-shard timings to rec's estimate-phase histograms when
-// instrumented.
-func (e *Estimator) runShards(n int, rec *obs.Recorder, body func(shard, begin, end int)) {
+// Min-work-per-shard thresholds (see par.BlocksMin). Each per-output
+// propagation shard owns a propagator whose mask pool spans the whole
+// graph, so that footprint must amortize over at least a couple of
+// outputs; word-level scoring shards are capped to carry at least
+// minScoreWordOps 64-bit word operations so tiny candidate batches stop
+// fanning out. Both caps are pure functions of the problem shape, never
+// of the host, so shard boundaries stay reproducible.
+const (
+	minPOsPerShard   = 2
+	minScoreWordOps  = 1 << 15
+	minResimPerShard = 4
+)
+
+// runShards executes body over [0,n) split into the given number of
+// blocks (at most the Estimator's workers; callers cap fan-out with
+// par.BlocksMin), feeding per-shard timings to rec's estimate-phase
+// histograms when instrumented.
+func (e *Estimator) runShards(blocks, n int, rec *obs.Recorder, body func(shard, begin, end int)) {
 	if rec != nil {
-		t := par.ForTimed(e.workers, n, body)
+		t := par.ForTimed(blocks, n, body)
 		rec.ObserveShards(obs.PhaseEstimate, t.Elapsed, t.Shards)
 		return
 	}
-	par.For(e.workers, n, body)
+	par.For(blocks, n, body)
 }
 
 // ensureProps grows the per-shard propagator set to blocks entries and
@@ -407,7 +422,8 @@ func (e *Estimator) EstimateAllExactRec(g *aig.Graph, res *simulate.Result, cmp 
 	defer sp.End()
 	curPOs := res.POValues(g)
 	curErr := cmp.ErrorFromPOs(curPOs)
-	e.runShards(len(lacs), rec, func(_, i0, i1 int) {
+	n := len(lacs)
+	e.runShards(par.BlocksMin(e.workers, n, minResimPerShard), n, rec, func(_, i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			newPOs := ResimulateWith(g, res, lacs[i])
 			lacs[i].DeltaE = cmp.ErrorFromPOs(newPOs) - curErr
@@ -423,7 +439,7 @@ func (e *Estimator) EstimateAllExactRec(g *aig.Graph, res *simulate.Result, cmp 
 // share it safely.
 func (e *Estimator) MeasureEach(g *aig.Graph, res *simulate.Result, cmp *errmetric.Comparator, lacs []*lac.LAC, rec *obs.Recorder) []float64 {
 	out := make([]float64, len(lacs))
-	e.runShards(len(lacs), rec, func(_, i0, i1 int) {
+	e.runShards(par.BlocksMin(e.workers, len(lacs), minResimPerShard), len(lacs), rec, func(_, i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			out[i] = cmp.ErrorFromPOs(ResimulateWith(g, res, lacs[i]))
 		}

@@ -172,8 +172,10 @@ func generateTargets(g *aig.Graph, res *simulate.Result, cfg Config, targets []i
 	npat := res.Patterns.NumPatterns()
 	out := make([][]*LAC, len(targets))
 	workers := par.Resolve(cfg.Workers)
-	blocks := par.Blocks(workers, len(targets))
-	par.For(workers, len(targets), func(shard, begin, end int) {
+	// Each shard copies the refs slice (graph-sized), so a shard must
+	// amortize that over at least a handful of targets (par.BlocksMin).
+	blocks := par.BlocksMin(workers, len(targets), 8)
+	par.For(blocks, len(targets), func(shard, begin, end int) {
 		r := refs
 		if blocks > 1 {
 			// MFFC sizing mutates-then-restores the refs slice, so

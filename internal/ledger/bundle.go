@@ -44,6 +44,10 @@ type Manifest struct {
 	Patterns    int     `json:"patterns,omitempty"`
 	Workers     int     `json:"workers,omitempty"`
 	Incremental bool    `json:"incremental,omitempty"`
+	Speculate   bool    `json:"speculate,omitempty"`
+	// Evaluators counts the remote evaluator processes the run farmed
+	// candidate estimation to (0 = purely local evaluation).
+	Evaluators int `json:"evaluators,omitempty"`
 	// Environment.
 	GoVersion  string `json:"go_version"`
 	GitRev     string `json:"git_rev,omitempty"`

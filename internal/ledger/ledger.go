@@ -39,7 +39,10 @@ import (
 // ledger whose major version matches SchemaMajor.
 const (
 	SchemaMajor = 1
-	SchemaMinor = 0
+	// SchemaMinor 1 added the speculative-pipelining round fields
+	// (speculated, spec_hit), both omitempty: 1.0 ledgers decode
+	// unchanged.
+	SchemaMinor = 1
 )
 
 // Schema is the version string stamped on every emitted line.

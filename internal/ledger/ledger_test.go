@@ -30,6 +30,7 @@ func goldenEvents(w *Writer) {
 		ConflictNodes: 10, ConflictEdges: 4, SolSize: 6,
 		InflPairs: 15, InflAbove: 5, MISSize: 4, IndpSize: 3, RandSize: 2,
 		DuelIndpErr: &i, DuelRandErr: &r, PickedIndp: true, Multi: true,
+		Speculated: true, SpecHit: true,
 		Applied: []obs.AppliedLAC{{Target: 7, Gain: 2, DeltaE: 0.005, MeasuredErr: 0.006}},
 		EstErr:  0.008, Error: 0.01, NumAnds: 95, Area: 200, Depth: 11,
 		DurationUS: 1500,
@@ -113,6 +114,9 @@ func TestGoldenRoundTrip(t *testing.T) {
 	}
 	if single, reverts := tr.Guards(); single != 1 || reverts != 1 {
 		t.Errorf("Guards = (%d, %d), want (1, 1)", single, reverts)
+	}
+	if launched, hits := tr.Speculation(); launched != 1 || hits != 1 {
+		t.Errorf("Speculation = (%d, %d), want (1, 1)", launched, hits)
 	}
 	acc := tr.EstimatorAccuracy()
 	if acc.Rounds != 3 || acc.MaxRound != 2 {

@@ -106,6 +106,11 @@ type RoundEvent struct {
 	// declared negative (beta > l_d, or a multi-LAC overshoot) and the
 	// round was redone with the single best LAC.
 	Reverted bool `json:"reverted,omitempty"`
+	// Speculated marks rounds that launched the speculative next-round
+	// pipeline; SpecHit marks those whose prediction matched the final
+	// applied set, so the next round consumed precomputed state.
+	Speculated bool `json:"speculated,omitempty"`
+	SpecHit    bool `json:"spec_hit,omitempty"`
 	// Applied lists the LACs of the final (post-revert) rebuild.
 	Applied []AppliedLAC `json:"applied,omitempty"`
 	// EstErr is the estimated error of the applied set under Eq. (1);

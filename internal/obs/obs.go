@@ -135,6 +135,14 @@ type Recorder struct {
 	errorGauge    *Gauge
 	andsGauge     *Gauge
 	noProgress    *Gauge
+	specHits      *Counter
+	specMisses    *Counter
+	dispRemote    *Counter
+	dispFailover  *Counter
+	dispBytesTx   *Counter
+	dispBytesRx   *Counter
+	dispLatency   *Histogram
+	dispInflight  *Gauge
 }
 
 // NewRecorder returns a recorder with the standard AccALS series
@@ -175,6 +183,22 @@ func NewRecorder() *Recorder {
 		"Per-target LAC candidate lists served by the incremental generator, by cache disposition.", L("result", "hit"))
 	r.cacheMisses = reg.Counter("accals_lac_cache_total",
 		"Per-target LAC candidate lists served by the incremental generator, by cache disposition.", L("result", "miss"))
+	r.specHits = reg.Counter("accals_speculation_total",
+		"Speculative round-pipelining outcomes: hit means the predicted winner matched and the prefetched next round was adopted.", L("result", "hit"))
+	r.specMisses = reg.Counter("accals_speculation_total",
+		"Speculative round-pipelining outcomes: hit means the predicted winner matched and the prefetched next round was adopted.", L("result", "miss"))
+	r.dispRemote = reg.Counter("accals_dispatch_batches_total",
+		"Candidate batches dispatched to external evaluators, by outcome.", L("result", "remote"))
+	r.dispFailover = reg.Counter("accals_dispatch_batches_total",
+		"Candidate batches dispatched to external evaluators, by outcome.", L("result", "failover"))
+	r.dispBytesTx = reg.Counter("accals_dispatch_bytes_total",
+		"Bytes moved over the evaluator wire protocol, by direction.", L("dir", "tx"))
+	r.dispBytesRx = reg.Counter("accals_dispatch_bytes_total",
+		"Bytes moved over the evaluator wire protocol, by direction.", L("dir", "rx"))
+	r.dispLatency = reg.Histogram("accals_dispatch_rpc_seconds",
+		"Round-trip latency of evaluator RPCs (epoch pushes and batch evaluations).", nil)
+	r.dispInflight = reg.Gauge("accals_dispatch_inflight",
+		"Evaluator batches currently in flight.")
 	r.roundGauge = reg.Gauge("accals_round", "Current synthesis round.")
 	r.errorGauge = reg.Gauge("accals_error", "Measured error of the current circuit.")
 	r.andsGauge = reg.Gauge("accals_and_count", "AND-node count of the current circuit.")
@@ -449,4 +473,63 @@ func (r *Recorder) CountEvaluation() {
 		return
 	}
 	r.evaluations.Inc()
+}
+
+// CountSpeculation records one speculative round-pipelining outcome: a
+// hit means the duel winner matched the prediction and the prefetched
+// simulation + candidate generation were adopted; a miss means they
+// were discarded and the round fell back to the sequential path.
+func (r *Recorder) CountSpeculation(hit bool) {
+	if r == nil {
+		return
+	}
+	if hit {
+		r.specHits.Inc()
+	} else {
+		r.specMisses.Inc()
+	}
+}
+
+// DispatchBatch records one candidate batch handed to an external
+// evaluator: remote means the evaluator returned the batch, failover
+// means a transport error sent the batch back to local evaluation.
+func (r *Recorder) DispatchBatch(remote bool) {
+	if r == nil {
+		return
+	}
+	if remote {
+		r.dispRemote.Inc()
+	} else {
+		r.dispFailover.Inc()
+	}
+}
+
+// DispatchBytes adds wire-protocol traffic in the given direction.
+func (r *Recorder) DispatchBytes(tx, rx int) {
+	if r == nil {
+		return
+	}
+	if tx > 0 {
+		r.dispBytesTx.Add(float64(tx))
+	}
+	if rx > 0 {
+		r.dispBytesRx.Add(float64(rx))
+	}
+}
+
+// DispatchRPC records one evaluator round trip's latency.
+func (r *Recorder) DispatchRPC(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.dispLatency.Observe(d.Seconds())
+}
+
+// DispatchInflight moves the in-flight batch gauge by delta (+1 when a
+// batch is sent, -1 when its response or error arrives).
+func (r *Recorder) DispatchInflight(delta int) {
+	if r == nil {
+		return
+	}
+	r.dispInflight.Add(float64(delta))
 }

@@ -50,6 +50,18 @@ type Summary struct {
 	// (both zero when the run did not use incremental generation).
 	LACCacheHits   int64 `json:"lac_cache_hits,omitempty"`
 	LACCacheMisses int64 `json:"lac_cache_misses,omitempty"`
+	// SpeculationHits/Misses tally speculative round-pipelining
+	// outcomes (both zero when the run did not speculate).
+	SpeculationHits   int64 `json:"speculation_hits,omitempty"`
+	SpeculationMisses int64 `json:"speculation_misses,omitempty"`
+	// DispatchRemoteBatches counts candidate batches evaluated by
+	// external evaluator processes; DispatchFailovers counts batches a
+	// transport error sent back to local evaluation. DispatchTxBytes
+	// and DispatchRxBytes total the wire traffic.
+	DispatchRemoteBatches int64 `json:"dispatch_remote_batches,omitempty"`
+	DispatchFailovers     int64 `json:"dispatch_failovers,omitempty"`
+	DispatchTxBytes       int64 `json:"dispatch_tx_bytes,omitempty"`
+	DispatchRxBytes       int64 `json:"dispatch_rx_bytes,omitempty"`
 }
 
 // Summary aggregates the recorder's metrics into a Summary. A nil
@@ -59,19 +71,25 @@ func (r *Recorder) Summary() Summary {
 		return Summary{}
 	}
 	s := Summary{
-		Phases:              make(map[string]PhaseSummary, int(numPhases)),
-		Rounds:              int64(r.roundsTotal.Value()),
-		LACsEvaluated:       int64(r.lacsEvaluated.Value()),
-		LACsApplied:         int64(r.lacsApplied.Value()),
-		LACsReverted:        int64(r.lacsReverted.Value()),
-		GuardSingleLAC:      int64(r.guardSingle.Value()),
-		GuardNegativeRevert: int64(r.guardRevert.Value()),
-		DuelIndpWins:        int64(r.duelIndp.Value()),
-		DuelRandomWins:      int64(r.duelRandom.Value()),
-		SimPatterns:         int64(r.simPatterns.Value()),
-		SATConflicts:        int64(r.satConflicts.Value()),
-		LACCacheHits:        int64(r.cacheHits.Value()),
-		LACCacheMisses:      int64(r.cacheMisses.Value()),
+		Phases:                make(map[string]PhaseSummary, int(numPhases)),
+		Rounds:                int64(r.roundsTotal.Value()),
+		LACsEvaluated:         int64(r.lacsEvaluated.Value()),
+		LACsApplied:           int64(r.lacsApplied.Value()),
+		LACsReverted:          int64(r.lacsReverted.Value()),
+		GuardSingleLAC:        int64(r.guardSingle.Value()),
+		GuardNegativeRevert:   int64(r.guardRevert.Value()),
+		DuelIndpWins:          int64(r.duelIndp.Value()),
+		DuelRandomWins:        int64(r.duelRandom.Value()),
+		SimPatterns:           int64(r.simPatterns.Value()),
+		SATConflicts:          int64(r.satConflicts.Value()),
+		LACCacheHits:          int64(r.cacheHits.Value()),
+		LACCacheMisses:        int64(r.cacheMisses.Value()),
+		SpeculationHits:       int64(r.specHits.Value()),
+		SpeculationMisses:     int64(r.specMisses.Value()),
+		DispatchRemoteBatches: int64(r.dispRemote.Value()),
+		DispatchFailovers:     int64(r.dispFailover.Value()),
+		DispatchTxBytes:       int64(r.dispBytesTx.Value()),
+		DispatchRxBytes:       int64(r.dispBytesRx.Value()),
 	}
 	if n := s.DuelIndpWins + s.DuelRandomWins; n > 0 {
 		s.DuelIndpWinRate = float64(s.DuelIndpWins) / float64(n)

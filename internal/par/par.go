@@ -42,6 +42,26 @@ func Blocks(workers, n int) int {
 	return workers
 }
 
+// BlocksMin returns Blocks(workers, n) additionally capped so that
+// every shard carries at least min units of work. Fanning a small batch
+// across many shards buys no speedup — each extra shard costs a
+// goroutine handoff plus its own accumulator and cache working set —
+// so hot paths with cheap per-unit work cap their fan-out here. min <=
+// 1 disables the cap. Like Blocks, the result is a pure function of its
+// arguments (never of the host's CPU count), keeping shard boundaries
+// reproducible; and since callers merge shards order-free, capping
+// never changes results — only how they are computed.
+func BlocksMin(workers, n, min int) int {
+	blocks := Blocks(workers, n)
+	if min > 1 && n < blocks*min {
+		blocks = n / min
+		if blocks < 1 {
+			blocks = 1
+		}
+	}
+	return blocks
+}
+
 // Block returns the half-open range [begin, end) of block s of the
 // given block count over [0,n). Boundaries depend only on (blocks, n),
 // never on scheduling, so shard assignment is reproducible.

@@ -39,6 +39,46 @@ func TestBlockPartition(t *testing.T) {
 	}
 }
 
+// TestBlocksMin checks the min-work-per-shard cap: shards never carry
+// fewer than min units, the cap never raises the block count, and
+// min <= 1 leaves Blocks untouched.
+func TestBlocksMin(t *testing.T) {
+	cases := []struct {
+		workers, n, min, want int
+	}{
+		{8, 12, 1, 8},  // min<=1 disables the cap
+		{8, 12, 0, 8},  //
+		{8, 12, 2, 6},  // 12 units / min 2 -> at most 6 shards
+		{4, 12, 2, 4},  // cap above worker count: unchanged
+		{8, 12, 4, 3},  //
+		{8, 12, 5, 2},  // floor division: 12/5 = 2
+		{8, 12, 13, 1}, // min above n collapses to sequential
+		{8, 3, 4, 1},   //
+		{1000, 64, 16, 4},
+		{4, 0, 8, 1},     // n=0 still reports one (empty) block
+		{8, 1944, 42, 8}, // plentiful work: worker count wins
+	}
+	for _, c := range cases {
+		if got := BlocksMin(c.workers, c.n, c.min); got != c.want {
+			t.Fatalf("BlocksMin(%d, %d, %d) = %d, want %d", c.workers, c.n, c.min, got, c.want)
+		}
+		// The cap must never exceed Blocks and every shard of the capped
+		// partition must carry at least min units (when n permits).
+		got := BlocksMin(c.workers, c.n, c.min)
+		if b := Blocks(c.workers, c.n); got > b {
+			t.Fatalf("BlocksMin(%d, %d, %d) = %d exceeds Blocks = %d", c.workers, c.n, c.min, got, b)
+		}
+		if c.min > 1 && c.n >= c.min {
+			for s := 0; s < got; s++ {
+				begin, end := Block(s, got, c.n)
+				if end-begin < c.min {
+					t.Fatalf("BlocksMin(%d, %d, %d): shard %d carries %d units, want >= %d", c.workers, c.n, c.min, s, end-begin, c.min)
+				}
+			}
+		}
+	}
+}
+
 // TestForCoversAllIndices runs For at several worker counts and checks
 // every index is visited exactly once.
 func TestForCoversAllIndices(t *testing.T) {

@@ -9,6 +9,11 @@ import (
 	"accals/internal/runctl"
 )
 
+// minWordsPerShard is the minimum number of 64-bit pattern words a
+// sweep shard must carry (see par.BlocksMin); tiny pattern sets run on
+// fewer goroutines than the worker budget allows.
+const minWordsPerShard = 16
+
 // andJob is one AND node's evaluation, flattened for the sharded
 // sweep: destination and fanin vectors plus a complement mode. A dense
 // job list lets every worker scan straight through the AND nodes
@@ -129,11 +134,16 @@ func (r *Runner) RunRec(g *aig.Graph, p *Patterns, rec *obs.Recorder) (*Result, 
 			}
 		}
 	}
+	// Cap fan-out so every shard sweeps at least minWordsPerShard words
+	// (16 words = 1024 patterns): below that the goroutine handoff costs
+	// more than the sweep it parallelizes. par.BlocksMin is a pure
+	// function of (workers, words), so boundaries stay reproducible.
+	blocks := par.BlocksMin(r.workers, words, minWordsPerShard)
 	if rec != nil {
-		t := par.ForTimed(r.workers, words, sweep)
+		t := par.ForTimed(blocks, words, sweep)
 		rec.ObserveShards(obs.PhaseSimulate, t.Elapsed, t.Shards)
 	} else {
-		par.For(r.workers, words, sweep)
+		par.For(blocks, words, sweep)
 	}
 
 	return &Result{Patterns: p, NodeVals: vals, slab: slab}, nil

@@ -128,6 +128,29 @@ func Explicit(nPIs int, vectors [][]bool) *Patterns {
 	return p
 }
 
+// FromWords rebuilds a pattern set from packed 64-pattern words, one
+// row per primary input — the decode half of the distributed-eval wire
+// protocol, which ships PIValue rows verbatim so both sides simulate
+// bit-identical patterns. Rows are copied; tail bits beyond nPatterns
+// are masked off defensively.
+func FromWords(nPIs, nPatterns int, rows [][]uint64) (*Patterns, error) {
+	if nPIs < 0 || nPatterns < 1 {
+		return nil, fmt.Errorf("simulate: pattern set %d x %d: %w", nPIs, nPatterns, runctl.ErrInterfaceMismatch)
+	}
+	p := newPatterns(nPIs, nPatterns)
+	if len(rows) != nPIs {
+		return nil, fmt.Errorf("simulate: %d rows for %d inputs: %w", len(rows), nPIs, runctl.ErrInterfaceMismatch)
+	}
+	for i, row := range rows {
+		if len(row) != p.words {
+			return nil, fmt.Errorf("simulate: row %d has %d words, want %d: %w", i, len(row), p.words, runctl.ErrInterfaceMismatch)
+		}
+		copy(p.piValues[i], row)
+		p.piValues[i][p.words-1] &= p.lastMask
+	}
+	return p, nil
+}
+
 func newPatterns(nPIs, nPatterns int) *Patterns {
 	words := (nPatterns + 63) / 64
 	mask := ^uint64(0)

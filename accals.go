@@ -61,6 +61,7 @@ import (
 	"accals/internal/errmetric"
 	"accals/internal/ledger"
 	"accals/internal/mapping"
+	"accals/internal/maxerr"
 	"accals/internal/obs"
 	"accals/internal/opt"
 	"accals/internal/seals"
@@ -87,12 +88,17 @@ func New(name string) *Graph { return aig.New(name) }
 type Metric = errmetric.Kind
 
 // Supported metrics: error rate, normalised mean error distance, mean
-// relative error distance, and mean Hamming distance.
+// relative error distance, mean Hamming distance, and maximum error
+// distance. MaxED is the one non-statistical metric: its bound is an
+// absolute integer error distance, and every circuit a MaxED run
+// adopts carries a SAT proof that the bound holds on all inputs (see
+// CertifyMaxError).
 const (
-	ER   = errmetric.ER
-	NMED = errmetric.NMED
-	MRED = errmetric.MRED
-	MHD  = errmetric.MHD
+	ER    = errmetric.ER
+	NMED  = errmetric.NMED
+	MRED  = errmetric.MRED
+	MHD   = errmetric.MHD
+	MaxED = errmetric.MaxED
 )
 
 // Options configures a synthesis run. The zero value uses the paper's
@@ -299,6 +305,20 @@ type EquivalenceResult = cec.Result
 // out the result's Proved field is false.
 func Equivalent(a, b *Graph, budget int64) (*EquivalenceResult, error) {
 	return cec.Check(a, b, budget)
+}
+
+// ErrorCertificate is the verdict of a SAT-based worst-case error
+// check (see CertifyMaxError).
+type ErrorCertificate = maxerr.Certificate
+
+// CertifyMaxError proves or refutes, by SAT, that the approximate
+// circuit's error distance |approx - exact| stays within bound on
+// every input — not just on sampled patterns. Certified and Exceeded
+// are both false when the conflict budget (0 = unlimited) ran out:
+// budget exhaustion is never acceptance. This is the certifier a
+// MaxED synthesis run applies to every round it accepts.
+func CertifyMaxError(approx, exact *Graph, bound uint64, budget int64) (*ErrorCertificate, error) {
+	return maxerr.Certify(approx, exact, bound, budget)
 }
 
 // Error measures the error of an approximate circuit against a

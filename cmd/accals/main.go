@@ -8,6 +8,13 @@
 //	accals -blif design.blif -metric nmed -bound 0.0019531 -out approx.blif
 //	accals -circuit rca32 -method seals -metric mred -bound 0.001 -v
 //
+// The maxed metric bounds the worst-case error distance and proves it
+// with SAT: every accepted round carries an UNSAT certificate that
+// |approx - exact| never exceeds -bound on any input (the bound is an
+// absolute integer, not a fraction):
+//
+//	accals -circuit rca8 -metric maxed -bound 4
+//
 // Long runs are interrupt-safe: SIGINT/SIGTERM stops the run after the
 // current round and the best-so-far circuit is still written to -out,
 // -aiger and -verilog. With -checkpoint the run snapshots its state
@@ -89,6 +96,8 @@ type config struct {
 	balance     bool
 	verbose     bool
 
+	certBudget int64
+
 	checkpointDir   string
 	checkpointEvery int
 	resume          bool
@@ -124,8 +133,8 @@ func parseFlags(args []string) (*config, bool, error) {
 	fs := flag.NewFlagSet("accals", flag.ContinueOnError)
 	fs.StringVar(&cfg.circuit, "circuit", "", "built-in benchmark name (see -list)")
 	fs.StringVar(&cfg.blifPath, "blif", "", "input BLIF file (alternative to -circuit)")
-	fs.StringVar(&cfg.metricName, "metric", "er", "error metric: er, nmed, mred, mhd")
-	fs.Float64Var(&cfg.bound, "bound", 0.05, "error bound (fraction in (0,1], e.g. 0.05 = 5%)")
+	fs.StringVar(&cfg.metricName, "metric", "er", "error metric: er, nmed, mred, mhd, maxed (SAT-certified worst case)")
+	fs.Float64Var(&cfg.bound, "bound", 0.05, "error bound (fraction in (0,1], e.g. 0.05 = 5%; for -metric maxed an absolute integer error distance)")
 	fs.StringVar(&cfg.method, "method", "accals", "synthesis method: accals, seals")
 	fs.IntVar(&cfg.patterns, "patterns", 8192, "Monte-Carlo pattern budget")
 	fs.IntVar(&cfg.workers, "workers", 0, "evaluation worker count (0 = one per CPU, 1 = sequential); results are identical at any setting")
@@ -141,6 +150,7 @@ func parseFlags(args []string) (*config, bool, error) {
 	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 10, "snapshot cadence in rounds (with -checkpoint)")
 	fs.BoolVar(&cfg.resume, "resume", false, "resume from the latest snapshot in -checkpoint")
 	fs.DurationVar(&cfg.maxRuntime, "max-runtime", 0, "stop after this wall-clock budget, keeping the best so far (e.g. 30s, 10m)")
+	fs.Int64Var(&cfg.certBudget, "cert-budget", 0, "SAT conflict budget per certification with -metric maxed (0 = default, negative = unlimited); an exhausted budget rejects the round")
 	fs.StringVar(&cfg.evaluators, "evaluators", "", "comma-separated addresses of -serve-eval processes to farm candidate evaluation to; results are identical with or without them")
 	fs.StringVar(&cfg.evalFaults, "eval-faults", "", "fault-injection spec for the evaluator transport (point:mode:prob[:arg][@N], comma-separated; see internal/faultinject)")
 	fs.Int64Var(&cfg.evalFaultSeed, "eval-fault-seed", 1, "random seed for -eval-faults")
@@ -176,14 +186,28 @@ func (c *config) validate() error {
 	case c.circuit == "" && c.blifPath == "":
 		return errors.New("no input: use -circuit <name> or -blif <file> (-list shows benchmarks)")
 	}
-	if _, err := parseMetric(c.metricName); err != nil {
+	metric, err := parseMetric(c.metricName)
+	if err != nil {
 		return err
 	}
 	if c.method != "accals" && c.method != "seals" {
 		return fmt.Errorf("unknown method %q (want accals or seals)", c.method)
 	}
-	if !(c.bound > 0 && c.bound <= 1) {
+	if err := errmetric.ValidateBound(metric, c.bound); err != nil {
+		if metric == errmetric.MaxED {
+			return fmt.Errorf("-bound %v out of range: -metric maxed wants a non-negative integer error distance, e.g. 4", c.bound)
+		}
 		return fmt.Errorf("-bound %v out of range: want a fraction in (0,1], e.g. 0.05 for 5%%", c.bound)
+	}
+	if metric == errmetric.MaxED {
+		if c.method != "accals" {
+			return errors.New("-metric maxed requires -method accals (SAT certification is wired into the multi-LAC loop)")
+		}
+		if c.evaluators != "" {
+			return errors.New("-metric maxed cannot use -evaluators: the remote evaluation protocol has no certification path")
+		}
+	} else if c.certBudget != 0 {
+		return errors.New("-cert-budget needs -metric maxed")
 	}
 	if c.patterns <= 0 {
 		return fmt.Errorf("-patterns %d out of range: want a positive pattern budget", c.patterns)
@@ -307,6 +331,7 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		Workers:     cfg.workers,
 		Incremental: cfg.incremental,
 		Speculate:   cfg.speculate,
+		CertBudget:  cfg.certBudget,
 	}
 	ropt.HasPatternSeed = cfg.hasSeed
 
@@ -466,12 +491,16 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 		// A round whose measured error exceeds the bound is rejected at
 		// the top of the next round and never joins the accepted
 		// trajectory — snapshotting it would make a resume adopt a
-		// circuit that violates the bound. Only accepted rounds are
-		// checkpointed, so the latest snapshot always restarts the run
-		// on the exact trajectory it was interrupted on. The snapshot is
-		// built for every accepted round (not just cadence rounds) so an
+		// circuit that violates the bound. The same goes for a round
+		// whose SAT certification failed (maxed metric): its sampled
+		// error passed but the proof did not, so a resume must never
+		// adopt it. Only accepted rounds are checkpointed, so the
+		// latest snapshot always restarts the run on the exact
+		// trajectory it was interrupted on. The snapshot is built for
+		// every accepted round (not just cadence rounds) so an
 		// interrupt can persist the last accepted round off-cadence.
-		if ckpt != nil && rs.Graph != nil && rs.Error <= cfg.bound {
+		if ckpt != nil && rs.Graph != nil && rs.Error <= cfg.bound &&
+			(!rs.CertRan || rs.Certified) {
 			s := &checkpoint.Snapshot{
 				Round:   rs.Round,
 				Error:   rs.Error,
@@ -536,6 +565,13 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 	fmt.Fprintf(w, "rounds:    %d (%d LACs applied)\n", len(res.Rounds), res.LACsApplied)
 	fmt.Fprintf(w, "runtime:   %v\n", res.Runtime.Round(res.Runtime/1000+1))
 	fmt.Fprintf(w, "stopped:   %v\n", res.StopReason)
+	if res.Certified {
+		fmt.Fprintf(w, "certified: worst-case error distance <= %g proved by SAT (%d conflicts)\n",
+			cfg.bound, res.CertConflicts)
+	}
+	if res.StopReason == runctl.Uncertified {
+		fmt.Fprintf(w, "note:      a candidate round failed SAT certification; outputs hold the last certified circuit\n")
+	}
 	if res.StopReason.Interrupted() {
 		fmt.Fprintf(w, "note:      run interrupted; outputs hold the best circuit found so far\n")
 	}
@@ -755,8 +791,10 @@ func parseMetric(s string) (errmetric.Kind, error) {
 		return errmetric.MRED, nil
 	case "mhd":
 		return errmetric.MHD, nil
+	case "maxed":
+		return errmetric.MaxED, nil
 	}
-	return 0, fmt.Errorf("unknown metric %q (want er, nmed, mred or mhd)", s)
+	return 0, fmt.Errorf("unknown metric %q (want er, nmed, mred, mhd or maxed)", s)
 }
 
 func pct(a, b int) float64 {

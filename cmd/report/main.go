@@ -269,6 +269,10 @@ func analyse(arg, csvPath string, w io.Writer) error {
 		fmt.Fprintf(w, "speculation:  %d of %d predictions hit (%.1f%% of %d rounds pipelined)\n",
 			hits, launched, 100*float64(hits)/float64(launched), launched)
 	}
+	if attempts, certified, conflicts := t.Certification(); attempts > 0 {
+		fmt.Fprintf(w, "certification: %d of %d rounds SAT-certified (%d solver conflicts)\n",
+			certified, attempts, conflicts)
+	}
 	if f := t.Finish; f != nil {
 		fmt.Fprintf(w, "finish:       %s after %d rounds, error %.6f, %d ANDs, %d LACs, %.3fs\n",
 			f.StopReason, f.Rounds, f.Error, f.NumAnds, f.LACsApplied,
@@ -341,6 +345,7 @@ func writeCSV(path string, t *ledger.Trajectory) error {
 		"conflict_nodes", "conflict_edges", "sol_size",
 		"infl_pairs", "infl_above", "mis_size", "indp_size", "rand_size",
 		"duel_indp_err", "duel_rand_err", "est_err", "error",
+		"certified", "cert_conflicts",
 		"num_ands", "area", "depth", "no_progress", "duration_us",
 	}
 	if err := cw.Write(header); err != nil {
@@ -360,6 +365,14 @@ func writeCSV(path string, t *ledger.Trajectory) error {
 		}
 		return "0"
 	}
+	// Certification is tri-state: rounds of statistical-metric runs
+	// never attempted one, so their column stays empty.
+	fcert := func(c *bool) string {
+		if c == nil {
+			return ""
+		}
+		return fb(*c)
+	}
 	for _, r := range t.Rounds {
 		rec := []string{
 			strconv.Itoa(r.Round), fb(r.Multi), fb(r.GuardSingle), fb(r.Reverted), fb(r.PickedIndp),
@@ -369,6 +382,7 @@ func writeCSV(path string, t *ledger.Trajectory) error {
 			strconv.Itoa(r.InflPairs), strconv.Itoa(r.InflAbove), strconv.Itoa(r.MISSize),
 			strconv.Itoa(r.IndpSize), strconv.Itoa(r.RandSize),
 			fp(r.DuelIndpErr), fp(r.DuelRandErr), ff(r.EstErr), ff(r.Error),
+			fcert(r.Certified), strconv.FormatInt(r.CertConflicts, 10),
 			strconv.Itoa(r.NumAnds), ff(r.Area), strconv.Itoa(r.Depth),
 			strconv.Itoa(r.NoProgress), strconv.FormatInt(r.DurationUS, 10),
 		}

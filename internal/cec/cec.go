@@ -15,6 +15,7 @@ import (
 
 	"accals/internal/aig"
 	"accals/internal/obs"
+	"accals/internal/runctl"
 	"accals/internal/sat"
 )
 
@@ -56,6 +57,11 @@ func check(a, b *aig.Graph, budget int64) (*Result, error) {
 		return nil, fmt.Errorf("cec: interface mismatch: %d/%d vs %d/%d",
 			a.NumPIs(), a.NumPOs(), b.NumPIs(), b.NumPOs())
 	}
+	if a.NumPOs() == 0 {
+		// With no outputs the miter clause would be empty and the
+		// solver would report "equivalent" vacuously — reject instead.
+		return nil, fmt.Errorf("cec: circuits have no outputs to compare: %w", runctl.ErrNoOutputs)
+	}
 	s := sat.New(a.NumPIs())
 	s.Budget = budget
 
@@ -85,6 +91,56 @@ func check(a, b *aig.Graph, budget int64) (*Result, error) {
 	switch s.Solve() {
 	case sat.Sat:
 		cex := make([]bool, a.NumPIs())
+		for i, v := range piVars {
+			cex[i] = s.Value(v)
+		}
+		return &Result{Equivalent: false, Proved: true, Counterexample: cex, Conflicts: s.Conflicts()}, nil
+	case sat.Unsat:
+		return &Result{Equivalent: true, Proved: true, Conflicts: s.Conflicts()}, nil
+	}
+	return &Result{Proved: false, Conflicts: s.Conflicts()}, nil
+}
+
+// Satisfiable decides whether some input assignment drives at least
+// one output of g to 1 — the query a certifier asks of an error
+// miter. In the returned Result, Equivalent is true when no such
+// assignment exists (every output is constant false, proved UNSAT);
+// otherwise Counterexample holds a satisfying input assignment.
+// budget caps solver conflicts (0 = unlimited); a budget-exhausted
+// solve returns Proved == false, which callers must treat as
+// not-certified, never as UNSAT.
+func Satisfiable(g *aig.Graph, budget int64) (*Result, error) {
+	return SatisfiableRec(g, budget, nil)
+}
+
+// SatisfiableRec is Satisfiable with instrumentation: the query runs
+// under the recorder's cec-phase span and the solver's conflict count
+// feeds the SAT-conflict counter. rec may be nil.
+func SatisfiableRec(g *aig.Graph, budget int64, rec *obs.Recorder) (*Result, error) {
+	sp := rec.StartSpan(obs.PhaseCEC)
+	res, err := satisfiable(g, budget)
+	sp.End()
+	if res != nil {
+		rec.AddSATConflicts(res.Conflicts)
+	}
+	return res, err
+}
+
+func satisfiable(g *aig.Graph, budget int64) (*Result, error) {
+	if g.NumPOs() == 0 {
+		return nil, fmt.Errorf("cec: circuit %q has no outputs to query: %w", g.Name, runctl.ErrNoOutputs)
+	}
+	s := sat.New(g.NumPIs())
+	s.Budget = budget
+	piVars := make([]int, g.NumPIs())
+	for i := range piVars {
+		piVars[i] = i
+	}
+	outs := encode(s, g, piVars)
+	s.AddClause(outs...)
+	switch s.Solve() {
+	case sat.Sat:
+		cex := make([]bool, g.NumPIs())
 		for i, v := range piVars {
 			cex[i] = s.Value(v)
 		}
@@ -140,13 +196,18 @@ func Miter(a, b *aig.Graph) (*aig.Graph, error) {
 	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
 		return nil, fmt.Errorf("cec: interface mismatch")
 	}
+	if a.NumPOs() == 0 {
+		// A zero-output miter would be the constant-false circuit,
+		// "proving" equivalence of circuits that compute nothing.
+		return nil, fmt.Errorf("cec: circuits have no outputs to compare: %w", runctl.ErrNoOutputs)
+	}
 	m := aig.New("miter_" + a.Name + "_" + b.Name)
 	pis := make([]aig.Lit, a.NumPIs())
 	for i := 0; i < a.NumPIs(); i++ {
 		pis[i] = m.AddPI(a.PIName(i))
 	}
-	aOut := copyInto(m, a, pis)
-	bOut := copyInto(m, b, pis)
+	aOut := CopyInto(m, a, pis)
+	bOut := CopyInto(m, b, pis)
 	diff := aig.ConstFalse
 	for j := range aOut {
 		diff = m.Or(diff, m.Xor(aOut[j], bOut[j]))
@@ -155,9 +216,11 @@ func Miter(a, b *aig.Graph) (*aig.Graph, error) {
 	return m.Sweep(), nil
 }
 
-// copyInto replicates g's logic inside m over the given input
-// literals, returning the output literals.
-func copyInto(m *aig.Graph, g *aig.Graph, pis []aig.Lit) []aig.Lit {
+// CopyInto replicates g's logic inside m over the given input
+// literals, returning g's output literals as literals of m. It is the
+// building block for miter-style constructions (see Miter and package
+// maxerr's error miter).
+func CopyInto(m *aig.Graph, g *aig.Graph, pis []aig.Lit) []aig.Lit {
 	lit := make([]aig.Lit, g.NumNodes())
 	lit[0] = aig.ConstFalse
 	for i, id := range g.PIs() {

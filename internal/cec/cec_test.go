@@ -1,12 +1,14 @@
 package cec
 
 import (
+	"errors"
 	"testing"
 
 	"accals/internal/aig"
 	"accals/internal/circuits"
 	"accals/internal/lac"
 	"accals/internal/opt"
+	"accals/internal/runctl"
 	"accals/internal/simulate"
 )
 
@@ -130,5 +132,74 @@ func TestBudgetUnknown(t *testing.T) {
 	}
 	if r.Proved {
 		t.Skip("instance solved within 5 conflicts; nothing to assert")
+	}
+}
+
+// TestZeroOutputRejected: a circuit with no POs has no function to
+// compare or solve over; every entry point must refuse it with a typed
+// error wrapping runctl.ErrNoOutputs rather than vacuously proving
+// equivalence.
+func TestZeroOutputRejected(t *testing.T) {
+	empty := aig.New("empty")
+	empty.AddPI("a")
+	other := empty.Clone()
+	if _, err := Check(empty, other, 0); !errors.Is(err, runctl.ErrNoOutputs) {
+		t.Fatalf("Check = %v, want ErrNoOutputs", err)
+	}
+	if _, err := Miter(empty, other); !errors.Is(err, runctl.ErrNoOutputs) {
+		t.Fatalf("Miter = %v, want ErrNoOutputs", err)
+	}
+	if _, err := Satisfiable(empty, 0); !errors.Is(err, runctl.ErrNoOutputs) {
+		t.Fatalf("Satisfiable = %v, want ErrNoOutputs", err)
+	}
+}
+
+// TestSatisfiable pins the three-way contract of the single-graph
+// solver entry: SAT with a counterexample, UNSAT proved, and — the one
+// certification soundness depends on — budget exhaustion reported as
+// Proved == false, never as a proof.
+func TestSatisfiable(t *testing.T) {
+	// SAT: a single AND gate is 1 for a=b=1.
+	g := aig.New("and")
+	a, b := g.AddPI("a"), g.AddPI("b")
+	g.AddPO(g.And(a, b), "y")
+	r, err := Satisfiable(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Proved || r.Equivalent {
+		t.Fatalf("AND should be satisfiable: %+v", r)
+	}
+	if len(r.Counterexample) != 2 || !r.Counterexample[0] || !r.Counterexample[1] {
+		t.Fatalf("counterexample %v, want [true true]", r.Counterexample)
+	}
+
+	// UNSAT: a AND NOT a.
+	u := aig.New("contradiction")
+	x := u.AddPI("x")
+	u.AddPO(u.And(x, x.Not()), "y")
+	r, err = Satisfiable(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Proved || !r.Equivalent {
+		t.Fatalf("x AND NOT x should be proved UNSAT: %+v", r)
+	}
+
+	// Budget exhaustion: a hard UNSAT miter under one conflict must
+	// come back Proved == false (Unknown), not proved.
+	m, err := Miter(circuits.ArrayMult(6), circuits.WallaceMult(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = Satisfiable(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Proved {
+		t.Skip("instance solved within 1 conflict; nothing to assert")
+	}
+	if r.Equivalent {
+		t.Fatal("budget exhaustion must never report UNSAT-proved")
 	}
 }

@@ -232,7 +232,7 @@ func TestRegistry(t *testing.T) {
 	if _, err := ByName("nonexistent"); err == nil {
 		t.Fatal("expected error for unknown benchmark")
 	}
-	if len(Suite(SuiteArith)) != 5 {
+	if len(Suite(SuiteArith)) != 6 {
 		t.Fatalf("arith suite: %d", len(Suite(SuiteArith)))
 	}
 	b, err := Lookup("mtp8")

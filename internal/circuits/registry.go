@@ -40,7 +40,9 @@ var registry = []Benchmark{
 	{Name: "c1908", Suite: SuiteISCAS, Build: C1908},
 	{Name: "c3540", Suite: SuiteISCAS, Build: C3540},
 
-	// Small arithmetic.
+	// Small arithmetic. rca8 is small enough for exhaustive-simulation
+	// cross-checks of the SAT-certified maximum-error flow (16 PIs).
+	{Name: "rca8", Suite: SuiteArith, Build: func() *aig.Graph { return RCA(8) }, Arithmetic: true},
 	{Name: "rca32", Suite: SuiteArith, Build: func() *aig.Graph { return RCA(32) }, Arithmetic: true},
 	{Name: "cla32", Suite: SuiteArith, Build: func() *aig.Graph { return CLA(32) }, Arithmetic: true},
 	{Name: "ksa32", Suite: SuiteArith, Build: func() *aig.Graph { return KSA(32) }, Arithmetic: true},

@@ -12,6 +12,7 @@ import (
 	"accals/internal/estimator"
 	"accals/internal/lac"
 	"accals/internal/mapping"
+	"accals/internal/maxerr"
 	"accals/internal/obs"
 	"accals/internal/par"
 	"accals/internal/runctl"
@@ -113,7 +114,18 @@ type Options struct {
 	// transport failure falls back to it, so the pool only ever changes
 	// where the work runs.
 	Evaluators *dispatch.Pool
+	// CertBudget caps the CDCL conflicts each SAT certification may
+	// spend under the MaxED metric: 0 means DefaultCertBudget, a
+	// negative value means unlimited. A round whose certification
+	// exhausts the budget is rejected and the run stops with
+	// StopReason Uncertified — budget exhaustion is never acceptance.
+	// Ignored by the statistical metrics.
+	CertBudget int64
 }
+
+// DefaultCertBudget is the per-round conflict budget of MaxED SAT
+// certification when Options.CertBudget is zero.
+const DefaultCertBudget = 1 << 20
 
 // StartState warm-starts a run from a previously checkpointed circuit
 // (see internal/checkpoint). The graph must have the same PI/PO
@@ -222,6 +234,40 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	reason := runctl.Bounded
 	rec := opt.Recorder
 	patCount := cmp.Patterns().NumPatterns()
+
+	// SAT certification (MaxED only): every accepted circuit must carry
+	// a proof that its worst-case error distance stays within the bound
+	// on ALL inputs, not just the sampled patterns. The sampled MaxED
+	// is a lower bound, so the statistical loop acts as a cheap filter
+	// and the certifier has the final word on each round.
+	certEnabled := cmp.Kind() == errmetric.MaxED
+	var certBound uint64
+	certBudget := opt.CertBudget
+	if certEnabled {
+		// Remote evaluators cannot carry certification (and the wire
+		// protocol refuses the metric); keep estimation local rather
+		// than letting every batch fail over.
+		opt.Evaluators = nil
+		certBound = uint64(errBound)
+		if certBudget == 0 {
+			certBudget = DefaultCertBudget
+		}
+		if certBudget < 0 {
+			certBudget = 0 // unlimited for the solver
+		}
+	}
+	certify := func(cand *aig.Graph) (bool, int64) {
+		return certifyAgainst(cand, orig, certBound, certBudget, rec)
+	}
+	startUncertified := false
+	if certEnabled && opt.Start != nil && opt.Start.Graph != nil {
+		// A checkpoint is not a certificate: the warm-start circuit
+		// re-enters the certified-acceptance invariant only through its
+		// own proof.
+		ok, conflicts := certify(gNew)
+		result.CertConflicts += conflicts
+		startUncertified = !ok || e > errBound
+	}
 
 	// The parallel evaluation engine: a sharded simulation runner and
 	// a sharded estimator sharing the run's worker budget. Workers: 1
@@ -376,7 +422,16 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		}(pend)
 	}
 
-	for round := round0; ; round++ {
+	if startUncertified {
+		// Reject the unprovable checkpoint outright: the run falls back
+		// to the exact circuit (trivially within any bound) and the
+		// stop reason tells the caller the resume was not adopted.
+		g = orig.Clone()
+		eG = cmp.Error(g)
+		gNew, e = g, eG
+		reason = runctl.Uncertified
+	}
+	for round := round0; !startUncertified; round++ {
 		if e > errBound {
 			reason = runctl.Bounded
 			break
@@ -474,6 +529,11 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 				rs.Speculated = true
 			}
 			e = measure(round, g, simRes, applied)
+			if certEnabled && e <= errBound {
+				rs.CertRan = true
+				rs.Certified, rs.CertConflicts = certify(gNew)
+				result.CertConflicts += rs.CertConflicts
+			}
 			var measured []float64
 			if led {
 				measured = est.MeasureEach(g, simRes, cmp, applied, rec)
@@ -497,6 +557,15 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 				rec.EmitRound(ledgerRound(rs, gNew, errBound-eG, applied, measured))
 			}
 			emitProgress(opt.Progress, rs, gNew)
+			if rs.CertRan && !rs.Certified {
+				// The sampled error passed but the SAT proof did not
+				// (bound refuted on an unsampled input, or the conflict
+				// budget ran out): reject the round, keep the last
+				// certified circuit.
+				gNew, e = g, eG
+				reason = runctl.Uncertified
+				break
+			}
 			continue
 		}
 
@@ -618,6 +687,16 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			}
 		}
 
+		// Certification (MaxED): the statistical measurement above is a
+		// lower bound over sampled patterns; only a SAT proof over the
+		// error miter admits the round. Runs after the revert so the
+		// circuit proved is the one that would be adopted.
+		if certEnabled && e <= errBound {
+			rs.CertRan = true
+			rs.Certified, rs.CertConflicts = certify(gNew)
+			result.CertConflicts += rs.CertConflicts
+		}
+
 		// Stagnation guard state: optimistic gain estimates can
 		// produce rounds that neither shrink the circuit nor move the
 		// error; a few such rounds in a row means convergence. The
@@ -654,6 +733,11 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			rec.EmitRound(ledgerRound(rs, gNew, errBound-eG, applied, measured))
 		}
 		emitProgress(opt.Progress, rs, gNew)
+		if rs.CertRan && !rs.Certified {
+			gNew, e = g, eG
+			reason = runctl.Uncertified
+			break
+		}
 		if noProgress >= StagnationRounds {
 			gNew, e = g, eG
 			reason = runctl.Stagnated
@@ -664,6 +748,10 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	result.Final = g
 	result.Error = eG
 	result.StopReason = reason
+	// Under MaxED every adopted circuit either carried its own SAT
+	// proof or is a copy of the exact circuit (zero error on all
+	// inputs), so the final result is certified by construction.
+	result.Certified = certEnabled
 	result.Runtime = time.Since(start)
 	if led {
 		area, _ := mapping.AreaDelay(g)
@@ -680,6 +768,27 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 	}
 	rec.Finish(reason.String())
 	return result
+}
+
+// certifyAgainst runs one SAT certification of cand against the exact
+// circuit and feeds the outcome counter. Any constructive error (the
+// interfaces were validated at run entry, so none is expected) is
+// treated as not-certified rather than silently accepted.
+func certifyAgainst(cand, exact *aig.Graph, bound uint64, budget int64, rec *obs.Recorder) (bool, int64) {
+	cert, err := maxerr.CertifyRec(cand, exact, bound, budget, rec)
+	if err != nil {
+		rec.CountCert(obs.CertBudget)
+		return false, 0
+	}
+	switch {
+	case cert.Certified:
+		rec.CountCert(obs.CertCertified)
+	case cert.Exceeded:
+		rec.CountCert(obs.CertRefuted)
+	default:
+		rec.CountCert(obs.CertBudget)
+	}
+	return cert.Certified, cert.Conflicts
 }
 
 // ledgerRound converts one completed round's statistics into the
@@ -714,6 +823,11 @@ func ledgerRound(rs RoundStats, gNew *aig.Graph, budgetLeft float64, applied []*
 		DurationUS:    rs.RoundDuration.Microseconds(),
 	}
 	ev.Area, _ = mapping.AreaDelay(gNew)
+	if rs.CertRan {
+		c := rs.Certified
+		ev.Certified = &c
+		ev.CertConflicts = rs.CertConflicts
+	}
 	if rs.HasDuel {
 		i, r := rs.DuelIndpErr, rs.DuelRandErr
 		ev.DuelIndpErr, ev.DuelRandErr = &i, &r

@@ -165,11 +165,20 @@ type RoundStats struct {
 	// pipeline (Options.Speculate); SpecHit marks those whose predicted
 	// winner matched the final applied set, letting the next round start
 	// from the precomputed simulation and candidate list.
-	Speculated   bool
-	SpecHit      bool
-	Error        float64
-	EstimatedErr float64
-	NumAnds      int
+	Speculated bool
+	SpecHit    bool
+	// CertRan marks rounds whose circuit went through SAT
+	// certification (MaxED runs whose measured error passed the
+	// bound); Certified is the verdict — a false verdict (bound
+	// refuted on an unsampled input, or conflict budget exhausted)
+	// rejects the round and stops the run with StopReason Uncertified.
+	// CertConflicts is the solver effort the attempt spent.
+	CertRan       bool
+	Certified     bool
+	CertConflicts int64
+	Error         float64
+	EstimatedErr  float64
+	NumAnds       int
 	// NoProgress is the stagnation-guard state after this round: the
 	// number of consecutive rounds (including this one) that neither
 	// shrank the circuit nor moved the error. The run stops with
@@ -204,6 +213,15 @@ type Result struct {
 	Rounds []RoundStats
 	// LACsApplied is the total number of LACs applied.
 	LACsApplied int
+	// Certified is true for MaxED runs: every circuit the run adopted
+	// carried a SAT proof that its worst-case error distance stays
+	// within the bound on all inputs (the exact circuit trivially so).
+	// Always false for the statistical metrics, whose Error is only a
+	// sampled estimate.
+	Certified bool
+	// CertConflicts is the total CDCL conflict effort spent on SAT
+	// certification across the run.
+	CertConflicts int64
 	// Runtime is the wall-clock synthesis time.
 	Runtime time.Duration
 }

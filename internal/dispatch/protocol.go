@@ -133,6 +133,13 @@ func decodeInit(payload []byte) (errmetric.Kind, []byte, *simulate.Patterns, err
 	if d.err == nil && ver != protoVersion {
 		return 0, nil, nil, fmt.Errorf("%w: protocol version %d, want %d", ErrProtocol, ver, protoVersion)
 	}
+	if d.err == nil && kind == errmetric.MaxED {
+		// Remote evaluation only samples; it cannot carry the SAT
+		// certification a MaxED run's acceptance depends on. Refusing
+		// the metric here keeps a misconfigured coordinator from
+		// silently downgrading certified synthesis to sampling.
+		return 0, nil, nil, fmt.Errorf("%w: metric %v is not dispatchable (SAT certification is local-only)", ErrProtocol, kind)
+	}
 	numPIs := int(d.uvarint())
 	numPatterns := int(d.uvarint())
 	if d.err != nil {

@@ -1,9 +1,19 @@
 // Package errmetric computes the statistical error metrics used in the
 // AccALS paper: error rate (ER), normalized mean error distance (NMED)
-// and mean relative error distance (MRED). All metrics are evaluated
-// against a fixed pattern set (exhaustive or Monte-Carlo) produced by
-// package simulate, matching the paper's assumption of uniformly
-// distributed inputs.
+// and mean relative error distance (MRED), plus the maximum error
+// distance (MaxED) used by SAT-certified synthesis. All metrics are
+// evaluated against a fixed pattern set (exhaustive or Monte-Carlo)
+// produced by package simulate, matching the paper's assumption of
+// uniformly distributed inputs; MaxED over sampled patterns is a lower
+// bound on the true worst case, which package maxerr certifies exactly.
+//
+// Two structural limits apply to every metric's reference circuit,
+// enforced by Validate: it must have at least one primary output (a
+// zero-output circuit has no defined error and would otherwise divide
+// by zero into NaN; rejected with runctl.ErrNoOutputs), and the
+// word-level metrics (NMED/MRED/MaxED), which read the outputs as one
+// unsigned integer with PO 0 the least significant bit, support at
+// most 63 outputs (rejected with runctl.ErrTooManyOutputs).
 package errmetric
 
 import (
@@ -34,6 +44,13 @@ const (
 	// output bits that differ. Unlike NMED/MRED it applies to
 	// circuits of any output width (no binary-number interpretation).
 	MHD
+	// MaxED is the maximum error distance max |approx - exact| over
+	// the pattern set, treating the outputs as an unsigned integer.
+	// Unlike the mean metrics it is an absolute (un-normalised)
+	// quantity, and a sampled evaluation is only a lower bound on the
+	// true worst case — package maxerr certifies the exact bound with
+	// a SAT query over an error miter.
+	MaxED
 )
 
 // String returns the metric's conventional abbreviation.
@@ -47,13 +64,16 @@ func (k Kind) String() string {
 		return "MRED"
 	case MHD:
 		return "MHD"
+	case MaxED:
+		return "MaxED"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // IsWordLevel reports whether the metric interprets the outputs as a
-// binary number (true for NMED and MRED).
-func (k Kind) IsWordLevel() bool { return k == NMED || k == MRED }
+// binary number (true for NMED, MRED and MaxED), limiting the
+// reference circuit to 63 outputs.
+func (k Kind) IsWordLevel() bool { return k == NMED || k == MRED || k == MaxED }
 
 // Comparator evaluates the error of approximate circuits against a
 // fixed reference circuit under a fixed pattern set. Building a
@@ -92,21 +112,50 @@ func NewComparator(kind Kind, ref *aig.Graph, p *simulate.Patterns) *Comparator 
 		patterns: p,
 		numPOs:   ref.NumPOs(),
 		exactPOs: res.POValues(ref),
-		maxVal:   math.Pow(2, float64(ref.NumPOs())) - 1,
 	}
 	if kind.IsWordLevel() {
+		// Exact integer arithmetic: math.Pow(2, 63)-1 rounds to 2^63
+		// in float64, which would skew the NMED normalisation by one
+		// ULP-boundary at the 63-output limit.
+		c.maxVal = float64(uint64(math.MaxUint64) >> uint(64-ref.NumPOs()))
 		c.exactVals = extractValues(c.exactPOs, p)
 	}
 	return c
 }
 
 // Validate reports whether the reference circuit is usable with the
-// metric: word-level metrics (NMED/MRED) interpret the outputs as one
-// unsigned integer and are limited to 63 outputs. The returned error
-// wraps runctl.ErrTooManyOutputs.
+// metric. Every metric needs at least one output (rejected with an
+// error wrapping runctl.ErrNoOutputs: a zero-output circuit has no
+// defined error, and the mean metrics would divide by zero into NaN).
+// The word-level metrics (NMED/MRED/MaxED) interpret the outputs as
+// one unsigned integer and are limited to 63 outputs (the returned
+// error wraps runctl.ErrTooManyOutputs).
 func Validate(kind Kind, ref *aig.Graph) error {
+	if ref.NumPOs() == 0 {
+		return fmt.Errorf("errmetric: %v undefined for circuit %q with no outputs: %w", kind, ref.Name, runctl.ErrNoOutputs)
+	}
 	if kind.IsWordLevel() && ref.NumPOs() > 63 {
 		return fmt.Errorf("errmetric: %v limited to 63 outputs, circuit %q has %d: %w", kind, ref.Name, ref.NumPOs(), runctl.ErrTooManyOutputs)
+	}
+	return nil
+}
+
+// ValidateBound reports whether bound is a usable error bound for the
+// metric: the mean metrics take a fraction in (0, 1], MaxED an
+// absolute non-negative integer error distance. The returned error
+// wraps runctl.ErrInvalidBound.
+func ValidateBound(kind Kind, bound float64) error {
+	if math.IsNaN(bound) {
+		return fmt.Errorf("errmetric: %v bound is NaN: %w", kind, runctl.ErrInvalidBound)
+	}
+	if kind == MaxED {
+		if bound < 0 || bound != math.Trunc(bound) || bound > float64(math.MaxUint64>>1) {
+			return fmt.Errorf("errmetric: %v bound must be a non-negative integer error distance, got %v: %w", kind, bound, runctl.ErrInvalidBound)
+		}
+		return nil
+	}
+	if !(bound > 0 && bound <= 1) {
+		return fmt.Errorf("errmetric: %v bound must be in (0, 1], got %v: %w", kind, bound, runctl.ErrInvalidBound)
 	}
 	return nil
 }
@@ -200,8 +249,10 @@ func (c *Comparator) ErrorFromPOsXor(base, flip []simulate.Vec) float64 {
 	}
 
 	// Word-level metrics: walk patterns, assembling the approximate
-	// output value per pattern.
+	// output value per pattern. NMED/MRED accumulate a mean; MaxED
+	// keeps the largest error distance seen.
 	sum := 0.0
+	var maxDiff uint64
 	row := make([]uint64, c.numPOs)
 	for w := 0; w < words; w++ {
 		for j := 0; j < c.numPOs; j++ {
@@ -236,8 +287,15 @@ func (c *Comparator) ErrorFromPOsXor(base, flip []simulate.Vec) float64 {
 					den = 1
 				}
 				sum += float64(diff) / den
+			case MaxED:
+				if diff > maxDiff {
+					maxDiff = diff
+				}
 			}
 		}
+	}
+	if c.kind == MaxED {
+		return float64(maxDiff)
 	}
 	return sum / float64(n)
 }
@@ -253,15 +311,34 @@ type BaseEval struct {
 	Vals []uint64
 	// Err is the base circuit's error.
 	Err float64
+	// wordMax caches, per 64-pattern word, the base circuit's largest
+	// error distance (MaxED only): MaxErrorWithFlips skips the walk of
+	// any word a candidate's flips do not touch.
+	wordMax []uint64
 }
 
 // NewBaseEval prepares an incremental evaluator for the given
 // simulated outputs.
 func (c *Comparator) NewBaseEval(pos []simulate.Vec) *BaseEval {
-	b := &BaseEval{POs: pos, Err: c.ErrorFromPOs(pos)}
+	b := &BaseEval{POs: pos}
 	if c.kind.IsWordLevel() {
 		b.Vals = extractValues(pos, c.patterns)
 	}
+	if c.kind == MaxED {
+		words := c.patterns.Words()
+		b.wordMax = make([]uint64, words)
+		var g uint64
+		for w := 0; w < words; w++ {
+			m := c.wordMaxDiff(b.Vals, w, nil, nil)
+			b.wordMax[w] = m
+			if m > g {
+				g = m
+			}
+		}
+		b.Err = float64(g)
+		return b
+	}
+	b.Err = c.ErrorFromPOs(pos)
 	return b
 }
 
@@ -298,10 +375,12 @@ const flipSampleBudget = 16384
 
 // ErrorWithFlips returns the error of base XOR flips (flip[j] may be
 // nil), touching only flipped patterns. It must only be used with the
-// word-level metrics; the ER estimator has its own batched fast path.
+// mean word-level metrics (NMED/MRED): it accumulates a sum delta,
+// which is meaningless for a max — MaxED uses MaxErrorWithFlips. The
+// ER estimator has its own batched fast path.
 func (c *Comparator) ErrorWithFlips(b *BaseEval, flips []simulate.Vec) float64 {
-	if !c.kind.IsWordLevel() {
-		panic("errmetric: ErrorWithFlips requires a word-level metric")
+	if !c.kind.IsWordLevel() || c.kind == MaxED {
+		panic("errmetric: ErrorWithFlips requires a mean word-level metric (NMED/MRED)")
 	}
 	// Flipped output list and the union of changed patterns.
 	var fj []int
@@ -356,6 +435,78 @@ func (c *Comparator) ErrorWithFlips(b *BaseEval, flips []simulate.Vec) float64 {
 	}
 	delta *= float64(total) / float64(sampled)
 	return b.Err + delta/float64(c.patterns.NumPatterns())
+}
+
+// MaxErrorWithFlips returns the MaxED of base XOR flips (flip[j] may
+// be nil). A running maximum cannot be updated with a sum delta the
+// way ErrorWithFlips does, so this is a max-merge instead: words the
+// flips do not touch contribute their cached base maximum
+// (BaseEval.wordMax) and only touched words are re-walked.
+func (c *Comparator) MaxErrorWithFlips(b *BaseEval, flips []simulate.Vec) float64 {
+	if c.kind != MaxED {
+		panic("errmetric: MaxErrorWithFlips requires the MaxED metric")
+	}
+	var fj []int
+	for j, f := range flips {
+		if f != nil {
+			fj = append(fj, j)
+		}
+	}
+	if len(fj) == 0 {
+		return b.Err
+	}
+	words := c.patterns.Words()
+	var g uint64
+	for w := 0; w < words; w++ {
+		var m uint64
+		for _, j := range fj {
+			m |= flips[j][w]
+		}
+		if w == words-1 {
+			m &= c.patterns.LastMask()
+		}
+		if m == 0 {
+			if b.wordMax[w] > g {
+				g = b.wordMax[w]
+			}
+			continue
+		}
+		if d := c.wordMaxDiff(b.Vals, w, fj, flips); d > g {
+			g = d
+		}
+	}
+	return float64(g)
+}
+
+// wordMaxDiff returns the largest |approx - exact| over the patterns
+// of word w, with the candidate's flips applied when fj is non-empty.
+func (c *Comparator) wordMaxDiff(vals []uint64, w int, fj []int, flips []simulate.Vec) uint64 {
+	n := c.patterns.NumPatterns()
+	lim := 64
+	if w == c.patterns.Words()-1 && n&63 != 0 {
+		lim = n & 63
+	}
+	var g uint64
+	for b := 0; b < lim; b++ {
+		pat := w<<6 + b
+		av := vals[pat]
+		for _, j := range fj {
+			if flips[j][w]>>uint(b)&1 != 0 {
+				av ^= 1 << uint(j)
+			}
+		}
+		ev := c.exactVals[pat]
+		var diff uint64
+		if av > ev {
+			diff = av - ev
+		} else {
+			diff = ev - av
+		}
+		if diff > g {
+			g = diff
+		}
+	}
+	return g
 }
 
 // extractValues converts packed PO vectors into one unsigned integer

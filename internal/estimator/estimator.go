@@ -230,10 +230,16 @@ func (e *Estimator) EstimateAllRec(g *aig.Graph, res *simulate.Result, cmp *errm
 			}
 		})
 		base := cmp.NewBaseEval(curPOs)
+		// MaxED needs a max-merge (cached per-word maxima, re-walk only
+		// touched words) where the mean metrics use a sum delta.
+		score := cmp.ErrorWithFlips
+		if cmp.Kind() == errmetric.MaxED {
+			score = cmp.MaxErrorWithFlips
+		}
 		minLACs := minScoreWordOps / (numPOs*words + 1)
 		par.For(par.BlocksMin(e.workers, nl, minLACs), nl, func(_, i0, i1 int) {
 			for i := i0; i < i1; i++ {
-				lacs[i].DeltaE = cmp.ErrorWithFlips(base, flips[i]) - curErr
+				lacs[i].DeltaE = score(base, flips[i]) - curErr
 			}
 		})
 	}

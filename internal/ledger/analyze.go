@@ -152,6 +152,25 @@ func (t *Trajectory) Speculation() (launched, hits int) {
 	return launched, hits
 }
 
+// Certification tallies the SAT-certified rounds of a maximum-error
+// run: attempts is the number of rounds that went through
+// certification, certified those whose bound was proved, and
+// conflicts the total solver effort. All zero for runs under the
+// statistical metrics.
+func (t *Trajectory) Certification() (attempts, certified int, conflicts int64) {
+	for _, r := range t.Rounds {
+		if r.Certified == nil {
+			continue
+		}
+		attempts++
+		if *r.Certified {
+			certified++
+		}
+		conflicts += r.CertConflicts
+	}
+	return attempts, certified, conflicts
+}
+
 // Guards tallies guard and revert activations over the trajectory.
 func (t *Trajectory) Guards() (singleLAC, reverts int) {
 	for _, r := range t.Rounds {

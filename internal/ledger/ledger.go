@@ -41,8 +41,9 @@ const (
 	SchemaMajor = 1
 	// SchemaMinor 1 added the speculative-pipelining round fields
 	// (speculated, spec_hit), both omitempty: 1.0 ledgers decode
-	// unchanged.
-	SchemaMinor = 1
+	// unchanged. SchemaMinor 2 added the SAT-certification round
+	// fields (certified, cert_conflicts), also omitempty.
+	SchemaMinor = 2
 )
 
 // Schema is the version string stamped on every emitted line.

@@ -16,8 +16,9 @@ var update = flag.Bool("update", false, "rewrite testdata golden files")
 
 // goldenEvents is a deterministic event sequence exercising the whole
 // schema surface: meta, a duel round with an applied LAC, a single-LAC
-// guard round, a reverted round, and the finish. Durations are fixed
-// values, not wall-clock, so the encoded bytes are stable.
+// guard round (SAT-certified, schema 1.2), a reverted round, and the
+// finish. Durations are fixed values, not wall-clock, so the encoded
+// bytes are stable.
 func goldenEvents(w *Writer) {
 	w.RunMeta(obs.RunMeta{
 		Method: "accals", Circuit: "toy", Metric: "er", Bound: 0.05,
@@ -35,8 +36,10 @@ func goldenEvents(w *Writer) {
 		EstErr:  0.008, Error: 0.01, NumAnds: 95, Area: 200, Depth: 11,
 		DurationUS: 1500,
 	})
+	certified := true
 	w.Round(obs.RoundEvent{
 		Round: 1, Candidates: 30, BudgetLeft: 0.04, GuardSingle: true,
+		Certified: &certified, CertConflicts: 42,
 		Applied: []obs.AppliedLAC{{Target: 9, Gain: 1, DeltaE: 0.01, MeasuredErr: 0.012}},
 		EstErr:  0.02, Error: 0.02, NumAnds: 94, Area: 198, Depth: 11,
 		DurationUS: 900,

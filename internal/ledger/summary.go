@@ -14,19 +14,24 @@ import (
 // shaped for aggregation by experiment harnesses and for the offline
 // report's phase-time section.
 type RunSummary struct {
-	Circuit        string      `json:"circuit"`
-	Method         string      `json:"method"`
-	Metric         string      `json:"metric"`
-	Bound          float64     `json:"bound"`
-	Error          float64     `json:"error"`
-	InitialAnds    int         `json:"initial_ands"`
-	FinalAnds      int         `json:"final_ands"`
-	Rounds         int         `json:"rounds"`
-	LACsApplied    int         `json:"lacs_applied"`
-	RuntimeSeconds float64     `json:"runtime_seconds"`
-	StopReason     string      `json:"stop_reason"`
-	IndpWinRate    float64     `json:"indp_win_rate"`
-	Obs            obs.Summary `json:"obs"`
+	Circuit        string  `json:"circuit"`
+	Method         string  `json:"method"`
+	Metric         string  `json:"metric"`
+	Bound          float64 `json:"bound"`
+	Error          float64 `json:"error"`
+	InitialAnds    int     `json:"initial_ands"`
+	FinalAnds      int     `json:"final_ands"`
+	Rounds         int     `json:"rounds"`
+	LACsApplied    int     `json:"lacs_applied"`
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+	StopReason     string  `json:"stop_reason"`
+	IndpWinRate    float64 `json:"indp_win_rate"`
+	// Certified marks maximum-error runs whose final circuit carries a
+	// SAT proof of its worst-case bound; CertConflicts is the total
+	// solver effort the run's certifications spent.
+	Certified     bool        `json:"certified,omitempty"`
+	CertConflicts int64       `json:"cert_conflicts,omitempty"`
+	Obs           obs.Summary `json:"obs"`
 }
 
 // ReadSummary decodes a summary.json.

@@ -1,0 +1,155 @@
+// Package maxerr certifies worst-case error bounds with SAT. The
+// statistical MaxED metric (errmetric.MaxED) measures the largest
+// error distance over a sampled pattern set — a lower bound on the
+// true worst case. This package closes the gap: BuildMiter constructs
+// an error-miter AIG whose single output is 1 exactly on the inputs
+// where |approx - exact| > bound (ripple-borrow subtractors in both
+// directions feeding a greater-than-constant comparator), and Certify
+// hands it to the CDCL solver via cec.Satisfiable.
+//
+// Certification invariants:
+//
+//   - UNSAT ⇒ the bound holds on ALL 2^n inputs, not just sampled ones.
+//   - SAT ⇒ Counterexample is an input whose error distance exceeds
+//     the bound.
+//   - Budget exhaustion (Unknown) ⇒ the circuit is NOT certified. An
+//     exhausted conflict budget is never acceptance.
+//
+// Both circuits read their outputs as one unsigned integer with PO 0
+// the least significant bit, so the word-level 63-output limit of
+// errmetric applies here too.
+package maxerr
+
+import (
+	"fmt"
+	"math"
+
+	"accals/internal/aig"
+	"accals/internal/cec"
+	"accals/internal/errmetric"
+	"accals/internal/obs"
+	"accals/internal/runctl"
+)
+
+// Certificate reports one certification attempt.
+type Certificate struct {
+	// Certified is true when the solver proved UNSAT: the error
+	// distance is at most Bound on every input assignment.
+	Certified bool
+	// Exceeded is true when the solver found an input whose error
+	// distance exceeds Bound; Counterexample holds it (by PI
+	// position). When neither Certified nor Exceeded is set the
+	// conflict budget ran out before a proof either way.
+	Exceeded       bool
+	Counterexample []bool
+	// Bound is the certified (or refuted) error-distance bound.
+	Bound uint64
+	// Conflicts is the solver effort spent.
+	Conflicts int64
+}
+
+// BuildMiter returns the error-miter AIG of approx against exact: a
+// circuit over the shared inputs whose single output "exceed" is 1
+// exactly when |approx - exact| > bound, outputs read as unsigned
+// integers. The construction is two ripple-borrow subtractors
+// (approx-exact and exact-approx), the borrow-out selecting which
+// difference is the true magnitude, each feeding a greater-than-
+// constant comparator.
+func BuildMiter(approx, exact *aig.Graph, bound uint64) (*aig.Graph, error) {
+	if approx.NumPIs() != exact.NumPIs() || approx.NumPOs() != exact.NumPOs() {
+		return nil, fmt.Errorf("maxerr: interface mismatch: %d/%d vs %d/%d: %w",
+			approx.NumPIs(), approx.NumPOs(), exact.NumPIs(), exact.NumPOs(), runctl.ErrInterfaceMismatch)
+	}
+	if err := errmetric.Validate(errmetric.MaxED, exact); err != nil {
+		return nil, err
+	}
+	width := exact.NumPOs()
+
+	g := aig.New("maxerr_" + approx.Name)
+	pis := make([]aig.Lit, exact.NumPIs())
+	for i := range pis {
+		pis[i] = g.AddPI(exact.PIName(i))
+	}
+	av := cec.CopyInto(g, approx, pis)
+	ev := cec.CopyInto(g, exact, pis)
+
+	exceed := aig.ConstFalse
+	// The error distance of a width-bit word pair never exceeds
+	// 2^width - 1; a bound at or above that is vacuously certified and
+	// the miter degenerates to constant false.
+	if maxDiff := uint64(math.MaxUint64) >> uint(64-width); bound < maxDiff {
+		d1, bo1 := subtract(g, av, ev) // approx - exact, borrow-out set iff approx < exact
+		d2, _ := subtract(g, ev, av)   // exact - approx
+		exceed = g.Or(
+			g.And(bo1.Not(), gtConst(g, d1, bound)),
+			g.And(bo1, gtConst(g, d2, bound)),
+		)
+	}
+	g.AddPO(exceed, "exceed")
+	return g.Sweep(), nil
+}
+
+// subtract builds a ripple-borrow subtractor x - y over equal-width
+// words, returning the difference bits and the borrow-out (1 iff
+// x < y, in which case the difference bits hold the wrapped value).
+func subtract(g *aig.Graph, x, y []aig.Lit) (diff []aig.Lit, borrow aig.Lit) {
+	diff = make([]aig.Lit, len(x))
+	borrow = aig.ConstFalse
+	for i := range x {
+		xy := g.Xor(x[i], y[i])
+		diff[i] = g.Xor(xy, borrow)
+		// borrow_out = (¬x ∧ y) ∨ (borrow_in ∧ ¬(x⊕y))
+		borrow = g.Or(g.And(x[i].Not(), y[i]), g.And(borrow, xy.Not()))
+	}
+	return diff, borrow
+}
+
+// gtConst builds the comparator "word d > constant n", folding from
+// the most significant bit down: d is greater exactly when, at some
+// position where n has a 0, d has a 1 and all higher bits agree.
+func gtConst(g *aig.Graph, d []aig.Lit, n uint64) aig.Lit {
+	gt := aig.ConstFalse
+	eq := aig.ConstTrue
+	for i := len(d) - 1; i >= 0; i-- {
+		if n>>uint(i)&1 == 0 {
+			gt = g.Or(gt, g.And(eq, d[i]))
+			eq = g.And(eq, d[i].Not())
+		} else {
+			eq = g.And(eq, d[i])
+		}
+	}
+	return gt
+}
+
+// Certify proves or refutes that approx stays within the given
+// maximum error distance of exact on every input. budget caps solver
+// conflicts (0 = unlimited); an exhausted budget yields a Certificate
+// with neither Certified nor Exceeded set — callers must reject such
+// a circuit.
+func Certify(approx, exact *aig.Graph, bound uint64, budget int64) (*Certificate, error) {
+	return CertifyRec(approx, exact, bound, budget, nil)
+}
+
+// CertifyRec is Certify with instrumentation: the SAT query runs
+// under the recorder's cec-phase span and feeds the SAT-conflict
+// counter. rec may be nil.
+func CertifyRec(approx, exact *aig.Graph, bound uint64, budget int64, rec *obs.Recorder) (*Certificate, error) {
+	m, err := BuildMiter(approx, exact, bound)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cec.SatisfiableRec(m, budget, rec)
+	if err != nil {
+		return nil, err
+	}
+	c := &Certificate{Bound: bound, Conflicts: res.Conflicts}
+	if res.Proved {
+		if res.Equivalent {
+			c.Certified = true
+		} else {
+			c.Exceeded = true
+			c.Counterexample = res.Counterexample
+		}
+	}
+	return c, nil
+}

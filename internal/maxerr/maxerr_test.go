@@ -1,0 +1,205 @@
+package maxerr
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"accals/internal/aig"
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+	"accals/internal/runctl"
+	"accals/internal/simulate"
+)
+
+// exhaustiveMax returns the true maximum error distance of approx
+// against exact by simulating every input assignment.
+func exhaustiveMax(t *testing.T, approx, exact *aig.Graph) uint64 {
+	t.Helper()
+	p := simulate.Exhaustive(exact.NumPIs())
+	cmp, err := errmetric.NewComparatorChecked(errmetric.MaxED, exact, p)
+	if err != nil {
+		t.Fatalf("comparator: %v", err)
+	}
+	return uint64(cmp.Error(approx))
+}
+
+// truncated returns the adder with its low zeroBits sum outputs
+// forced to constant 0 — a classic approximation with a known
+// worst-case error distance of 2^zeroBits - 1.
+func truncated(g *aig.Graph, zeroBits int) *aig.Graph {
+	a := g.Clone()
+	for i := 0; i < zeroBits; i++ {
+		a.SetPO(i, aig.ConstFalse)
+	}
+	return a
+}
+
+func TestMiterMatchesExhaustive(t *testing.T) {
+	// The miter output must be satisfiable exactly when some input's
+	// error distance exceeds the bound — checked against exhaustive
+	// simulation of the miter itself for a spread of bounds.
+	exact := circuits.RCA(3)
+	approx := truncated(exact, 2) // max ED = 3
+	p := simulate.Exhaustive(exact.NumPIs())
+	for bound := uint64(0); bound <= 4; bound++ {
+		m, err := BuildMiter(approx, exact, bound)
+		if err != nil {
+			t.Fatalf("BuildMiter(%d): %v", bound, err)
+		}
+		if m.NumPOs() != 1 {
+			t.Fatalf("miter has %d POs, want 1", m.NumPOs())
+		}
+		res := simulate.MustRun(m, p)
+		sat := simulate.PopCount(res.POValues(m)[0]) > 0
+		wantSat := bound < 3
+		if sat != wantSat {
+			t.Errorf("bound %d: miter satisfiable = %v, want %v", bound, sat, wantSat)
+		}
+	}
+}
+
+func TestCertifyEqualsExhaustiveMax(t *testing.T) {
+	// Acceptance criterion: on adders up to 8 inputs per operand the
+	// certified bound must exactly equal the exhaustive-simulation
+	// maximum — Certify(maxED) proves UNSAT, Certify(maxED-1) finds a
+	// counterexample.
+	for _, width := range []int{2, 4, 8} {
+		for zero := 1; zero <= 2; zero++ {
+			exact := circuits.RCA(width)
+			approx := truncated(exact, zero)
+			want := exhaustiveMax(t, approx, exact)
+
+			cert, err := Certify(approx, exact, want, 0)
+			if err != nil {
+				t.Fatalf("rca%d/zero%d: Certify(%d): %v", width, zero, want, err)
+			}
+			if !cert.Certified || cert.Exceeded {
+				t.Errorf("rca%d/zero%d: bound %d not certified (cert=%+v)", width, zero, want, cert)
+			}
+			if want == 0 {
+				continue
+			}
+			cert, err = Certify(approx, exact, want-1, 0)
+			if err != nil {
+				t.Fatalf("rca%d/zero%d: Certify(%d): %v", width, zero, want-1, err)
+			}
+			if cert.Certified || !cert.Exceeded {
+				t.Errorf("rca%d/zero%d: bound %d wrongly certified (cert=%+v)", width, zero, want-1, cert)
+			}
+			if cert.Counterexample == nil {
+				t.Errorf("rca%d/zero%d: exceeded without counterexample", width, zero)
+			}
+		}
+	}
+}
+
+func TestCertifyCounterexampleIsReal(t *testing.T) {
+	exact := circuits.RCA(4)
+	approx := truncated(exact, 2)
+	cert, err := Certify(approx, exact, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Exceeded {
+		t.Fatalf("bound 1 should be exceeded (max ED is 3)")
+	}
+	// Replay the counterexample through both circuits.
+	p := simulate.Explicit(exact.NumPIs(), [][]bool{cert.Counterexample})
+	va := wordValue(simulate.MustRun(approx, p).POValues(approx))
+	ve := wordValue(simulate.MustRun(exact, p).POValues(exact))
+	var diff uint64
+	if va > ve {
+		diff = va - ve
+	} else {
+		diff = ve - va
+	}
+	if diff <= 1 {
+		t.Errorf("counterexample has error distance %d, want > 1", diff)
+	}
+}
+
+func wordValue(pos []simulate.Vec) uint64 {
+	var v uint64
+	for j, w := range pos {
+		v |= (w[0] & 1) << uint(j)
+	}
+	return v
+}
+
+func TestCertifyBudgetExhaustedIsNotAcceptance(t *testing.T) {
+	// A one-conflict budget cannot prove bound 0 across two
+	// structurally different multiplier implementations (the classic
+	// hard-UNSAT equivalence instance — truncated adders, by
+	// contrast, sweep to near-constant miters); the certificate must
+	// come back neither certified nor exceeded.
+	exact := circuits.ArrayMult(4)
+	approx := circuits.WallaceMult(4)
+	if got := exhaustiveMax(t, approx, exact); got != 0 {
+		t.Fatalf("multipliers disagree: exhaustive max ED %d", got)
+	}
+	cert, err := Certify(approx, exact, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Certified {
+		t.Fatalf("budget-exhausted certification was accepted: %+v", cert)
+	}
+	if cert.Exceeded {
+		// A single conflict cannot have found a real counterexample to
+		// a true bound; if Exceeded is set something is deeply wrong.
+		t.Fatalf("budget-exhausted certification claims a counterexample: %+v", cert)
+	}
+}
+
+func TestCertifyVacuousBound(t *testing.T) {
+	// A bound at or above 2^m - 1 is vacuously certified via the
+	// constant-false miter, without any solver work.
+	exact := circuits.RCA(2)
+	approx := truncated(exact, 1)
+	maxDiff := uint64(math.MaxUint64) >> uint(64-exact.NumPOs())
+	cert, err := Certify(approx, exact, maxDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Certified {
+		t.Errorf("vacuous bound %d not certified: %+v", maxDiff, cert)
+	}
+}
+
+func TestBuildMiterRejectsBadInterfaces(t *testing.T) {
+	exact := circuits.RCA(2)
+	other := circuits.RCA(3)
+	if _, err := BuildMiter(other, exact, 1); !errors.Is(err, runctl.ErrInterfaceMismatch) {
+		t.Errorf("mismatched widths: got %v, want ErrInterfaceMismatch", err)
+	}
+
+	noOut := aig.New("noout")
+	noOut.AddPI("x")
+	noOut2 := aig.New("noout2")
+	noOut2.AddPI("x")
+	if _, err := BuildMiter(noOut, noOut2, 1); !errors.Is(err, runctl.ErrNoOutputs) {
+		t.Errorf("zero-PO: got %v, want ErrNoOutputs", err)
+	}
+
+	wide := aig.New("wide")
+	wide.AddPI("x")
+	for i := 0; i < 64; i++ {
+		wide.AddPO(aig.ConstFalse, "o")
+	}
+	wide2 := wide.Clone()
+	if _, err := BuildMiter(wide, wide2, 1); !errors.Is(err, runctl.ErrTooManyOutputs) {
+		t.Errorf("64-PO: got %v, want ErrTooManyOutputs", err)
+	}
+}
+
+func TestIdenticalCircuitsCertifyAtZero(t *testing.T) {
+	exact := circuits.RCA(4)
+	cert, err := Certify(exact.Clone(), exact, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Certified {
+		t.Errorf("identical circuits not certified at bound 0: %+v", cert)
+	}
+}

@@ -111,6 +111,13 @@ type RoundEvent struct {
 	// applied set, so the next round consumed precomputed state.
 	Speculated bool `json:"speculated,omitempty"`
 	SpecHit    bool `json:"spec_hit,omitempty"`
+	// Certified reports the round's SAT certification verdict under
+	// the maximum-error metric: nil when the round was not certified
+	// (non-MaxED runs), false when the certification failed (bound
+	// refuted or conflict budget exhausted — the round was rejected).
+	// CertConflicts is the solver effort the attempt spent.
+	Certified     *bool `json:"certified,omitempty"`
+	CertConflicts int64 `json:"cert_conflicts,omitempty"`
 	// Applied lists the LACs of the final (post-revert) rebuild.
 	Applied []AppliedLAC `json:"applied,omitempty"`
 	// EstErr is the estimated error of the applied set under Eq. (1);

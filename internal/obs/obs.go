@@ -137,6 +137,9 @@ type Recorder struct {
 	noProgress    *Gauge
 	specHits      *Counter
 	specMisses    *Counter
+	certCertified *Counter
+	certRefuted   *Counter
+	certBudget    *Counter
 	dispRemote    *Counter
 	dispFailover  *Counter
 	dispBytesTx   *Counter
@@ -187,6 +190,12 @@ func NewRecorder() *Recorder {
 		"Speculative round-pipelining outcomes: hit means the predicted winner matched and the prefetched next round was adopted.", L("result", "hit"))
 	r.specMisses = reg.Counter("accals_speculation_total",
 		"Speculative round-pipelining outcomes: hit means the predicted winner matched and the prefetched next round was adopted.", L("result", "miss"))
+	r.certCertified = reg.Counter("accals_cert_total",
+		"SAT certification outcomes of maximum-error rounds: certified (bound proved), refuted (counterexample found), budget (conflict budget exhausted, round rejected).", L("result", "certified"))
+	r.certRefuted = reg.Counter("accals_cert_total",
+		"SAT certification outcomes of maximum-error rounds: certified (bound proved), refuted (counterexample found), budget (conflict budget exhausted, round rejected).", L("result", "refuted"))
+	r.certBudget = reg.Counter("accals_cert_total",
+		"SAT certification outcomes of maximum-error rounds: certified (bound proved), refuted (counterexample found), budget (conflict budget exhausted, round rejected).", L("result", "budget"))
 	r.dispRemote = reg.Counter("accals_dispatch_batches_total",
 		"Candidate batches dispatched to external evaluators, by outcome.", L("result", "remote"))
 	r.dispFailover = reg.Counter("accals_dispatch_batches_total",
@@ -487,6 +496,35 @@ func (r *Recorder) CountSpeculation(hit bool) {
 		r.specHits.Inc()
 	} else {
 		r.specMisses.Inc()
+	}
+}
+
+// CertOutcome is the disposition of one SAT certification attempt.
+type CertOutcome int
+
+// Certification outcomes, matching the accals_cert_total result label.
+const (
+	// CertCertified: the solver proved the bound holds on all inputs.
+	CertCertified CertOutcome = iota
+	// CertRefuted: the solver found an input exceeding the bound.
+	CertRefuted
+	// CertBudget: the conflict budget ran out; the round is rejected.
+	CertBudget
+)
+
+// CountCert records one SAT certification outcome of a maximum-error
+// round.
+func (r *Recorder) CountCert(o CertOutcome) {
+	if r == nil {
+		return
+	}
+	switch o {
+	case CertCertified:
+		r.certCertified.Inc()
+	case CertRefuted:
+		r.certRefuted.Inc()
+	case CertBudget:
+		r.certBudget.Inc()
 	}
 }
 

@@ -54,6 +54,12 @@ type Summary struct {
 	// outcomes (both zero when the run did not speculate).
 	SpeculationHits   int64 `json:"speculation_hits,omitempty"`
 	SpeculationMisses int64 `json:"speculation_misses,omitempty"`
+	// CertCertified/CertRefuted/CertBudget tally SAT certification
+	// outcomes of maximum-error rounds (all zero when the run did not
+	// use the MaxED metric).
+	CertCertified int64 `json:"cert_certified,omitempty"`
+	CertRefuted   int64 `json:"cert_refuted,omitempty"`
+	CertBudget    int64 `json:"cert_budget,omitempty"`
 	// DispatchRemoteBatches counts candidate batches evaluated by
 	// external evaluator processes; DispatchFailovers counts batches a
 	// transport error sent back to local evaluation. DispatchTxBytes
@@ -86,6 +92,9 @@ func (r *Recorder) Summary() Summary {
 		LACCacheMisses:        int64(r.cacheMisses.Value()),
 		SpeculationHits:       int64(r.specHits.Value()),
 		SpeculationMisses:     int64(r.specMisses.Value()),
+		CertCertified:         int64(r.certCertified.Value()),
+		CertRefuted:           int64(r.certRefuted.Value()),
+		CertBudget:            int64(r.certBudget.Value()),
 		DispatchRemoteBatches: int64(r.dispRemote.Value()),
 		DispatchFailovers:     int64(r.dispFailover.Value()),
 		DispatchTxBytes:       int64(r.dispBytesTx.Value()),

@@ -15,8 +15,12 @@ var (
 	// pattern generator supports (e.g. >20 for exhaustive simulation).
 	ErrTooManyInputs = errors.New("too many primary inputs")
 	// ErrTooManyOutputs: the circuit has more primary outputs than a
-	// word-level error metric supports (>63 for NMED/MRED).
+	// word-level error metric supports (>63 for NMED/MRED/MaxED).
 	ErrTooManyOutputs = errors.New("too many primary outputs")
+	// ErrNoOutputs: the circuit has no primary outputs, so no error
+	// metric is defined over it (a naive comparator would divide by
+	// zero and poison the run with NaN).
+	ErrNoOutputs = errors.New("circuit has no outputs")
 	// ErrMalformedInput: a parser rejected its input (BLIF/AIGER), or
 	// an API argument is structurally invalid (nil or empty circuit).
 	ErrMalformedInput = errors.New("malformed input")

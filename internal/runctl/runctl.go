@@ -41,6 +41,11 @@ const (
 	// does not match the pattern set). The result still holds the best
 	// circuit accepted so far.
 	Failed
+	// Uncertified: a round's SAT certification (maximum-error metric)
+	// could not prove the bound within its conflict budget, so the
+	// round was rejected and the run stopped on the last certified
+	// circuit. An exhausted budget is never treated as acceptance.
+	Uncertified
 )
 
 // String returns a stable lower-case name for the reason.
@@ -60,6 +65,8 @@ func (r StopReason) String() string {
 		return "deadline-exceeded"
 	case Failed:
 		return "failed"
+	case Uncertified:
+		return "uncertified"
 	}
 	return "unknown"
 }

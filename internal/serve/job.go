@@ -80,9 +80,12 @@ type JobSpec struct {
 	BLIF string `json:"blif,omitempty"`
 	// Method is the synthesis flow: "accals" (default) or "seals".
 	Method string `json:"method,omitempty"`
-	// Metric is the error metric: er, nmed, mred or mhd.
+	// Metric is the error metric: er, nmed, mred, mhd or maxed
+	// (SAT-certified worst-case error distance).
 	Metric string `json:"metric"`
-	// Bound is the error bound, a fraction in (0,1].
+	// Bound is the error bound: a fraction in (0,1] for the
+	// statistical metrics, a non-negative integer error distance for
+	// maxed.
 	Bound float64 `json:"bound"`
 	// Patterns is the Monte-Carlo pattern budget (0 = default).
 	Patterns int `json:"patterns,omitempty"`
@@ -142,8 +145,14 @@ func (s *JobSpec) Validate() error {
 	if err != nil {
 		return fail("%v", err)
 	}
-	if !(s.Bound > 0 && s.Bound <= 1) {
+	if err := errmetric.ValidateBound(metric, s.Bound); err != nil {
+		if metric == errmetric.MaxED {
+			return fail("bound %v invalid: maxed wants a non-negative integer error distance", s.Bound)
+		}
 		return fail("bound %v out of range (0,1]", s.Bound)
+	}
+	if metric == errmetric.MaxED && s.method() != "accals" {
+		return fail("metric maxed requires method accals")
 	}
 	if s.Patterns < 0 {
 		return fail("patterns %d negative", s.Patterns)
@@ -189,8 +198,10 @@ func parseMetric(name string) (errmetric.Kind, error) {
 		return errmetric.MRED, nil
 	case "mhd":
 		return errmetric.MHD, nil
+	case "maxed":
+		return errmetric.MaxED, nil
 	}
-	return 0, fmt.Errorf("unknown metric %q (want er, nmed, mred or mhd)", name)
+	return 0, fmt.Errorf("unknown metric %q (want er, nmed, mred, mhd or maxed)", name)
 }
 
 // Job is a point-in-time public snapshot of one job. Manager methods

@@ -106,16 +106,22 @@ func TestSubmitValidation(t *testing.T) {
 	m := openManager(t, Config{})
 	defer closeManager(t, m)
 	for _, spec := range []JobSpec{
-		{},                                              // no circuit
-		{Circuit: "alu2", BLIF: ".model m\n.end\n"},     // both inputs
-		{Circuit: "nope", Metric: "er", Bound: 0.05},    // unknown benchmark
-		{Circuit: "alu2", Metric: "zz", Bound: 0.05},    // bad metric
-		{Circuit: "alu2", Metric: "er", Bound: 0},       // bad bound
-		{Circuit: "alu2", Metric: "er", Bound: 2},       // bad bound
-		{Circuit: "alu2", Metric: "er", Bound: 0.05, Method: "x"},          // bad method
-		{Circuit: "alu2", Metric: "er", Bound: 0.05, MaxRuntime: "later"},  // bad duration
-		{Circuit: "alu2", Metric: "er", Bound: 0.05, Workers: -1},          // bad workers
-		{BLIF: "not blif", Metric: "er", Bound: 0.05},   // unparsable inline circuit
+		{}, // no circuit
+		{Circuit: "alu2", BLIF: ".model m\n.end\n"},                       // both inputs
+		{Circuit: "nope", Metric: "er", Bound: 0.05},                      // unknown benchmark
+		{Circuit: "alu2", Metric: "zz", Bound: 0.05},                      // bad metric
+		{Circuit: "alu2", Metric: "er", Bound: 0},                         // bad bound
+		{Circuit: "alu2", Metric: "er", Bound: 2},                         // bad bound
+		{Circuit: "alu2", Metric: "er", Bound: 0.05, Method: "x"},         // bad method
+		{Circuit: "alu2", Metric: "er", Bound: 0.05, MaxRuntime: "later"}, // bad duration
+		{Circuit: "alu2", Metric: "er", Bound: 0.05, Workers: -1},         // bad workers
+		{BLIF: "not blif", Metric: "er", Bound: 0.05},                     // unparsable inline circuit
+		{Circuit: "alu2", Metric: "maxed", Bound: 0.5},                    // maxed bound must be an integer
+		{Circuit: "alu2", Metric: "maxed", Bound: -1},                     // negative maxed bound
+		{Circuit: "alu2", Metric: "maxed", Bound: 2, Method: "seals"},     // maxed needs accals
+		// A zero-output circuit would NaN-poison the run and hang the
+		// job; it must be a 400 at admission instead.
+		{BLIF: ".model noout\n.inputs a\n.outputs\n.end\n", Metric: "er", Bound: 0.05},
 	} {
 		if _, err := m.Submit(spec); !errors.Is(err, ErrBadSpec) {
 			t.Errorf("Submit(%+v): want ErrBadSpec, got %v", spec, err)
@@ -123,6 +129,10 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if got := len(m.List()); got != 0 {
 		t.Fatalf("%d jobs accepted from invalid specs", got)
+	}
+	// maxed with an integer bound and the accals method is a valid spec.
+	if err := (&JobSpec{Circuit: "rca8", Metric: "maxed", Bound: 4}).Validate(); err != nil {
+		t.Fatalf("valid maxed spec rejected: %v", err)
 	}
 }
 

@@ -30,6 +30,10 @@ const (
 	StopStagnated        = runctl.Stagnated
 	StopCancelled        = runctl.Cancelled
 	StopDeadlineExceeded = runctl.DeadlineExceeded
+	// StopUncertified: a MaxED round's SAT certification refuted the
+	// bound or ran out of conflict budget; the run kept the last
+	// certified circuit instead of adopting the unproved one.
+	StopUncertified = runctl.Uncertified
 )
 
 // Sentinel errors returned by the error-reporting API variants. Match
@@ -39,8 +43,11 @@ var (
 	// exhaustive pattern set (at most 20).
 	ErrTooManyInputs = runctl.ErrTooManyInputs
 	// ErrTooManyOutputs: the circuit has too many primary outputs for
-	// a word-level metric (at most 63 for NMED/MRED).
+	// a word-level metric (at most 63 for NMED/MRED/MaxED).
 	ErrTooManyOutputs = runctl.ErrTooManyOutputs
+	// ErrNoOutputs: the circuit has no primary outputs, so no error
+	// metric is defined over it.
+	ErrNoOutputs = runctl.ErrNoOutputs
 	// ErrMalformedInput: a circuit file failed to parse, or a nil or
 	// output-less circuit was passed to synthesis.
 	ErrMalformedInput = runctl.ErrMalformedInput
@@ -65,12 +72,12 @@ func validateRun(orig *Graph, metric Metric, bound float64) error {
 	if orig == nil {
 		return fmt.Errorf("%w: nil circuit", ErrMalformedInput)
 	}
-	if orig.NumPOs() == 0 {
-		return fmt.Errorf("%w: circuit has no outputs", ErrMalformedInput)
-	}
 	if math.IsNaN(bound) || bound < 0 {
 		return fmt.Errorf("%w: %v", ErrInvalidBound, bound)
 	}
+	// Validate also rejects output-less circuits (ErrNoOutputs): with
+	// zero outputs every comparator would divide by zero and score the
+	// whole run NaN.
 	return errmetric.Validate(metric, orig)
 }
 

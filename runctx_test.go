@@ -117,8 +117,8 @@ func TestSynthesizeCtxTypedErrors(t *testing.T) {
 
 	empty := accals.New("empty")
 	empty.AddPI("a")
-	if _, err := accals.SynthesizeCtx(ctx, empty, accals.ER, 0.05, accals.Options{}); !errors.Is(err, accals.ErrMalformedInput) {
-		t.Fatalf("no outputs: got %v, want ErrMalformedInput", err)
+	if _, err := accals.SynthesizeCtx(ctx, empty, accals.ER, 0.05, accals.Options{}); !errors.Is(err, accals.ErrNoOutputs) {
+		t.Fatalf("no outputs: got %v, want ErrNoOutputs", err)
 	}
 
 	g, err := accals.Benchmark("mtp8")

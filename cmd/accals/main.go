@@ -452,6 +452,7 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			Incremental: cfg.incremental,
 			Speculate:   cfg.speculate,
 			Evaluators:  evalCount,
+			TraceID:     rec.TraceID(),
 			Resumed:     cfg.resume,
 		}
 		m.FillEnvironment()
@@ -459,6 +460,19 @@ func run(ctx context.Context, cfg *config, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "bundle:    %s\n", bundle.Dir())
+	}
+
+	// Trace context propagation: a traced run upgrades the evaluator
+	// protocol so remote spans come back and land on this run's
+	// timeline. Decided after every tracer is attached (-trace flags
+	// above, the bundle's own trace just before this), and only then —
+	// an untraced run keeps the version-1 wire bytes and the zero-cost
+	// dispatch hot path.
+	if ropt.Evaluators != nil && rec.Tracing() {
+		ropt.Evaluators.TraceID = rec.TraceID()
+	}
+	if rec.Tracing() {
+		fmt.Fprintf(w, "trace id:  %s\n", rec.TraceID())
 	}
 
 	// lastAccepted holds a ready-to-write snapshot of the newest

@@ -289,8 +289,22 @@ func TestRunObservabilityOutputs(t *testing.T) {
 	if err := json.Unmarshal(chromeRaw, &chromeEvents); err != nil {
 		t.Fatalf("chrome trace is not a JSON array: %v", err)
 	}
-	if len(chromeEvents) == 0 || chromeEvents[0]["ph"] != "X" {
-		t.Fatalf("chrome trace malformed: %v", chromeEvents)
+	// Metadata (process_name/thread_name, ph "M") precedes the
+	// duration events; at least one complete event must follow.
+	var sawComplete, sawProcName bool
+	for _, ev := range chromeEvents {
+		switch ev["ph"] {
+		case "X":
+			sawComplete = true
+		case "M":
+			if ev["name"] == "process_name" {
+				sawProcName = true
+			}
+		}
+	}
+	if !sawComplete || !sawProcName {
+		t.Fatalf("chrome trace malformed (complete=%v process_name=%v): %v",
+			sawComplete, sawProcName, chromeEvents)
 	}
 
 	// The summary must agree with the trace on the round count.

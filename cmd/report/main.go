@@ -7,8 +7,18 @@
 //
 //	report <bundle-dir>              analyse a bundle
 //	report -csv rounds.csv <dir>     also export the round table
+//	report -timeline <dir>           merged per-round wall-clock breakdown
 //	report -diff A B                 compare two bundles (or JSON files)
 //	report -job j0.tar.gz            decode a daemon job bundle download
+//
+// Timeline mode reads the bundle's trace.jsonl — which, on a traced
+// distributed run, merges the coordinator's phase spans with the
+// speculation lane, per-connection RPC round trips and clock-mapped
+// remote evaluator telemetry — and attributes each round's wall-clock
+// to local compute, network, remote queueing, remote compute and
+// speculation overlap, with the unattributed remainder printed (see
+// timeline.go). The -csv export gains tl_* columns with the same
+// breakdown; they stay empty for traceless bundles.
 //
 // Job mode takes a bundle downloaded from a running accalsd
 // (GET /v1/jobs/{id}/bundle, a tar.gz) or the job's bundle directory
@@ -57,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", 0.0, "relative difference above which -diff reports a regression (e.g. 0.05 = 5%)")
 	ignore := fs.String("ignore", "", "comma-separated path substrings to skip in -diff (e.g. runtime,seconds)")
 	csvPath := fs.String("csv", "", "export the per-round table as CSV to this file")
+	timeline := fs.Bool("timeline", false, "print the merged per-round wall-clock breakdown from the bundle's trace.jsonl (local/network/remote-queue/remote-compute/speculation)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runDiff(fs.Arg(0), fs.Arg(1), *threshold, *ignore, stdout, stderr)
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: report [-job] [-csv file] <bundle>  |  report -diff [-threshold x] <a> <b>")
+		fmt.Fprintln(stderr, "usage: report [-job] [-timeline] [-csv file] <bundle>  |  report -diff [-threshold x] <a> <b>")
 		return 2
 	}
 	arg := fs.Arg(0)
@@ -82,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printJobStory(dir, stdout)
 		arg = dir
 	}
-	if err := analyse(arg, *csvPath, stdout); err != nil {
+	if err := analyse(arg, *csvPath, *timeline, stdout); err != nil {
 		fmt.Fprintln(stderr, "report:", err)
 		return 2
 	}
@@ -212,7 +223,7 @@ func ledgerPath(arg string) string {
 }
 
 // analyse prints the offline report for one bundle.
-func analyse(arg, csvPath string, w io.Writer) error {
+func analyse(arg, csvPath string, timeline bool, w io.Writer) error {
 	events, err := ledger.DecodeFile(ledgerPath(arg))
 	if err != nil {
 		return err
@@ -283,8 +294,23 @@ func analyse(arg, csvPath string, w io.Writer) error {
 
 	printPhases(arg, w)
 
+	// The trace timeline is optional decoration for the CSV export and
+	// a hard requirement for -timeline: a bundle without trace.jsonl
+	// (tracing was off, or the argument is a bare ledger file) yields
+	// tl == nil.
+	tl, err := loadTimeline(arg)
+	if err != nil {
+		return err
+	}
+	if timeline {
+		if tl == nil {
+			return fmt.Errorf("-timeline needs a bundle directory with %s (rerun the synthesis with -bundle and -trace, or any tracer attached)", ledger.TraceFile)
+		}
+		printTimeline(tl, w)
+	}
+
 	if csvPath != "" {
-		if err := writeCSV(csvPath, t); err != nil {
+		if err := writeCSV(csvPath, t, tl); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", csvPath)
@@ -331,8 +357,10 @@ func printPhases(arg string, w io.Writer) {
 	}
 }
 
-// writeCSV exports the per-round table with every ledger column.
-func writeCSV(path string, t *ledger.Trajectory) error {
+// writeCSV exports the per-round table with every ledger column, plus
+// the trace timeline's wall-clock breakdown when the bundle carries
+// one (tl may be nil — the tl_* columns then stay empty).
+func writeCSV(path string, t *ledger.Trajectory, tl *traceTimeline) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -347,6 +375,7 @@ func writeCSV(path string, t *ledger.Trajectory) error {
 		"duel_indp_err", "duel_rand_err", "est_err", "error",
 		"certified", "cert_conflicts",
 		"num_ands", "area", "depth", "no_progress", "duration_us",
+		"tl_local_us", "tl_spec_us", "tl_remote_us", "tl_net_us", "tl_queue_us",
 	}
 	if err := cw.Write(header); err != nil {
 		f.Close()
@@ -373,6 +402,19 @@ func writeCSV(path string, t *ledger.Trajectory) error {
 		}
 		return fb(*c)
 	}
+	// Timeline columns tolerate traceless ledgers: with no trace data
+	// (or a round the trace never saw) they stay empty rather than
+	// faking zeros.
+	ftl := func(round int, pick func(*roundBreakdown) int64) string {
+		if tl == nil {
+			return ""
+		}
+		rb, ok := tl.byRound[round]
+		if !ok {
+			return ""
+		}
+		return strconv.FormatInt(pick(rb), 10)
+	}
 	for _, r := range t.Rounds {
 		rec := []string{
 			strconv.Itoa(r.Round), fb(r.Multi), fb(r.GuardSingle), fb(r.Reverted), fb(r.PickedIndp),
@@ -385,6 +427,11 @@ func writeCSV(path string, t *ledger.Trajectory) error {
 			fcert(r.Certified), strconv.FormatInt(r.CertConflicts, 10),
 			strconv.Itoa(r.NumAnds), ff(r.Area), strconv.Itoa(r.Depth),
 			strconv.Itoa(r.NoProgress), strconv.FormatInt(r.DurationUS, 10),
+			ftl(r.Round, func(b *roundBreakdown) int64 { return b.local }),
+			ftl(r.Round, func(b *roundBreakdown) int64 { return b.spec }),
+			ftl(r.Round, func(b *roundBreakdown) int64 { return b.remote }),
+			ftl(r.Round, func(b *roundBreakdown) int64 { return b.net }),
+			ftl(r.Round, func(b *roundBreakdown) int64 { return b.queue }),
 		}
 		if err := cw.Write(rec); err != nil {
 			f.Close()

@@ -354,6 +354,7 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 			runner: simulate.NewRunner(opt.Workers),
 			pats:   cmp.Patterns(),
 			genCfg: genCfg,
+			rec:    rec,
 		}
 	}
 	var ready *specRound
@@ -534,14 +535,31 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 				rs.Certified, rs.CertConflicts = certify(gNew)
 				result.CertConflicts += rs.CertConflicts
 			}
+			// Same trace-only round-tail spans as the multi-LAC path
+			// below, so timeline attribution stays honest on guard
+			// rounds too.
+			tracing := rec.Tracing()
+			var tailT0 time.Time
 			var measured []float64
 			if led {
+				if tracing {
+					tailT0 = time.Now()
+				}
 				measured = est.MeasureEach(g, simRes, cmp, applied, rec)
+				if tracing {
+					rec.EmitEvent(obs.TraceEvent{Name: "measure-each", Round: round, Start: tailT0, Dur: time.Since(tailT0)})
+				}
 			}
 			runner.Release(simRes)
+			if tracing {
+				tailT0 = time.Now()
+			}
 			rs.SpecHit = settle(round, specSp, true, g, gNew, am, applied)
 			if !rs.SpecHit {
 				startPrefetch(round)
+			}
+			if tracing {
+				rec.EmitEvent(obs.TraceEvent{Name: "rebase", Round: round, Start: tailT0, Dur: time.Since(tailT0)})
 			}
 			rs.AppliedLACs = 1
 			rs.Error = e
@@ -707,18 +725,37 @@ func RunWithComparatorCtx(ctx context.Context, orig *aig.Graph, cmp *errmetric.C
 		} else {
 			noProgress = 0
 		}
+		// The round-tail bookkeeping below is not phase-histogram work,
+		// but it is wall-clock the merged timeline must account for:
+		// trace-only spans (Tracing-gated, so an untraced run pays
+		// nothing) keep `report -timeline`'s unattributed remainder
+		// honest.
+		tracing := rec.Tracing()
+		var tailT0 time.Time
 		var measured []float64
 		if led {
+			if tracing {
+				tailT0 = time.Now()
+			}
 			measured = est.MeasureEach(g, simRes, cmp, applied, rec)
+			if tracing {
+				rec.EmitEvent(obs.TraceEvent{Name: "measure-each", Round: round, Start: tailT0, Dur: time.Since(tailT0)})
+			}
 		}
 		runner.Release(simRes)
 		// One rebase per round, with the rebuild that actually produced
 		// gNew: the revert above overwrites applied, am and the
 		// speculation match before the caches ever see the discarded
 		// multi-LAC rebuild.
+		if tracing {
+			tailT0 = time.Now()
+		}
 		rs.SpecHit = settle(round, specSp, match, g, gNew, am, applied)
 		if !rs.SpecHit {
 			startPrefetch(round)
+		}
+		if tracing {
+			rec.EmitEvent(obs.TraceEvent{Name: "rebase", Round: round, Start: tailT0, Dur: time.Since(tailT0)})
 		}
 		rs.NoProgress = noProgress
 		rs.AppliedLACs = len(applied)

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"accals/internal/aig"
 	"accals/internal/lac"
+	"accals/internal/obs"
 	"accals/internal/simulate"
 )
 
@@ -33,6 +36,7 @@ type speculator struct {
 	runner   *simulate.Runner
 	pats     *simulate.Patterns
 	genCfg   lac.Config
+	rec      *obs.Recorder
 	inflight *specRound
 	stale    *specRound
 }
@@ -73,14 +77,39 @@ func (s *speculator) launch(base *aig.Graph, predicted []*lac.LAC, gS *aig.Graph
 	s.inflight = sp
 	go func() {
 		defer close(sp.done)
+		// Speculative work shows up in the trace on its own thread lane
+		// (it overlaps the round's measurement) but never in the phase
+		// histograms — the summary's per-phase totals count committed
+		// work only. Tracing() gates the time stamps so an untraced run
+		// pays nothing here.
+		tracing := s.rec.Tracing()
+		var t0 time.Time
+		if tracing {
+			t0 = time.Now()
+		}
 		sp.res, sp.err = s.runner.Run(sp.g, s.pats)
+		if tracing {
+			s.rec.EmitEvent(obs.TraceEvent{
+				Name: obs.PhaseSimulate.String(), TID: obs.TIDSpeculation,
+				Round: -1, Start: t0, Dur: time.Since(t0),
+			})
+		}
 		if sp.err != nil {
 			return
+		}
+		if tracing {
+			t0 = time.Now()
 		}
 		if sp.gen != nil {
 			sp.cands = sp.gen.Generate(sp.g, sp.res, s.genCfg, nil)
 		} else {
 			sp.cands = lac.Generate(sp.g, sp.res, s.genCfg)
+		}
+		if tracing {
+			s.rec.EmitEvent(obs.TraceEvent{
+				Name: obs.PhaseGenerate.String(), TID: obs.TIDSpeculation,
+				Round: -1, Start: t0, Dur: time.Since(t0),
+			})
 		}
 	}()
 	return sp

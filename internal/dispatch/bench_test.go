@@ -1,0 +1,64 @@
+package dispatch
+
+import (
+	"context"
+	"io"
+	"net"
+	"testing"
+
+	"accals/internal/circuits"
+	"accals/internal/errmetric"
+	"accals/internal/estimator"
+	"accals/internal/lac"
+	"accals/internal/obs"
+	"accals/internal/simulate"
+)
+
+// benchmarkDispatch drives EstimateAll over a real loopback evaluator
+// with tracing off or on. The pair pins the zero-cost contract from
+// the allocation side: the trace-off numbers must match the pre-trace
+// baseline (no new allocations on the hot path — compare the two
+// ReportAllocs outputs to see exactly what tracing costs when armed).
+func benchmarkDispatch(b *testing.B, traced bool) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		(&Server{Workers: 1}).Serve(ctx, ln)
+	}()
+	b.Cleanup(func() {
+		cancel()
+		<-done
+	})
+
+	g := circuits.ArrayMult(4)
+	kind := errmetric.ER
+	p := simulate.NewPatterns(g.NumPIs(), 1<<11, 5)
+	res := simulate.MustRun(g, p)
+	cmp := errmetric.NewComparator(kind, g, p)
+	cands := lac.Generate(g, res, lac.Config{EnableResub: true})
+	est := estimator.New(1)
+
+	rec := obs.NewRecorder()
+	pool := NewPool([]string{ln.Addr().String()}, kind, g, p, nil)
+	pool.MinBatch = 1
+	defer pool.Close()
+	if traced {
+		rec.AddTracer(obs.NewTracer(io.Discard, obs.TraceJSONL))
+		pool.TraceID = rec.TraceID()
+	}
+
+	pool.EstimateAll(est, g, res, cmp, cands, false, rec) // dial + init + epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.EstimateAll(est, g, res, cmp, cands, false, rec)
+	}
+}
+
+func BenchmarkDispatchTraceOff(b *testing.B) { benchmarkDispatch(b, false) }
+func BenchmarkDispatchTraceOn(b *testing.B)  { benchmarkDispatch(b, true) }

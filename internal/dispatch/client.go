@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -61,10 +62,20 @@ type Pool struct {
 	MinBatch int
 	// Timeout bounds one RPC round trip. Zero means the default (30s).
 	Timeout time.Duration
+	// TraceID, when non-empty, upgrades connections to protocol
+	// version 2: eval frames carry trace context and evaluators ship
+	// back per-batch telemetry spans. Set it before the first
+	// EstimateAll (only when tracing is on — the empty default keeps
+	// the version-1 wire bytes and the zero-cost hot path). An old
+	// evaluator that rejects version 2 downgrades that connection to
+	// version 1; results stay bit-identical either way.
+	TraceID string
 
 	kind    errmetric.Kind
 	pats    *simulate.Patterns
+	refEnc  []byte
 	initEnc []byte
+	initV2  []byte // built on first traced EstimateAll
 	inj     *faultinject.Injector
 	conns   []*evalConn
 
@@ -78,16 +89,28 @@ type Pool struct {
 // be nil. Connections are dialed lazily on first use and re-dialed
 // after failures, so a pool stays usable across evaluator restarts.
 func NewPool(addrs []string, kind errmetric.Kind, ref *aig.Graph, pats *simulate.Patterns, inj *faultinject.Injector) *Pool {
+	refEnc := ref.AppendBinary(nil)
 	p := &Pool{
 		kind:    kind,
 		pats:    pats,
-		initEnc: encodeInit(kind, ref.AppendBinary(nil), pats),
+		refEnc:  refEnc,
+		initEnc: encodeInit(kind, refEnc, pats, ""),
 		inj:     inj,
 	}
-	for _, a := range addrs {
-		p.conns = append(p.conns, &evalConn{addr: a})
+	for i, a := range addrs {
+		p.conns = append(p.conns, &evalConn{addr: a, idx: i})
 	}
 	return p
+}
+
+// initFrame returns the init payload for the wanted protocol version.
+// The v2 frame is built once, on the round loop's goroutine (see
+// EstimateAll), never inside the per-connection goroutines.
+func (p *Pool) initFrame(v2 bool) []byte {
+	if !v2 {
+		return p.initEnc
+	}
+	return p.initV2
 }
 
 // Evaluators returns the number of configured evaluator processes.
@@ -118,6 +141,9 @@ func (p *Pool) EstimateAll(est *estimator.Estimator, g *aig.Graph, res *simulate
 	}
 	if len(p.conns) == 0 || n < minBatch*shares {
 		return localEval(est, g, res, cmp, lacs, exact, rec)
+	}
+	if p.TraceID != "" && p.initV2 == nil {
+		p.initV2 = encodeInit(p.kind, p.refEnc, p.pats, p.TraceID)
 	}
 	if p.epochG != g {
 		p.epoch++
@@ -174,10 +200,18 @@ func localEval(est *estimator.Estimator, g *aig.Graph, res *simulate.Result, cmp
 // with the run's init frame, and holding at most one pushed epoch.
 type evalConn struct {
 	addr   string
+	idx    int // connection index: stable trace pid/tid lanes
 	nc     net.Conn
 	br     *bufio.Reader
 	epoch  uint64
 	inited bool
+
+	// Trace state (meaningful only when the pool has a TraceID).
+	ver    byte     // negotiated protocol version, set by ensure
+	v1only bool     // sticky downgrade after a version reject
+	clk    clockMap // evaluator clock mapping, from the init handshake
+	proc   string   // trace process label: "evaluator <addr> (pid N)"
+	spanID uint64   // parent span id of the next eval frame
 }
 
 func (c *evalConn) close() {
@@ -198,7 +232,14 @@ func (c *evalConn) evalSlice(p *Pool, slice []*lac.LAC, mode byte, rec *obs.Reco
 	if err := c.ensure(p, rec); err != nil {
 		return err
 	}
-	typ, resp, err := c.roundTrip(p, frameEval, encodeEval(p.epoch, mode, slice), rec)
+	var payload []byte
+	if c.ver >= protoVersionTrace {
+		c.spanID++
+		payload = appendEvalTrace(encodeEval(p.epoch, mode, slice), rec.CurrentRound(), c.spanID)
+	} else {
+		payload = encodeEval(p.epoch, mode, slice)
+	}
+	typ, resp, err := c.roundTrip(p, frameEval, payload, rec)
 	if err != nil {
 		c.close()
 		return err
@@ -207,18 +248,44 @@ func (c *evalConn) evalSlice(p *Pool, slice []*lac.LAC, mode byte, rec *obs.Reco
 		c.close()
 		return remoteErr(typ, resp)
 	}
-	deltas, err := decodeResult(resp, len(slice))
+	deltas, tel, err := decodeResult(resp, len(slice), c.ver)
 	if err != nil {
 		c.close()
 		return err
 	}
+	c.emitTelemetry(tel, rec)
 	for i, d := range deltas {
 		slice[i].DeltaE = d
 	}
 	return nil
 }
 
+// emitTelemetry lands the evaluator's spans on the local timeline
+// through the connection's clock mapping, on the connection's own
+// trace process lane.
+func (c *evalConn) emitTelemetry(tel []remoteSpan, rec *obs.Recorder) {
+	if len(tel) == 0 {
+		return
+	}
+	for _, sp := range tel {
+		d := time.Duration(sp.dur)
+		rec.CountRemoteSpan(d)
+		rec.EmitEvent(obs.TraceEvent{
+			Name:  stageName(sp.stage),
+			Proc:  c.proc,
+			PID:   obs.PIDEvaluatorBase + c.idx,
+			Round: sp.round, // -1 resolves to the current round
+			Start: c.clk.toLocal(sp.start),
+			Dur:   d,
+		})
+	}
+}
+
 // ensure dials, initialises and epoch-syncs the connection as needed.
+// When the pool carries a trace ID it offers protocol version 2; an
+// old evaluator's version reject downgrades the connection to version
+// 1 for its lifetime (redialing once), so mixed fleets keep working —
+// those evaluators just contribute no remote spans.
 func (c *evalConn) ensure(p *Pool, rec *obs.Recorder) error {
 	timeout := p.Timeout
 	if timeout <= 0 {
@@ -240,14 +307,32 @@ func (c *evalConn) ensure(p *Pool, rec *obs.Recorder) error {
 		c.epoch = 0
 	}
 	if !c.inited {
-		typ, resp, err := c.roundTrip(p, frameInit, p.initEnc, rec)
+		wantV2 := p.TraceID != "" && !c.v1only
+		t0 := time.Now()
+		typ, resp, err := c.roundTrip(p, frameInit, p.initFrame(wantV2), rec)
+		t1 := time.Now()
 		if err != nil {
 			c.close()
 			return err
 		}
 		if typ != frameOK {
 			c.close()
+			if wantV2 && typ == frameError && bytes.Contains(resp, []byte("protocol version")) {
+				c.v1only = true
+				return c.ensure(p, rec)
+			}
 			return remoteErr(typ, resp)
+		}
+		c.ver = protoVersion
+		if wantV2 {
+			nanos, pid, err := decodeInitOK(resp)
+			if err != nil {
+				c.close()
+				return err
+			}
+			c.ver = protoVersionTrace
+			c.clk = newClockMap(t0, t1, nanos)
+			c.proc = fmt.Sprintf("evaluator %s (pid %d)", c.addr, pid)
 		}
 		c.inited = true
 	}
@@ -306,8 +391,37 @@ func (c *evalConn) roundTrip(p *Pool, typ byte, payload []byte, rec *obs.Recorde
 		return 0, nil, err
 	}
 	rec.DispatchBytes(0, rn)
-	rec.DispatchRPC(time.Since(start))
+	d := time.Since(start)
+	rec.DispatchRPC(d)
+	if p.TraceID != "" {
+		// RPC lane span: wall time of the round trip on this
+		// connection's dispatch thread, with the connection's measured
+		// RTT as the network-share bound. Guarded by TraceID so the
+		// untraced hot path stays allocation-free.
+		rec.EmitEvent(obs.TraceEvent{
+			Name:  rpcName(typ),
+			TID:   obs.TIDDispatchBase + c.idx,
+			Round: -1,
+			Start: start,
+			Dur:   d,
+			NetUS: c.clk.rtt.Microseconds(),
+		})
+	}
 	return rtyp, resp, nil
+}
+
+// rpcName names the trace span of one round trip by request frame
+// type.
+func rpcName(typ byte) string {
+	switch typ {
+	case frameInit:
+		return "rpc:init"
+	case frameEpoch:
+		return "rpc:epoch"
+	case frameEval:
+		return "rpc:eval"
+	}
+	return "rpc:other"
 }
 
 func remoteErr(typ byte, resp []byte) error {

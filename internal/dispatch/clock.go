@@ -1,0 +1,39 @@
+package dispatch
+
+import "time"
+
+// clockMap maps an evaluator's private monotonic clock onto the
+// client's timeline. The version-2 init handshake is a monotonic
+// ping: the client stamps t0 before sending init and t1 after the
+// acknowledgement arrives; the ack carries the evaluator's monotonic
+// reading taken somewhere inside that window. The midpoint estimate
+// anchors the reading at t0 + rtt/2, so any mapped remote instant is
+// off by at most rtt/2 — the offset is recovered within the RTT
+// bound, which is the best a single ping can do.
+//
+// Both sides use monotonic readings only (the evaluator ships
+// nanoseconds since its Serve started; t0/t1 carry Go's monotonic
+// component, which time.Time.Add preserves), so wall-clock steps on
+// either machine never skew mapped spans.
+type clockMap struct {
+	at   time.Time // client instant the server reading is anchored to
+	base int64     // server monotonic nanos at that instant
+	rtt  time.Duration
+}
+
+// newClockMap builds the mapping from one init ping: client stamps t0
+// (send) and t1 (ack received), serverNanos is the evaluator's
+// monotonic reading carried by the ack.
+func newClockMap(t0, t1 time.Time, serverNanos int64) clockMap {
+	rtt := t1.Sub(t0)
+	if rtt < 0 {
+		rtt = 0
+	}
+	return clockMap{at: t0.Add(rtt / 2), base: serverNanos, rtt: rtt}
+}
+
+// toLocal maps an evaluator monotonic reading onto the client's
+// timeline.
+func (c clockMap) toLocal(serverNanos int64) time.Time {
+	return c.at.Add(time.Duration(serverNanos - c.base))
+}

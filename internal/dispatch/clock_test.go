@@ -1,0 +1,85 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClockMapMidpoint pins the offset estimate: a server reading
+// taken between t0 and t1 is anchored at the round trip's midpoint,
+// so any server timestamp maps to local time with error bounded by
+// rtt/2 regardless of the true one-way asymmetry.
+func TestClockMapMidpoint(t *testing.T) {
+	t0 := time.Now()
+	rtt := 10 * time.Millisecond
+	t1 := t0.Add(rtt)
+	base := int64(5_000_000_000) // 5s on the server's monotonic clock
+
+	cm := newClockMap(t0, t1, base)
+	if cm.rtt != rtt {
+		t.Fatalf("rtt %v, want %v", cm.rtt, rtt)
+	}
+
+	// The base maps to the midpoint exactly.
+	if got, want := cm.toLocal(base), t0.Add(rtt/2); !got.Equal(want) {
+		t.Fatalf("toLocal(base) = %v, want %v", got, want)
+	}
+	// Offsets in both directions are pure arithmetic: a span that
+	// started d before/after the handshake maps d before/after the
+	// anchor, for skews in either direction.
+	for _, d := range []time.Duration{-3 * time.Second, -time.Millisecond, time.Millisecond, 7 * time.Second} {
+		got := cm.toLocal(base + int64(d))
+		want := t0.Add(rtt/2 + d)
+		if !got.Equal(want) {
+			t.Fatalf("toLocal(base%+v) = %v, want %v", d, got, want)
+		}
+	}
+
+	// Whatever the true one-way delay split, the server actually read
+	// its clock somewhere in [t0, t1]; the midpoint estimate is
+	// therefore never more than rtt/2 wrong.
+	for _, trueAt := range []time.Time{t0, t0.Add(rtt / 4), t1} {
+		if err := cm.toLocal(base).Sub(trueAt); err > rtt/2 || err < -rtt/2 {
+			t.Fatalf("mapping error %v exceeds rtt/2 bound for true time %v", err, trueAt)
+		}
+	}
+}
+
+// TestClockMapMonotonicOnly checks the mapping never consults the wall
+// clock after construction: it is anchored to t0 (which carries Go's
+// monotonic reading) and advanced by pure durations, so a wall-clock
+// step between handshake and use cannot skew mapped spans.
+func TestClockMapMonotonicOnly(t *testing.T) {
+	t0 := time.Now()
+	cm := newClockMap(t0, t0.Add(time.Millisecond), 1000)
+	a := cm.toLocal(1000)
+	b := cm.toLocal(2000)
+	if d := b.Sub(a); d != 1000 {
+		t.Fatalf("1µs of server time mapped to %v of local time", d)
+	}
+	// Strictly increasing in server nanos.
+	if !b.After(a) {
+		t.Fatal("mapping is not monotonic")
+	}
+	// t0's monotonic reading survives the Add in toLocal: Sub between
+	// mapped times is exact even across a wall-clock change, which Go
+	// guarantees only for monotonic-carrying Times. Round(0) strips
+	// the monotonic clock; the mapped times must still order.
+	if !b.Round(0).After(a.Round(0)) {
+		t.Fatal("wall components do not order")
+	}
+}
+
+// TestClockMapDegenerate pins the clamps: a non-positive measured rtt
+// (clock steps between the two local readings cannot happen with
+// monotonic time, but defend anyway) clamps to zero.
+func TestClockMapDegenerate(t *testing.T) {
+	t0 := time.Now()
+	cm := newClockMap(t0, t0.Add(-time.Millisecond), 0)
+	if cm.rtt != 0 {
+		t.Fatalf("negative rtt not clamped: %v", cm.rtt)
+	}
+	if got := cm.toLocal(0); !got.Equal(t0) {
+		t.Fatalf("zero-rtt anchor = %v, want t0", got)
+	}
+}

@@ -321,7 +321,7 @@ func TestLACWireRoundTrip(t *testing.T) {
 	mk(lac.FnMux, 5, 6, 7)
 	mk(lac.FnMaj, 8, 9, 10)
 
-	epoch, mode, got, err := decodeEval(encodeEval(42, modeExact, lacs))
+	epoch, mode, got, _, err := decodeEval(encodeEval(42, modeExact, lacs), protoVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,10 +355,10 @@ func TestEvalPayloadFuzz(t *testing.T) {
 		for _, x := range []byte{0x01, 0x55, 0xff} {
 			mut := append([]byte(nil), base...)
 			mut[i] ^= x
-			decodeEval(mut) // must not panic
+			decodeEval(mut, protoVersion) // must not panic
 		}
 	}
 	for n := 0; n < len(base); n++ {
-		decodeEval(base[:n])
+		decodeEval(base[:n], protoVersion)
 	}
 }

@@ -44,8 +44,20 @@ import (
 	"accals/internal/simulate"
 )
 
-// protoVersion is the wire-protocol version carried by the init frame.
-const protoVersion = 1
+// protoVersion is the baseline wire-protocol version carried by the
+// init frame. protoVersionTrace adds distributed-tracing context: the
+// init frame carries the run's trace ID and is answered with the
+// evaluator's monotonic clock reading + OS pid (the clock-offset
+// handshake), eval frames carry the round and a parent span ID, and
+// result frames append evaluator-side telemetry spans. A client only
+// offers version 2 when tracing is on; an old evaluator rejects the
+// version and the client falls back to version 1 for that connection
+// (results stay bit-identical — missing context just means no remote
+// spans).
+const (
+	protoVersion      = 1
+	protoVersionTrace = 2
+)
 
 // Frame types.
 const (
@@ -109,11 +121,17 @@ func readFrame(r io.Reader) (byte, []byte, int, error) {
 
 // encodeInit builds the init payload: protocol version, metric kind,
 // pattern set (PI count, pattern count, packed words per PI), and the
-// encoded reference circuit.
-func encodeInit(kind errmetric.Kind, ref []byte, p *simulate.Patterns) []byte {
+// encoded reference circuit. A non-empty traceID selects protocol
+// version 2 and appends the trace ID; an empty one produces the exact
+// version-1 byte layout.
+func encodeInit(kind errmetric.Kind, ref []byte, p *simulate.Patterns, traceID string) []byte {
 	words := p.Words()
-	buf := make([]byte, 0, 16+p.NumPIs()*words*8+len(ref))
-	buf = append(buf, protoVersion, byte(kind))
+	buf := make([]byte, 0, 16+p.NumPIs()*words*8+len(ref)+len(traceID))
+	ver := byte(protoVersion)
+	if traceID != "" {
+		ver = protoVersionTrace
+	}
+	buf = append(buf, ver, byte(kind))
 	buf = binary.AppendUvarint(buf, uint64(p.NumPIs()))
 	buf = binary.AppendUvarint(buf, uint64(p.NumPatterns()))
 	for i := 0; i < p.NumPIs(); i++ {
@@ -123,30 +141,44 @@ func encodeInit(kind errmetric.Kind, ref []byte, p *simulate.Patterns) []byte {
 		}
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(ref)))
-	return append(buf, ref...)
+	buf = append(buf, ref...)
+	if traceID != "" {
+		buf = binary.AppendUvarint(buf, uint64(len(traceID)))
+		buf = append(buf, traceID...)
+	}
+	return buf
 }
 
-func decodeInit(payload []byte) (errmetric.Kind, []byte, *simulate.Patterns, error) {
+// initReq is a decoded init frame.
+type initReq struct {
+	kind    errmetric.Kind
+	ref     []byte
+	pats    *simulate.Patterns
+	ver     byte
+	traceID string
+}
+
+func decodeInit(payload []byte) (initReq, error) {
 	d := wireDecoder{buf: payload}
 	ver := d.byte()
 	kind := errmetric.Kind(d.byte())
-	if d.err == nil && ver != protoVersion {
-		return 0, nil, nil, fmt.Errorf("%w: protocol version %d, want %d", ErrProtocol, ver, protoVersion)
+	if d.err == nil && ver != protoVersion && ver != protoVersionTrace {
+		return initReq{}, fmt.Errorf("%w: protocol version %d, want %d", ErrProtocol, ver, protoVersionTrace)
 	}
 	if d.err == nil && kind == errmetric.MaxED {
 		// Remote evaluation only samples; it cannot carry the SAT
 		// certification a MaxED run's acceptance depends on. Refusing
 		// the metric here keeps a misconfigured coordinator from
 		// silently downgrading certified synthesis to sampling.
-		return 0, nil, nil, fmt.Errorf("%w: metric %v is not dispatchable (SAT certification is local-only)", ErrProtocol, kind)
+		return initReq{}, fmt.Errorf("%w: metric %v is not dispatchable (SAT certification is local-only)", ErrProtocol, kind)
 	}
 	numPIs := int(d.uvarint())
 	numPatterns := int(d.uvarint())
 	if d.err != nil {
-		return 0, nil, nil, d.err
+		return initReq{}, d.err
 	}
 	if numPIs < 0 || numPIs > 1<<20 || numPatterns < 1 || numPatterns > 1<<30 {
-		return 0, nil, nil, fmt.Errorf("%w: pattern set %d x %d out of range", ErrProtocol, numPIs, numPatterns)
+		return initReq{}, fmt.Errorf("%w: pattern set %d x %d out of range", ErrProtocol, numPIs, numPatterns)
 	}
 	words := (numPatterns + 63) / 64
 	rows := make([][]uint64, numPIs)
@@ -154,17 +186,43 @@ func decodeInit(payload []byte) (errmetric.Kind, []byte, *simulate.Patterns, err
 		rows[i] = d.words(words)
 	}
 	ref := d.bytes()
+	var traceID string
+	if ver == protoVersionTrace {
+		traceID = string(d.bytes())
+	}
 	if d.err != nil {
-		return 0, nil, nil, d.err
+		return initReq{}, d.err
 	}
 	if len(d.buf) != 0 {
-		return 0, nil, nil, fmt.Errorf("%w: %d trailing bytes in init", ErrProtocol, len(d.buf))
+		return initReq{}, fmt.Errorf("%w: %d trailing bytes in init", ErrProtocol, len(d.buf))
 	}
 	p, err := simulate.FromWords(numPIs, numPatterns, rows)
 	if err != nil {
-		return 0, nil, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		return initReq{}, fmt.Errorf("%w: %v", ErrProtocol, err)
 	}
-	return kind, ref, p, nil
+	return initReq{kind: kind, ref: ref, pats: p, ver: ver, traceID: traceID}, nil
+}
+
+// encodeInitOK builds the version-2 init acknowledgement: the
+// evaluator's monotonic clock reading (nanoseconds since its Serve
+// started) and its OS pid. Version-1 init acks carry no payload.
+func encodeInitOK(serverNanos int64, pid int) []byte {
+	buf := make([]byte, 0, 16)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(serverNanos))
+	return binary.AppendUvarint(buf, uint64(pid))
+}
+
+func decodeInitOK(payload []byte) (int64, int, error) {
+	d := wireDecoder{buf: payload}
+	nanos := int64(d.u64())
+	pid := int(d.uvarint())
+	if d.err != nil {
+		return 0, 0, d.err
+	}
+	if len(d.buf) != 0 {
+		return 0, 0, fmt.Errorf("%w: %d trailing bytes in init ack", ErrProtocol, len(d.buf))
+	}
+	return nanos, pid, nil
 }
 
 // encodeEpoch builds the epoch payload: epoch id + encoded circuit.
@@ -230,19 +288,38 @@ func encodeEval(epoch uint64, mode byte, lacs []*lac.LAC) []byte {
 	return buf
 }
 
-func decodeEval(payload []byte) (uint64, byte, []*lac.LAC, error) {
+// evalTrace is the trace context a version-2 eval frame carries: the
+// synthesis round the batch belongs to (-1 when unknown) and the
+// client-side parent span ID.
+type evalTrace struct {
+	round  int
+	spanID uint64
+}
+
+// appendEvalTrace appends the version-2 trace-context suffix to an
+// encoded eval payload. Round -1 (unknown) encodes as 0.
+func appendEvalTrace(buf []byte, round int, spanID uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(round+1))
+	return binary.AppendUvarint(buf, spanID)
+}
+
+// decodeEval decodes an eval payload at the session's negotiated
+// protocol version. Version 1 frames yield a zero evalTrace with
+// round -1.
+func decodeEval(payload []byte, ver byte) (uint64, byte, []*lac.LAC, evalTrace, error) {
+	tr := evalTrace{round: -1}
 	d := wireDecoder{buf: payload}
 	epoch := d.uvarint()
 	mode := d.byte()
 	n := int(d.uvarint())
 	if d.err != nil {
-		return 0, 0, nil, d.err
+		return 0, 0, nil, tr, d.err
 	}
 	if mode != modeFast && mode != modeExact {
-		return 0, 0, nil, fmt.Errorf("%w: eval mode %d", ErrProtocol, mode)
+		return 0, 0, nil, tr, fmt.Errorf("%w: eval mode %d", ErrProtocol, mode)
 	}
 	if n < 0 || n > 1<<24 {
-		return 0, 0, nil, fmt.Errorf("%w: candidate count %d out of range", ErrProtocol, n)
+		return 0, 0, nil, tr, fmt.Errorf("%w: candidate count %d out of range", ErrProtocol, n)
 	}
 	lacs := make([]*lac.LAC, 0, n)
 	for i := 0; i < n; i++ {
@@ -257,7 +334,7 @@ func decodeEval(payload []byte) (uint64, byte, []*lac.LAC, error) {
 		}
 		k := snCount(fn.Kind)
 		if k < 0 {
-			return 0, 0, nil, fmt.Errorf("%w: candidate %d has function kind %d", ErrProtocol, i, fn.Kind)
+			return 0, 0, nil, tr, fmt.Errorf("%w: candidate %d has function kind %d", ErrProtocol, i, fn.Kind)
 		}
 		var sns []int
 		if k > 0 {
@@ -267,17 +344,21 @@ func decodeEval(payload []byte) (uint64, byte, []*lac.LAC, error) {
 			}
 		}
 		if d.err != nil {
-			return 0, 0, nil, d.err
+			return 0, 0, nil, tr, d.err
 		}
 		lacs = append(lacs, &lac.LAC{Target: target, SNs: sns, Fn: fn})
 	}
+	if ver >= protoVersionTrace {
+		tr.round = int(d.uvarint()) - 1
+		tr.spanID = d.uvarint()
+	}
 	if d.err != nil {
-		return 0, 0, nil, d.err
+		return 0, 0, nil, tr, d.err
 	}
 	if len(d.buf) != 0 {
-		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes in eval", ErrProtocol, len(d.buf))
+		return 0, 0, nil, tr, fmt.Errorf("%w: %d trailing bytes in eval", ErrProtocol, len(d.buf))
 	}
-	return epoch, mode, lacs, nil
+	return epoch, mode, lacs, tr, nil
 }
 
 // encodeResult builds the result payload: one Float64bits per
@@ -291,26 +372,105 @@ func encodeResult(deltas []float64) []byte {
 	return buf
 }
 
-func decodeResult(payload []byte, want int) ([]float64, error) {
+// Evaluator-side telemetry stages, named per batch step.
+const (
+	stageFrameDecode byte = iota + 1
+	stageEpochApply
+	stageSimulate
+	stageEstimate
+	stageEncode
+)
+
+// stageName maps a telemetry stage to its span name in the merged
+// trace.
+func stageName(s byte) string {
+	switch s {
+	case stageFrameDecode:
+		return "remote:frame-decode"
+	case stageEpochApply:
+		return "remote:epoch-apply"
+	case stageSimulate:
+		return "remote:simulate"
+	case stageEstimate:
+		return "remote:estimate"
+	case stageEncode:
+		return "remote:encode"
+	}
+	return "remote:unknown"
+}
+
+// remoteSpan is one evaluator-side telemetry span. start and dur are
+// nanoseconds on the evaluator's monotonic clock (since its Serve
+// started); the client maps start onto its own timeline through the
+// connection's clockMap.
+type remoteSpan struct {
+	stage  byte
+	round  int // -1 when the evaluator did not know the round yet
+	parent uint64
+	start  int64
+	dur    int64
+}
+
+// maxTelemetry bounds the telemetry span count in one result frame.
+const maxTelemetry = 1 << 16
+
+// appendResultTrace appends the version-2 telemetry suffix to an
+// encoded result payload.
+func appendResultTrace(buf []byte, tel []remoteSpan) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(tel)))
+	for _, s := range tel {
+		buf = append(buf, s.stage)
+		buf = binary.AppendUvarint(buf, uint64(s.round+1))
+		buf = binary.AppendUvarint(buf, s.parent)
+		buf = binary.AppendUvarint(buf, uint64(s.start))
+		buf = binary.AppendUvarint(buf, uint64(s.dur))
+	}
+	return buf
+}
+
+// decodeResult decodes a result payload at the session's negotiated
+// protocol version; version 2 results carry telemetry spans after the
+// deltas.
+func decodeResult(payload []byte, want int, ver byte) ([]float64, []remoteSpan, error) {
 	d := wireDecoder{buf: payload}
 	n := int(d.uvarint())
 	if d.err != nil {
-		return nil, d.err
+		return nil, nil, d.err
 	}
 	if n != want {
-		return nil, fmt.Errorf("%w: result carries %d values, want %d", ErrProtocol, n, want)
+		return nil, nil, fmt.Errorf("%w: result carries %d values, want %d", ErrProtocol, n, want)
 	}
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = math.Float64frombits(d.u64())
 	}
+	var tel []remoteSpan
+	if ver >= protoVersionTrace {
+		k := int(d.uvarint())
+		if d.err == nil && (k < 0 || k > maxTelemetry) {
+			return nil, nil, fmt.Errorf("%w: telemetry span count %d out of range", ErrProtocol, k)
+		}
+		if d.err == nil && k > 0 {
+			tel = make([]remoteSpan, 0, k)
+			for i := 0; i < k; i++ {
+				sp := remoteSpan{
+					stage:  d.byte(),
+					round:  int(d.uvarint()) - 1,
+					parent: d.uvarint(),
+					start:  int64(d.uvarint()),
+					dur:    int64(d.uvarint()),
+				}
+				tel = append(tel, sp)
+			}
+		}
+	}
 	if d.err != nil {
-		return nil, d.err
+		return nil, nil, d.err
 	}
 	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes in result", ErrProtocol, len(d.buf))
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes in result", ErrProtocol, len(d.buf))
 	}
-	return out, nil
+	return out, tel, nil
 }
 
 // wireDecoder consumes a payload front to back, latching the first

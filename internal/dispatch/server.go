@@ -5,7 +5,9 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"accals/internal/aig"
 	"accals/internal/errmetric"
@@ -22,8 +24,15 @@ import (
 type Server struct {
 	Workers int
 
+	// legacyV1 makes the server behave like a pre-trace build: it
+	// rejects any init above protocol version 1 and never records
+	// telemetry. Test-only — it pins the old-evaluator interop path
+	// without keeping an old binary around.
+	legacyV1 bool
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
+	start time.Time // monotonic base of telemetry timestamps
 }
 
 // Serve accepts sessions on ln until ctx is cancelled or the listener
@@ -31,6 +40,11 @@ type Server struct {
 // returns nil on clean cancellation.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer ln.Close()
+	s.mu.Lock()
+	if s.start.IsZero() {
+		s.start = time.Now()
+	}
+	s.mu.Unlock()
 	stop := context.AfterFunc(ctx, func() {
 		ln.Close()
 		s.mu.Lock()
@@ -89,7 +103,21 @@ func (s *Server) session(nc net.Conn) {
 		epoch  uint64
 		g      *aig.Graph
 		res    *simulate.Result
+
+		ver byte = protoVersion
+		tel []remoteSpan // telemetry pending until the next result frame
 	)
+	// now reads the evaluator's monotonic clock — the time base the
+	// init handshake exports to the client.
+	now := func() int64 { return int64(time.Since(s.start)) }
+	// span records one telemetry stage; rounds and parents are
+	// unknown until an eval frame supplies the trace context, so
+	// pending spans are stamped retroactively there.
+	span := func(stage byte, start int64) {
+		if ver >= protoVersionTrace && len(tel) < maxTelemetry-1 {
+			tel = append(tel, remoteSpan{stage: stage, round: -1, start: start, dur: now() - start})
+		}
+	}
 	reply := func(typ byte, payload []byte) bool {
 		if _, err := writeFrame(bw, typ, payload); err != nil {
 			return false
@@ -106,26 +134,40 @@ func (s *Server) session(nc net.Conn) {
 		}
 		switch typ {
 		case frameInit:
-			kind, refBytes, p, err := decodeInit(payload)
+			t0 := now()
+			req, err := decodeInit(payload)
 			if err != nil {
 				fail(err)
 				return
 			}
-			ref, err := aig.DecodeBinary(refBytes)
+			if s.legacyV1 && req.ver != protoVersion {
+				fail(fmt.Errorf("%w: protocol version %d, want %d", ErrProtocol, req.ver, protoVersion))
+				return
+			}
+			ref, err := aig.DecodeBinary(req.ref)
 			if err != nil {
 				fail(err)
 				return
 			}
-			cmp, err = errmetric.NewComparatorChecked(kind, ref, p)
+			cmp, err = errmetric.NewComparatorChecked(req.kind, ref, req.pats)
 			if err != nil {
 				fail(err)
 				return
 			}
-			pats = p
+			pats = req.pats
 			est = estimator.New(s.Workers)
 			runner = simulate.NewRunner(s.Workers)
 			epoch, g, res = 0, nil, nil
-			if !reply(frameOK, nil) {
+			ver, tel = req.ver, nil
+			span(stageFrameDecode, t0)
+			var ack []byte
+			if ver >= protoVersionTrace {
+				// Clock-offset handshake: ship our monotonic reading
+				// and OS pid so the client can place our spans on its
+				// timeline and label our process lane.
+				ack = encodeInitOK(now(), os.Getpid())
+			}
+			if !reply(frameOK, ack) {
 				return
 			}
 
@@ -134,6 +176,7 @@ func (s *Server) session(nc net.Conn) {
 				fail(fmt.Errorf("%w: epoch before init", ErrProtocol))
 				return
 			}
+			t0 := now()
 			id, gBytes, err := decodeEpoch(payload)
 			if err != nil {
 				fail(err)
@@ -144,11 +187,14 @@ func (s *Server) session(nc net.Conn) {
 				fail(err)
 				return
 			}
+			span(stageEpochApply, t0)
+			t1 := now()
 			nres, err := runner.Run(ng, pats)
 			if err != nil {
 				fail(err)
 				return
 			}
+			span(stageSimulate, t1)
 			runner.Release(res)
 			epoch, g, res = id, ng, nres
 			if !reply(frameOK, nil) {
@@ -160,10 +206,20 @@ func (s *Server) session(nc net.Conn) {
 				fail(fmt.Errorf("%w: eval before epoch", ErrProtocol))
 				return
 			}
-			id, mode, lacs, err := decodeEval(payload)
+			t0 := now()
+			id, mode, lacs, tr, err := decodeEval(payload, ver)
 			if err != nil {
 				fail(err)
 				return
+			}
+			// Pending spans (init/epoch work, and this decode) belong
+			// to the round whose eval triggered them.
+			span(stageFrameDecode, t0)
+			for i := range tel {
+				if tel[i].round < 0 {
+					tel[i].round = tr.round
+					tel[i].parent = tr.spanID
+				}
 			}
 			if id != epoch {
 				// Stale or future epoch: the client pushes the current
@@ -175,12 +231,24 @@ func (s *Server) session(nc net.Conn) {
 				}
 				continue
 			}
+			t1 := now()
 			deltas, err := evalBatch(est, g, res, cmp, lacs, mode)
 			if err != nil {
 				fail(err)
 				return
 			}
-			if !reply(frameResult, encodeResult(deltas)) {
+			span(stageEstimate, t1)
+			t2 := now()
+			out := encodeResult(deltas)
+			if ver >= protoVersionTrace {
+				tel = append(tel, remoteSpan{
+					stage: stageEncode, round: tr.round, parent: tr.spanID,
+					start: t2, dur: now() - t2,
+				})
+				out = appendResultTrace(out, tel)
+				tel = tel[:0]
+			}
+			if !reply(frameResult, out) {
 				return
 			}
 

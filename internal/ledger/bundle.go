@@ -48,6 +48,11 @@ type Manifest struct {
 	// Evaluators counts the remote evaluator processes the run farmed
 	// candidate estimation to (0 = purely local evaluation).
 	Evaluators int `json:"evaluators,omitempty"`
+	// TraceID names the run across process boundaries: it matches the
+	// recorder's trace ID, the summary's trace_id, and the trace
+	// context propagated to remote evaluators, so a downloaded bundle
+	// can be joined with evaluator-side records.
+	TraceID string `json:"trace_id,omitempty"`
 	// Environment.
 	GoVersion  string `json:"go_version"`
 	GitRev     string `json:"git_rev,omitempty"`

@@ -12,6 +12,9 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,8 +110,11 @@ type Recorder struct {
 	reg     *Registry
 	tracers []*Tracer // fixed after setup; read without locking
 	sinks   []Sink    // ledger sinks; fixed after setup (see events.go)
+	traceID string    // fixed after setup (see SetTraceID)
 
-	curRound atomic.Int64
+	curRound     atomic.Int64
+	remoteSpans  atomic.Int64 // remote evaluator telemetry spans merged
+	remoteBusyNS atomic.Int64 // total busy time those spans cover
 
 	mu     sync.Mutex
 	status Status
@@ -215,7 +221,80 @@ func NewRecorder() *Recorder {
 		"Consecutive rounds without progress (stagnation guard state).")
 	r.status.Running = true
 	r.status.StartedAt = time.Now()
+	r.traceID = NewTraceID()
 	return r
+}
+
+// NewTraceID returns a fresh 64-bit random trace identifier in hex.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceID returns the run's trace identifier ("" for a nil recorder).
+// Every recorder gets a fresh one at construction; it names the run
+// across process boundaries (bundle manifests, evaluator frames).
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.traceID
+}
+
+// SetTraceID overrides the run's trace identifier. Must be called
+// before the run starts (the field is read without locking once
+// spans flow).
+func (r *Recorder) SetTraceID(id string) {
+	if r == nil || id == "" {
+		return
+	}
+	r.traceID = id
+}
+
+// Tracing reports whether the recorder has at least one trace sink
+// attached. Packages gate optional trace-only work (remote telemetry,
+// rpc spans) on this so a metrics-only run pays nothing extra.
+func (r *Recorder) Tracing() bool {
+	return r != nil && len(r.tracers) > 0
+}
+
+// CurrentRound returns the round set by the last BeginRound (0 for a
+// nil recorder).
+func (r *Recorder) CurrentRound() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.curRound.Load())
+}
+
+// EmitEvent fans one trace event out to every attached tracer. Unlike
+// Span.End it does not feed the phase histograms, so events from
+// other processes and overlap lanes (speculation, RPC) never skew the
+// per-phase time summary. A Round of -1 is replaced by the current
+// round. No-op without tracers.
+func (r *Recorder) EmitEvent(ev TraceEvent) {
+	if r == nil || len(r.tracers) == 0 {
+		return
+	}
+	if ev.Round < 0 {
+		ev.Round = int(r.curRound.Load())
+	}
+	for _, t := range r.tracers {
+		t.Emit(ev)
+	}
+}
+
+// CountRemoteSpan tallies one remote evaluator telemetry span of the
+// given duration for the end-of-run summary.
+func (r *Recorder) CountRemoteSpan(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.remoteSpans.Add(1)
+	r.remoteBusyNS.Add(int64(d))
 }
 
 // Registry returns the recorder's metrics registry (nil for a nil

@@ -1,5 +1,7 @@
 package obs
 
+import "time"
+
 // PhaseSummary aggregates one phase's spans over a whole run.
 type PhaseSummary struct {
 	// Count is the number of spans recorded for the phase.
@@ -68,6 +70,15 @@ type Summary struct {
 	DispatchFailovers     int64 `json:"dispatch_failovers,omitempty"`
 	DispatchTxBytes       int64 `json:"dispatch_tx_bytes,omitempty"`
 	DispatchRxBytes       int64 `json:"dispatch_rx_bytes,omitempty"`
+	// TraceID names the run across process boundaries; it matches the
+	// trace_id field of the bundle manifest and the trace context sent
+	// to external evaluators.
+	TraceID string `json:"trace_id,omitempty"`
+	// RemoteSpans/RemoteBusySeconds tally evaluator-side telemetry
+	// spans merged into the trace (zero when tracing was off or no
+	// evaluator spoke the telemetry protocol version).
+	RemoteSpans       int64   `json:"remote_spans,omitempty"`
+	RemoteBusySeconds float64 `json:"remote_busy_seconds,omitempty"`
 }
 
 // Summary aggregates the recorder's metrics into a Summary. A nil
@@ -99,6 +110,9 @@ func (r *Recorder) Summary() Summary {
 		DispatchFailovers:     int64(r.dispFailover.Value()),
 		DispatchTxBytes:       int64(r.dispBytesTx.Value()),
 		DispatchRxBytes:       int64(r.dispBytesRx.Value()),
+		TraceID:               r.traceID,
+		RemoteSpans:           r.remoteSpans.Load(),
+		RemoteBusySeconds:     time.Duration(r.remoteBusyNS.Load()).Seconds(),
 	}
 	if n := s.DuelIndpWins + s.DuelRandomWins; n > 0 {
 		s.DuelIndpWinRate = float64(s.DuelIndpWins) / float64(n)

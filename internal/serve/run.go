@@ -515,6 +515,7 @@ func (m *Manager) openBundle(id string, spec JobSpec, circuit string, ropt core.
 		Patterns:    ropt.NumPatterns,
 		Workers:     ropt.Workers,
 		Incremental: ropt.Incremental,
+		TraceID:     rec.TraceID(),
 		Resumed:     resumeSnap != nil,
 	}
 	man.FillEnvironment()
